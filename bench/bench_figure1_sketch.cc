@@ -1,0 +1,39 @@
+// Figure 1 reproduction: the qualitative behaviour of batch,
+// progressive (PBS), incremental (I-BASE), and PIER (I-PES) ER over a
+// static dataset -- batch reports everything at the end, progressive
+// front-loads matches after its pre-analysis, incremental steps up per
+// increment, PIER front-loads *and* works incrementally.
+
+#include <iostream>
+
+#include "bench/bench_harness.h"
+
+int main() {
+  using namespace pier;
+  using namespace pier::bench;
+
+  const Dataset d = MakeMovies();
+
+  SimulatorOptions sim;
+  sim.num_increments = 50;
+  sim.increments_per_second = 0.0;  // static data
+  sim.cost_mode = CostMeter::Mode::kModeled;
+  sim.time_budget_s = LargeBudget();
+
+  std::vector<RunResult> runs;
+  for (const char* alg : {"BATCH", "PBS", "I-BASE", "I-PES"}) {
+    runs.push_back(RunOne(d, alg, "JS", sim));
+  }
+
+  // Summarize relative to batch ER's completion time (the reference
+  // point of Definition 1: early quality is judged before F_batch
+  // finishes).
+  const double horizon = runs.front().end_time;
+  PrintFigure("Figure 1: matches over time, static data (" + d.name + ", JS)",
+              runs, horizon);
+
+  std::printf("\nNote: batch ER's matches all surface near its completion; "
+              "PBS needs the full dataset before emitting; I-BASE rises "
+              "stepwise; I-PES rises early and keeps rising.\n");
+  return 0;
+}

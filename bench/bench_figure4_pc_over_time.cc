@@ -1,0 +1,48 @@
+// Figure 4 reproduction: PC over time in the progressive (static)
+// setting -- PPS, PBS, I-PCS, I-PBS, I-PES on all four datasets, with
+// the cheap (JS) and the expensive (ED) matcher, under a time budget
+// (paper: 5 min small / 80 min large; here scaled, see bench_harness).
+//
+// Expected shape (paper Section 7.2): PPS ~ I-PES eventually, but PPS
+// pays a long initialization on large datasets; PBS strong with JS;
+// I-PBS/I-PCS degrade with ED (small K, CBS-misled priorities); I-PES
+// the most robust incremental method.
+
+#include <iostream>
+
+#include "bench/bench_harness.h"
+
+int main() {
+  using namespace pier;
+  using namespace pier::bench;
+
+  struct Workload {
+    Dataset dataset;
+    size_t increments;
+    double budget;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({MakeDa(), 1000, SmallBudget()});
+  workloads.push_back({MakeMovies(), 1000, SmallBudget()});
+  workloads.push_back({MakeCensus(), 2000, LargeBudget()});
+  workloads.push_back({MakeDbpedia(), 3000, LargeBudget()});
+
+  for (const auto& workload : workloads) {
+    for (const char* matcher : {"JS", "ED"}) {
+      SimulatorOptions sim;
+      sim.num_increments = workload.increments;
+      sim.increments_per_second = 0.0;  // static setting
+      sim.cost_mode = CostMeter::Mode::kModeled;
+      sim.time_budget_s = workload.budget;
+
+      std::vector<RunResult> runs;
+      for (const char* alg : {"PPS", "PBS", "I-PCS", "I-PBS", "I-PES"}) {
+        runs.push_back(RunOne(workload.dataset, alg, matcher, sim));
+      }
+      PrintFigure("Figure 4: PC over time, " + workload.dataset.name + ", " +
+                      matcher + " (static)",
+                  runs, workload.budget);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 5 reproduction: PC per *emitted comparison* (no time budget)
+// in the static setting -- how much of each algorithm's effort is
+// wasted on non-matching comparisons. Expected shape (paper): PPS the
+// steepest; I-PES close; I-PCS needs far more comparisons for the same
+// PC (CBS favours long, non-matching profiles); I-PBS in between.
+
+#include <iostream>
+
+#include "bench/bench_harness.h"
+
+int main() {
+  using namespace pier;
+  using namespace pier::bench;
+
+  struct Workload {
+    Dataset dataset;
+    size_t increments;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({MakeDa(), 1000});
+  workloads.push_back({MakeMovies(), 1000});
+  workloads.push_back({MakeCensus(), 2000});
+  workloads.push_back({MakeDbpedia(), 3000});
+
+  for (const auto& workload : workloads) {
+    SimulatorOptions sim;
+    sim.num_increments = workload.increments;
+    sim.increments_per_second = 0.0;
+    sim.cost_mode = CostMeter::Mode::kModeled;
+    // Run to completion but keep a generous safety ceiling.
+    sim.time_budget_s = 50.0 * LargeBudget();
+
+    std::vector<RunResult> runs;
+    for (const char* alg : {"PPS", "PBS", "I-PCS", "I-PBS", "I-PES"}) {
+      // JS keeps comparisons cheap so every algorithm can finish; the
+      // x-axis of interest is comparisons, not time.
+      runs.push_back(RunOne(workload.dataset, alg, "JS", sim));
+    }
+
+    std::printf("\n=== Figure 5: PC per emitted comparison, %s ===\n",
+                workload.dataset.name.c_str());
+    std::printf("%-8s", "frac");
+    for (const auto& r : runs) std::printf(" %10s", r.algorithm.c_str());
+    std::printf("\n");
+    uint64_t max_cmps = 0;
+    for (const auto& r : runs) {
+      max_cmps = std::max(max_cmps, r.comparisons_executed);
+    }
+    for (int step = 1; step <= 10; ++step) {
+      const uint64_t c = max_cmps * step / 10;
+      std::printf("%-8.1f", 0.1 * step);
+      for (const auto& r : runs) {
+        const double pc =
+            r.total_true_matches == 0
+                ? 0.0
+                : static_cast<double>(r.curve.MatchesAtComparisons(c)) /
+                      static_cast<double>(r.total_true_matches);
+        std::printf(" %10.3f", pc);
+      }
+      std::printf("\n");
+    }
+    std::printf("total comparisons:");
+    for (const auto& r : runs) {
+      std::printf(" %s=%llu", r.algorithm.c_str(),
+                  static_cast<unsigned long long>(r.comparisons_executed));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Component micro-benchmarks (google-benchmark): throughput of the
+// individual substrates -- tokenization, incremental blocking,
+// candidate weighting, the bounded priority queue, Bloom filters, and
+// the two match functions. These are the per-unit costs the
+// ModeledCostMeter approximates.
+
+#include <benchmark/benchmark.h>
+
+#include "blocking/block_collection.h"
+#include "blocking/block_ghosting.h"
+#include "core/pier_pipeline.h"
+#include "datagen/generators.h"
+#include "metablocking/weighting.h"
+#include "model/comparison.h"
+#include "similarity/matcher.h"
+#include "similarity/string_distance.h"
+#include "text/tokenizer.h"
+#include "util/bounded_priority_queue.h"
+#include "util/rng.h"
+#include "util/scalable_bloom_filter.h"
+
+namespace {
+
+using namespace pier;
+
+Dataset& SharedMovies() {
+  static Dataset& d = *new Dataset([] {
+    MoviesOptions options;
+    options.source0_count = 2000;
+    options.source1_count = 1700;
+    return GenerateMovies(options);
+  }());
+  return d;
+}
+
+void BM_TokenizeProfile(benchmark::State& state) {
+  const Dataset& d = SharedMovies();
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  size_t i = 0;
+  for (auto _ : state) {
+    EntityProfile p = d.profiles[i++ % d.profiles.size()];
+    tokenizer.TokenizeProfile(p, dict);
+    benchmark::DoNotOptimize(p.tokens.data());
+  }
+}
+BENCHMARK(BM_TokenizeProfile);
+
+void BM_IncrementalBlocking(benchmark::State& state) {
+  const Dataset& d = SharedMovies();
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  std::vector<EntityProfile> tokenized = d.profiles;
+  for (auto& p : tokenized) tokenizer.TokenizeProfile(p, dict);
+  size_t i = 0;
+  BlockCollection* blocks = new BlockCollection(d.kind);
+  for (auto _ : state) {
+    if (i == tokenized.size()) {  // reset when exhausted
+      state.PauseTiming();
+      delete blocks;
+      blocks = new BlockCollection(d.kind);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(blocks->AddProfile(tokenized[i++]));
+  }
+  delete blocks;
+}
+BENCHMARK(BM_IncrementalBlocking);
+
+void BM_GhostingPlusWeighting(benchmark::State& state) {
+  const Dataset& d = SharedMovies();
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  ProfileStore store;
+  BlockCollection blocks(d.kind);
+  for (auto p : d.profiles) {
+    tokenizer.TokenizeProfile(p, dict);
+    blocks.AddProfile(p);
+    store.Add(std::move(p));
+  }
+  const WeightingContext ctx{&blocks, &store, WeightingScheme::kCbs};
+  size_t i = 0;
+  for (auto _ : state) {
+    const EntityProfile& p = store.Get(static_cast<ProfileId>(
+        i++ % store.size()));
+    const auto retained = GhostBlocks(blocks, p, 0.5);
+    auto cmps = GenerateWeightedComparisons(ctx, p, retained);
+    benchmark::DoNotOptimize(cmps.data());
+  }
+}
+BENCHMARK(BM_GhostingPlusWeighting);
+
+void BM_BoundedPqPushPop(benchmark::State& state) {
+  BoundedPriorityQueue<Comparison, CompareByWeight> queue(
+      static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    queue.PushBounded(
+        Comparison(rng.NextU32() % 100000, rng.NextU32() % 100000,
+                   rng.UniformDouble()));
+    if (queue.size() > 16 && rng.Bernoulli(0.5)) {
+      benchmark::DoNotOptimize(queue.PopMax());
+    }
+  }
+}
+BENCHMARK(BM_BoundedPqPushPop)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_ScalableBloomTestAndAdd(benchmark::State& state) {
+  ScalableBloomFilter filter;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.TestAndAdd(rng.NextU64() >> 20));
+  }
+}
+BENCHMARK(BM_ScalableBloomTestAndAdd);
+
+void BM_JaccardMatch(benchmark::State& state) {
+  const Dataset& d = SharedMovies();
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  std::vector<EntityProfile> tokenized = d.profiles;
+  for (auto& p : tokenized) tokenizer.TokenizeProfile(p, dict);
+  const JaccardMatcher matcher(0.35);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto& a = tokenized[rng.NextU32() % tokenized.size()];
+    const auto& b = tokenized[rng.NextU32() % tokenized.size()];
+    benchmark::DoNotOptimize(matcher.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardMatch);
+
+void BM_EditDistanceMatch(benchmark::State& state) {
+  const Dataset& d = SharedMovies();
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  std::vector<EntityProfile> tokenized = d.profiles;
+  for (auto& p : tokenized) tokenizer.TokenizeProfile(p, dict);
+  const EditDistanceMatcher matcher(0.75, 256);
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto& a = tokenized[rng.NextU32() % tokenized.size()];
+    const auto& b = tokenized[rng.NextU32() % tokenized.size()];
+    benchmark::DoNotOptimize(matcher.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceMatch);
+
+void BM_PipelineIngestEmit(benchmark::State& state) {
+  const Dataset& d = SharedMovies();
+  for (auto _ : state) {
+    state.PauseTiming();
+    PierOptions options;
+    options.kind = d.kind;
+    options.strategy = static_cast<PierStrategy>(state.range(0));
+    PierPipeline pipeline(options);
+    const auto increments = SplitIntoIncrements(d, 20);
+    state.ResumeTiming();
+    size_t emitted = 0;
+    for (const auto& inc : increments) {
+      std::vector<EntityProfile> profiles(
+          d.profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
+          d.profiles.begin() + static_cast<ptrdiff_t>(inc.end));
+      pipeline.Ingest(std::move(profiles));
+      emitted += pipeline.EmitBatch(256).size();
+    }
+    benchmark::DoNotOptimize(emitted);
+  }
+}
+BENCHMARK(BM_PipelineIngestEmit)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Dirty-ER deduplication walkthrough: a single messy source (census
+// records with injected errors) is resolved three ways -- batch ER,
+// the progressive PBS baseline, and PIER's I-PES -- and the example
+// prints the match-discovery trajectory of each, reproducing the
+// qualitative picture of the paper's Figure 1 on your own machine.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/batch_er.h"
+#include "baseline/pbs.h"
+#include "datagen/generators.h"
+#include "eval/report.h"
+#include "similarity/matcher.h"
+#include "stream/pier_adapter.h"
+#include "stream/stream_simulator.h"
+
+int main() {
+  pier::CensusOptions data_options;
+  data_options.num_records = 4000;
+  data_options.seed = 99;
+  const pier::Dataset d = pier::GenerateCensus(data_options);
+  std::printf("dirty source: %zu records, %zu true duplicate pairs\n\n",
+              d.profiles.size(), d.truth.size());
+
+  pier::SimulatorOptions sim_options;
+  sim_options.num_increments = 40;
+  sim_options.increments_per_second = 0.0;  // static: all data upfront
+  sim_options.cost_mode = pier::CostMeter::Mode::kModeled;
+  const pier::StreamSimulator simulator(&d, sim_options);
+  const pier::JaccardMatcher matcher(0.4);
+
+  std::vector<pier::RunResult> runs;
+
+  {
+    pier::BatchEr batch(d.kind, pier::BlockingOptions{});
+    runs.push_back(simulator.Run(batch, matcher));
+  }
+  {
+    pier::Pbs pbs(d.kind, pier::BlockingOptions{});
+    runs.push_back(simulator.Run(pbs, matcher));
+  }
+  {
+    pier::PierOptions options;
+    options.kind = d.kind;
+    options.strategy = pier::PierStrategy::kIPes;
+    pier::PierAdapter pes(options);
+    runs.push_back(simulator.Run(pes, matcher));
+  }
+
+  double horizon = 0.0;
+  for (const auto& r : runs) horizon = std::max(horizon, r.end_time);
+
+  std::printf("matches found over (virtual) time:\n");
+  std::printf("%-8s %10s %10s %10s\n", "t/T", "BATCH", "PBS", "I-PES");
+  for (int step = 1; step <= 10; ++step) {
+    const double t = horizon * step / 10.0;
+    std::printf("%-8.1f", static_cast<double>(step) / 10.0);
+    for (const auto& r : runs) {
+      std::printf(" %10llu", static_cast<unsigned long long>(
+                                 r.curve.MatchesAtTime(t)));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nsummary:\n");
+  pier::PrintSummaryTable(std::cout, runs, horizon);
+  return 0;
+}

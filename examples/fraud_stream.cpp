@@ -1,0 +1,94 @@
+// Anti-financial-crime scenario (paper Section 1): account-opening
+// records stream in from onboarding systems; fraudsters re-register
+// under slightly altered identities. The earlier a duplicate identity
+// is spotted, the earlier an investigation can start -- the textbook
+// use case for progressive + incremental ER.
+//
+// This example streams a synthetic identity workload (Febrl-style
+// census records stand in for KYC data) at a fast rate through I-PES
+// and prints "alerts" with the virtual time at which each duplicate
+// identity was discovered, then contrasts the discovery latency
+// against the non-progressive incremental baseline I-BASE.
+
+#include <cstdio>
+
+#include "baseline/i_base.h"
+#include "datagen/generators.h"
+#include "similarity/matcher.h"
+#include "stream/pier_adapter.h"
+#include "stream/stream_simulator.h"
+
+namespace {
+
+pier::RunResult RunOnce(const pier::Dataset& accounts,
+                        pier::ErAlgorithm& algorithm,
+                        const pier::Matcher& matcher) {
+  pier::SimulatorOptions sim_options;
+  sim_options.num_increments = 200;  // batches of ~25 records
+  // A burst feed much faster than identity verification can score:
+  // the backlog is where prioritization pays off.
+  sim_options.increments_per_second = 2000;
+  sim_options.cost_mode = pier::CostMeter::Mode::kModeled;
+  const pier::StreamSimulator simulator(&accounts, sim_options);
+  return simulator.Run(algorithm, matcher);
+}
+
+}  // namespace
+
+int main() {
+  // Synthetic KYC feed: ~5000 account records, half of the underlying
+  // identities re-registered with typos / dropped fields.
+  pier::CensusOptions data_options;
+  data_options.num_records = 5000;
+  data_options.duplicate_entity_fraction = 0.4;
+  data_options.seed = 1337;
+  const pier::Dataset accounts = pier::GenerateCensus(data_options);
+  std::printf("KYC feed: %zu records, %zu duplicate identities\n",
+              accounts.profiles.size(), accounts.truth.size());
+
+  // The expensive matcher models a heavyweight identity-verification
+  // scorer; this is where adaptive K matters.
+  const pier::EditDistanceMatcher matcher(/*threshold=*/0.75);
+
+  pier::PierOptions pier_options;
+  pier_options.kind = accounts.kind;
+  pier_options.strategy = pier::PierStrategy::kIPes;
+  pier::PierAdapter pes(pier_options);
+  const pier::RunResult pes_run = RunOnce(accounts, pes, matcher);
+
+  pier::IBase ibase(accounts.kind, pier::BlockingOptions{});
+  const pier::RunResult base_run = RunOnce(accounts, ibase, matcher);
+
+  std::printf("\n%-8s %-22s %-22s\n", "time_s", "I-PES alerts (cum.)",
+              "I-BASE alerts (cum.)");
+  const double horizon =
+      std::max(pes_run.end_time, base_run.end_time);
+  for (int step = 1; step <= 10; ++step) {
+    const double t = horizon * step / 10.0;
+    std::printf("%-8.2f %-22llu %-22llu\n", t,
+                static_cast<unsigned long long>(
+                    pes_run.curve.MatchesAtTime(t)),
+                static_cast<unsigned long long>(
+                    base_run.curve.MatchesAtTime(t)));
+  }
+
+  std::printf("\nfinal: I-PES found %llu/%zu (PC %.2f), "
+              "I-BASE found %llu/%zu (PC %.2f)\n",
+              static_cast<unsigned long long>(pes_run.matches_found),
+              accounts.truth.size(), pes_run.FinalPc(),
+              static_cast<unsigned long long>(base_run.matches_found),
+              accounts.truth.size(), base_run.FinalPc());
+  // Discovery latency: how long until a quarter of all duplicate
+  // identities had been flagged?
+  auto time_to_quarter = [&](const pier::RunResult& run) {
+    const uint64_t target = accounts.truth.size() / 4;
+    for (const auto& p : run.curve.points()) {
+      if (p.matches_found >= target) return p.time;
+    }
+    return run.end_time;
+  };
+  std::printf("time to flag 25%% of duplicate identities: "
+              "I-PES %.2f s vs I-BASE %.2f s\n",
+              time_to_quarter(pes_run), time_to_quarter(base_run));
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "baseline/batch_er.h"
+
+#include <algorithm>
+
+namespace pier {
+
+WorkStats BatchEr::OnIncrement(std::vector<EntityProfile> profiles) {
+  // Batch ER only accumulates until the dataset is complete.
+  WorkStats stats;
+  IngestToStore(std::move(profiles), &stats);
+  return stats;
+}
+
+WorkStats BatchEr::OnStreamEnd() {
+  WorkStats stats;
+  started_ = true;
+  if (cleaning_.has_value()) {
+    // Meta-blocking configuration: build the graph, prune, and emit
+    // the retained comparisons without any useful order -- the
+    // cleaning only reduces the comparison count; batch ER stays
+    // non-progressive.
+    BlockingGraph graph;
+    const WeightingContext ctx{&blocks_, &profiles_, WeightingScheme::kCbs};
+    uint64_t visits = 0;
+    stats.comparisons_generated +=
+        graph.Build(ctx, static_cast<ProfileId>(profiles_.size()), &visits);
+    stats.index_ops += visits;
+    cleaned_ = PruneComparisons(graph, *cleaning_, cleaning_options_);
+  }
+  return stats;
+}
+
+void BatchEr::FillBuffer(WorkStats* stats) {
+  while (buffer_.empty() && cursor_ < blocks_.NumSlots()) {
+    const TokenId token = cursor_++;
+    if (!blocks_.IsActive(token)) continue;
+    const Block& b = blocks_.block(token);
+    const uint32_t bsize = static_cast<uint32_t>(b.size());
+    auto emit = [&](ProfileId x, ProfileId y) {
+      Comparison c(x, y, 0.0, bsize);
+      if (executed_.TestAndAdd(c.Key())) return;
+      buffer_.push_back(c);
+      ++stats->comparisons_generated;
+    };
+    if (blocks_.kind() == DatasetKind::kCleanClean) {
+      for (const ProfileId x : b.members[0]) {
+        for (const ProfileId y : b.members[1]) emit(x, y);
+      }
+    } else {
+      const auto& m = b.members[0];
+      for (size_t i = 0; i < m.size(); ++i) {
+        for (size_t j = i + 1; j < m.size(); ++j) emit(m[i], m[j]);
+      }
+    }
+  }
+}
+
+std::vector<Comparison> BatchEr::NextBatch(WorkStats* stats) {
+  std::vector<Comparison> out;
+  if (!started_) return out;
+  if (cleaning_.has_value()) {
+    // cleaned_ is weight-descending; serving from the back emits the
+    // *worst* first, deliberately: batch ER has no useful order.
+    const size_t take = std::min(batch_size_, cleaned_.size());
+    out.assign(cleaned_.end() - static_cast<ptrdiff_t>(take),
+               cleaned_.end());
+    cleaned_.resize(cleaned_.size() - take);
+    return out;
+  }
+  if (buffer_.empty()) FillBuffer(stats);
+  const size_t n = std::min(batch_size_, buffer_.size());
+  out.assign(buffer_.end() - static_cast<ptrdiff_t>(n), buffer_.end());
+  std::reverse(out.begin(), out.end());  // best (back of buffer) first
+  buffer_.resize(buffer_.size() - n);
+  return out;
+}
+
+}  // namespace pier

@@ -1,0 +1,85 @@
+#include "baseline/dysni.h"
+
+#include "similarity/string_distance.h"
+
+namespace pier {
+
+WorkStats DySni::OnIncrement(std::vector<EntityProfile> profiles) {
+  WorkStats stats;
+  const std::vector<ProfileId> delta =
+      IngestToStore(std::move(profiles), &stats);
+
+  pending_.clear();
+  cursor_ = 0;
+  for (const ProfileId id : delta) {
+    const EntityProfile& p = profiles_.Get(id);
+    // Insert into the sorted index, then expand the window around each
+    // of the profile's keys.
+    for (const TokenId token : p.tokens) {
+      const std::string& spelling = dictionary_.Spelling(token);
+      index_[spelling].push_back(p.id);
+      ++stats.block_updates;
+    }
+    for (const TokenId token : p.tokens) {
+      CollectWindow(p, dictionary_.Spelling(token), &stats);
+    }
+  }
+  return stats;
+}
+
+void DySni::CollectWindow(const EntityProfile& profile,
+                          const std::string& spelling, WorkStats* stats) {
+  const auto anchor = index_.find(spelling);
+  if (anchor == index_.end()) return;
+
+  auto consider = [&](const std::vector<ProfileId>& bucket) {
+    // Oversized buckets behave like purged blocks: skip them.
+    if (blocks_.options().max_block_size != 0 &&
+        bucket.size() > blocks_.options().max_block_size) {
+      return;
+    }
+    for (const ProfileId y : bucket) {
+      if (y == profile.id) continue;
+      const EntityProfile& other = profiles_.Get(y);
+      if (blocks_.kind() == DatasetKind::kCleanClean &&
+          other.source == profile.source) {
+        continue;
+      }
+      Comparison c(profile.id, y, 0.0);
+      if (seen_.TestAndAdd(c.Key())) continue;
+      c.weight = PairCbsWeight(profile, other);
+      pending_.push_back(c);
+      ++stats->comparisons_generated;
+    }
+  };
+
+  // The anchor bucket plus `window_` sorted keys on each side.
+  consider(anchor->second);
+  auto forward = anchor;
+  for (size_t step = 0; step < window_; ++step) {
+    ++forward;
+    if (forward == index_.end()) break;
+    consider(forward->second);
+  }
+  auto backward = anchor;
+  for (size_t step = 0; step < window_ && backward != index_.begin();
+       ++step) {
+    --backward;
+    consider(backward->second);
+  }
+}
+
+std::vector<Comparison> DySni::NextBatch(WorkStats* stats) {
+  (void)stats;
+  std::vector<Comparison> out;
+  while (out.size() < batch_size_ && cursor_ < pending_.size()) {
+    out.push_back(pending_[cursor_++]);
+  }
+  if (cursor_ >= pending_.size()) {
+    pending_.clear();
+    cursor_ = 0;
+  }
+  return out;
+}
+
+}  // namespace pier

@@ -1,0 +1,67 @@
+// DySNI: dynamic sorted-neighborhood indexing (Ramadan, Christen et
+// al. [32, 33] in the paper's related work) -- the classic *real-time*
+// incremental ER approach the paper contrasts with: it maintains a
+// sorted index over blocking keys and, for every arriving profile,
+// immediately generates the comparisons within a fixed window around
+// each of its keys. Like I-BASE it is incremental but not progressive
+// (fixed work per profile, no global prioritization); unlike the
+// schema-agnostic PIER methods, the original needs a schema-defined
+// sorting key -- this adaptation uses every value token as a key,
+// keeping it schema-agnostic and comparable.
+
+#ifndef PIER_BASELINE_DYSNI_H_
+#define PIER_BASELINE_DYSNI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/streaming_er_base.h"
+#include "util/scalable_bloom_filter.h"
+
+namespace pier {
+
+class DySni : public StreamingErBase {
+ public:
+  DySni(DatasetKind kind, BlockingOptions blocking, size_t window = 2,
+        size_t batch_size = 256)
+      : StreamingErBase(kind, blocking),
+        window_(window),
+        batch_size_(batch_size) {}
+
+  WorkStats OnIncrement(std::vector<EntityProfile> profiles) override;
+  std::vector<Comparison> NextBatch(WorkStats* stats) override;
+
+  // Real-time semantics: finish this increment's comparisons before
+  // accepting the next (like I-BASE).
+  bool ReadyForIncrement() const override {
+    return cursor_ >= pending_.size();
+  }
+
+  const char* name() const override { return "DySNI"; }
+
+  // Exposed for tests: number of distinct keys in the sorted index.
+  size_t NumIndexKeys() const { return index_.size(); }
+
+ private:
+  // Collects the window neighbours of `profile` around key `token_id`
+  // after the profile has been inserted.
+  void CollectWindow(const EntityProfile& profile,
+                     const std::string& spelling, WorkStats* stats);
+
+  size_t window_;
+  size_t batch_size_;
+
+  // Sorted inverted index: token spelling -> profiles carrying it, in
+  // arrival order. std::map keeps keys sorted so window expansion is
+  // iterator movement, exactly the DySNI tree traversal.
+  std::map<std::string, std::vector<ProfileId>> index_;
+
+  std::vector<Comparison> pending_;
+  size_t cursor_ = 0;
+  ScalableBloomFilter seen_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_BASELINE_DYSNI_H_

@@ -1,0 +1,42 @@
+#include "baseline/i_base.h"
+
+#include "blocking/block_ghosting.h"
+#include "metablocking/i_wnp.h"
+#include "metablocking/weighting.h"
+
+namespace pier {
+
+WorkStats IBase::OnIncrement(std::vector<EntityProfile> profiles) {
+  WorkStats stats;
+  const std::vector<ProfileId> delta =
+      IngestToStore(std::move(profiles), &stats);
+
+  pending_.clear();
+  cursor_ = 0;
+  const WeightingContext ctx{&blocks_, &profiles_, scheme_};
+  for (const ProfileId id : delta) {
+    const EntityProfile& p = profiles_.Get(id);
+    const std::vector<TokenId> retained = GhostBlocks(blocks_, p, beta_);
+    std::vector<Comparison> candidates =
+        GenerateWeightedComparisons(ctx, p, retained);
+    stats.comparisons_generated += candidates.size();
+    candidates = IWnpPrune(std::move(candidates));
+    pending_.insert(pending_.end(), candidates.begin(), candidates.end());
+  }
+  return stats;
+}
+
+std::vector<Comparison> IBase::NextBatch(WorkStats* stats) {
+  (void)stats;
+  std::vector<Comparison> out;
+  while (out.size() < batch_size_ && cursor_ < pending_.size()) {
+    out.push_back(pending_[cursor_++]);
+  }
+  if (cursor_ >= pending_.size()) {
+    pending_.clear();
+    cursor_ = 0;
+  }
+  return out;
+}
+
+}  // namespace pier

@@ -1,0 +1,52 @@
+// I-BASE: the state-of-the-art incremental (but not progressive)
+// baseline (Gazzarri & Herschel, ICDE 2021 [17]; Section 7.1). Per
+// increment it performs incremental blocking, block ghosting, and
+// I-WNP comparison cleaning, then executes *all* retained comparisons
+// in generation order before accepting the next increment. The number
+// of comparisons per increment is fixed by blocking alone --
+// independent of the input rate or the matcher's speed -- which is
+// exactly why it stagnates on fast streams with expensive matchers
+// (Figures 7-8).
+
+#ifndef PIER_BASELINE_I_BASE_H_
+#define PIER_BASELINE_I_BASE_H_
+
+#include <vector>
+
+#include "baseline/streaming_er_base.h"
+
+namespace pier {
+
+class IBase : public StreamingErBase {
+ public:
+  IBase(DatasetKind kind, BlockingOptions blocking, double beta = 0.5,
+        size_t batch_size = 256,
+        WeightingScheme scheme = WeightingScheme::kCbs)
+      : StreamingErBase(kind, blocking),
+        beta_(beta),
+        batch_size_(batch_size),
+        scheme_(scheme) {}
+
+  WorkStats OnIncrement(std::vector<EntityProfile> profiles) override;
+  std::vector<Comparison> NextBatch(WorkStats* stats) override;
+
+  // Backpressure: I-BASE finishes an increment's comparisons before
+  // consuming the next increment.
+  bool ReadyForIncrement() const override {
+    return cursor_ >= pending_.size();
+  }
+
+  const char* name() const override { return "I-BASE"; }
+
+ private:
+  double beta_;
+  size_t batch_size_;
+  WeightingScheme scheme_;
+
+  std::vector<Comparison> pending_;  // FIFO, generation order
+  size_t cursor_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_BASELINE_I_BASE_H_

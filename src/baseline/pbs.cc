@@ -1,0 +1,83 @@
+#include "baseline/pbs.h"
+
+#include <algorithm>
+
+#include "metablocking/weighting.h"
+
+namespace pier {
+
+WorkStats Pbs::OnIncrement(std::vector<EntityProfile> profiles) {
+  WorkStats stats;
+  IngestToStore(std::move(profiles), &stats);
+  if (mode_ == BaselineMode::kGlobalIncremental) {
+    // The straightforward adaptation: redo the whole pre-analysis.
+    stats += Init();
+  }
+  return stats;
+}
+
+WorkStats Pbs::OnStreamEnd() {
+  if (mode_ == BaselineMode::kStatic) return Init();
+  return {};
+}
+
+WorkStats Pbs::Init() {
+  WorkStats stats;
+  block_order_.clear();
+  buffer_.clear();
+  for (TokenId token = 0; token < blocks_.NumSlots(); ++token) {
+    if (!blocks_.IsActive(token)) continue;
+    block_order_.emplace_back(blocks_.block(token).NumComparisons(
+                                  blocks_.kind()),
+                              token);
+    ++stats.index_ops;
+  }
+  std::sort(block_order_.begin(), block_order_.end(),
+            std::greater<std::pair<uint64_t, TokenId>>());
+  initialized_ = true;
+  return stats;
+}
+
+void Pbs::FillBuffer(WorkStats* stats) {
+  const CompareByWeight less;
+  while (buffer_.empty() && !block_order_.empty()) {
+    const TokenId token = block_order_.back().second;
+    block_order_.pop_back();
+    if (!blocks_.IsActive(token)) continue;
+    const Block& b = blocks_.block(token);
+    const uint32_t bsize = static_cast<uint32_t>(b.size());
+    auto emit = [&](ProfileId x, ProfileId y) {
+      Comparison c(x, y, 0.0, bsize);
+      if (executed_.TestAndAdd(c.Key())) return;
+      c.weight = PairCbsWeight(profiles_.Get(x), profiles_.Get(y));
+      buffer_.push_back(c);
+      ++stats->comparisons_generated;
+    };
+    if (blocks_.kind() == DatasetKind::kCleanClean) {
+      for (const ProfileId x : b.members[0]) {
+        for (const ProfileId y : b.members[1]) emit(x, y);
+      }
+    } else {
+      const auto& m = b.members[0];
+      for (size_t i = 0; i < m.size(); ++i) {
+        for (size_t j = i + 1; j < m.size(); ++j) emit(m[i], m[j]);
+      }
+    }
+    // Within a block, emit best-weighted comparisons first (buffer is
+    // served from the back).
+    std::sort(buffer_.begin(), buffer_.end(), less);
+  }
+}
+
+std::vector<Comparison> Pbs::NextBatch(WorkStats* stats) {
+  std::vector<Comparison> out;
+  if (!initialized_) return out;
+  if (buffer_.empty()) FillBuffer(stats);
+  const size_t n = std::min(batch_size_, buffer_.size());
+  out.assign(buffer_.end() - static_cast<ptrdiff_t>(n), buffer_.end());
+  std::reverse(out.begin(), out.end());  // best (back of buffer) first
+  buffer_.resize(buffer_.size() - n);
+  return out;
+}
+
+}  // namespace pier

@@ -1,0 +1,97 @@
+#include "baseline/pps.h"
+
+#include <algorithm>
+
+namespace pier {
+
+WorkStats Pps::OnIncrement(std::vector<EntityProfile> profiles) {
+  WorkStats stats;
+  IngestToStore(std::move(profiles), &stats);
+  if (mode_ == BaselineMode::kGlobalIncremental) {
+    stats += Init();
+  }
+  return stats;
+}
+
+WorkStats Pps::OnStreamEnd() {
+  if (mode_ == BaselineMode::kStatic) return Init();
+  return {};
+}
+
+WorkStats Pps::Init() {
+  WorkStats stats;
+  const WeightingContext ctx{&blocks_, &profiles_, scheme_};
+  // The meta-blocking graph over everything seen so far -- the costly
+  // pre-analysis. Raw block-member visits are charged as index ops so
+  // the modeled cost reflects the true build effort.
+  uint64_t visits = 0;
+  const size_t edges = graph_.Build(
+      ctx, static_cast<ProfileId>(profiles_.size()), &visits);
+  stats.comparisons_generated += edges;
+  stats.index_ops += visits;
+
+  profile_order_.resize(profiles_.size());
+  for (ProfileId id = 0; id < profiles_.size(); ++id) {
+    profile_order_[id] = id;
+  }
+  std::sort(profile_order_.begin(), profile_order_.end(),
+            [this](ProfileId a, ProfileId b) {
+              const double wa = graph_.NodeWeight(a);
+              const double wb = graph_.NodeWeight(b);
+              if (wa != wb) return wa > wb;
+              return a < b;
+            });
+  stats.index_ops += profile_order_.size();
+
+  phase_ = 1;
+  profile_cursor_ = 0;
+  edge_cursor_ = 1;
+  initialized_ = true;
+  return stats;
+}
+
+std::vector<Comparison> Pps::NextBatch(WorkStats* stats) {
+  std::vector<Comparison> out;
+  if (!initialized_) return out;
+
+  while (out.size() < batch_size_ && phase_ <= 2) {
+    if (profile_cursor_ >= profile_order_.size()) {
+      ++phase_;
+      profile_cursor_ = 0;
+      edge_cursor_ = 1;
+      continue;
+    }
+    const ProfileId p = profile_order_[profile_cursor_];
+    const auto& edges = graph_.Edges(p);
+    if (phase_ == 1) {
+      // Phase 1: the single best comparison of each profile.
+      if (!edges.empty()) {
+        const Comparison& c = edges.front();
+        if (!executed_.TestAndAdd(c.Key())) {
+          out.push_back(c);
+          ++stats->index_ops;
+        }
+      }
+      ++profile_cursor_;
+    } else {
+      // Phase 2: the remaining top-k comparisons of each profile.
+      const size_t limit = std::min(top_k_, edges.size());
+      bool advanced = false;
+      while (edge_cursor_ < limit && out.size() < batch_size_) {
+        const Comparison& c = edges[edge_cursor_++];
+        if (!executed_.TestAndAdd(c.Key())) {
+          out.push_back(c);
+          ++stats->index_ops;
+        }
+        advanced = true;
+      }
+      if (edge_cursor_ >= limit || !advanced) {
+        ++profile_cursor_;
+        edge_cursor_ = 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pier

@@ -1,0 +1,69 @@
+// PPS: Progressive Profile Scheduling (Simonini et al., TKDE 2019
+// [36]), the entity-centric batch progressive baseline that I-PES
+// makes incremental. Pre-analysis builds the full meta-blocking graph
+// (the expensive step: hours on web-scale data, Section 7.2), ranks
+// profiles by duplication likelihood, and keeps per-profile sorted
+// comparison lists. Emission: first every profile's single best
+// comparison (in profile order), then each profile's remaining top-k.
+//
+// kGlobalIncremental is the "PPS-GLOBAL" adaptation: the entire graph
+// is rebuilt on every increment over all data seen so far.
+
+#ifndef PIER_BASELINE_PPS_H_
+#define PIER_BASELINE_PPS_H_
+
+#include <vector>
+
+#include "baseline/pbs.h"  // BaselineMode
+#include "baseline/streaming_er_base.h"
+#include "metablocking/blocking_graph.h"
+#include "util/scalable_bloom_filter.h"
+
+namespace pier {
+
+class Pps : public StreamingErBase {
+ public:
+  Pps(DatasetKind kind, BlockingOptions blocking,
+      BaselineMode mode = BaselineMode::kStatic, size_t top_k = 32,
+      size_t batch_size = 256,
+      WeightingScheme scheme = WeightingScheme::kCbs)
+      : StreamingErBase(kind, blocking),
+        mode_(mode),
+        top_k_(top_k),
+        batch_size_(batch_size),
+        scheme_(scheme) {}
+
+  WorkStats OnIncrement(std::vector<EntityProfile> profiles) override;
+  WorkStats OnStreamEnd() override;
+  std::vector<Comparison> NextBatch(WorkStats* stats) override;
+
+  const char* name() const override {
+    return mode_ == BaselineMode::kStatic ? "PPS" : "PPS-GLOBAL";
+  }
+
+  const BlockingGraph& graph() const { return graph_; }
+
+ private:
+  WorkStats Init();
+
+  BaselineMode mode_;
+  size_t top_k_;
+  size_t batch_size_;
+  WeightingScheme scheme_;
+
+  bool initialized_ = false;
+  BlockingGraph graph_;
+  // Profile ids sorted by duplication likelihood, best first.
+  std::vector<ProfileId> profile_order_;
+  // Emission state machine: phase 1 emits best-per-profile, phase 2
+  // the remaining top-k.
+  int phase_ = 1;
+  size_t profile_cursor_ = 0;
+  size_t edge_cursor_ = 1;
+
+  ScalableBloomFilter executed_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_BASELINE_PPS_H_

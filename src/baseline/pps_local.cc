@@ -1,0 +1,50 @@
+#include "baseline/pps_local.h"
+
+#include <algorithm>
+
+#include "metablocking/weighting.h"
+
+namespace pier {
+
+WorkStats PpsLocal::OnIncrement(std::vector<EntityProfile> profiles) {
+  WorkStats stats;
+  const std::vector<ProfileId> delta =
+      IngestToStore(std::move(profiles), &stats);
+
+  // Local pre-analysis: blocks over this increment only.
+  BlockCollection local_blocks(blocks_.kind(), blocks_.options());
+  for (const ProfileId id : delta) {
+    stats.block_updates += local_blocks.AddProfile(profiles_.Get(id));
+  }
+  const WeightingContext ctx{&local_blocks, &profiles_, scheme_};
+
+  // Any prioritization of the previous increment is discarded --
+  // PPS-LOCAL has no memory.
+  pending_.clear();
+  for (const ProfileId id : delta) {
+    const EntityProfile& p = profiles_.Get(id);
+    std::vector<TokenId> active;
+    for (const TokenId token : p.tokens) {
+      if (local_blocks.IsActive(token)) active.push_back(token);
+    }
+    auto candidates = GenerateWeightedComparisons(ctx, p, active,
+                                                  /*only_older_neighbors=*/
+                                                  true);
+    stats.comparisons_generated += candidates.size();
+    pending_.insert(pending_.end(), candidates.begin(), candidates.end());
+  }
+  std::sort(pending_.begin(), pending_.end(), CompareByWeight());
+  return stats;
+}
+
+std::vector<Comparison> PpsLocal::NextBatch(WorkStats* stats) {
+  (void)stats;
+  std::vector<Comparison> out;
+  const size_t n = std::min(batch_size_, pending_.size());
+  out.assign(pending_.end() - static_cast<ptrdiff_t>(n), pending_.end());
+  std::reverse(out.begin(), out.end());  // best (back of pending_) first
+  pending_.resize(pending_.size() - n);
+  return out;
+}
+
+}  // namespace pier

@@ -1,0 +1,41 @@
+// PPS-LOCAL: the second straightforward adaptation of PPS to
+// incremental data (Section 1, Figure 2): the pre-analysis considers
+// *only the last increment*, so it is cheap -- but it can only ever
+// generate intra-increment comparisons and therefore "performs poorly
+// in all settings, barely finding any matches".
+
+#ifndef PIER_BASELINE_PPS_LOCAL_H_
+#define PIER_BASELINE_PPS_LOCAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "baseline/streaming_er_base.h"
+
+namespace pier {
+
+class PpsLocal : public StreamingErBase {
+ public:
+  PpsLocal(DatasetKind kind, BlockingOptions blocking,
+           size_t batch_size = 256,
+           WeightingScheme scheme = WeightingScheme::kCbs)
+      : StreamingErBase(kind, blocking),
+        batch_size_(batch_size),
+        scheme_(scheme) {}
+
+  WorkStats OnIncrement(std::vector<EntityProfile> profiles) override;
+  std::vector<Comparison> NextBatch(WorkStats* stats) override;
+
+  const char* name() const override { return "PPS-LOCAL"; }
+
+ private:
+  size_t batch_size_;
+  WeightingScheme scheme_;
+  // The increment's comparisons, weight-sorted worst-first (served
+  // from the back); replaced wholesale on the next increment.
+  std::vector<Comparison> pending_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_BASELINE_PPS_LOCAL_H_

@@ -1,0 +1,116 @@
+#include "baseline/psn.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace pier {
+
+WorkStats Psn::OnIncrement(std::vector<EntityProfile> profiles) {
+  WorkStats stats;
+  IngestToStore(std::move(profiles), &stats);
+  if (mode_ == BaselineMode::kGlobalIncremental) {
+    stats += Init();
+  }
+  return stats;
+}
+
+WorkStats Psn::OnStreamEnd() {
+  if (mode_ == BaselineMode::kStatic) return Init();
+  return {};
+}
+
+WorkStats Psn::Init() {
+  WorkStats stats;
+  // One (token, profile) entry per distinct token of each profile,
+  // ordered by token spelling, ties broken by profile id. TokenIds are
+  // interned in first-seen order, so we sort by spelling explicitly.
+  std::vector<std::pair<TokenId, ProfileId>> entries;
+  for (ProfileId id = 0; id < profiles_.size(); ++id) {
+    for (const TokenId token : profiles_.Get(id).tokens) {
+      entries.emplace_back(token, id);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [this](const auto& a, const auto& b) {
+              const std::string& sa = dictionary_.Spelling(a.first);
+              const std::string& sb = dictionary_.Spelling(b.first);
+              if (sa != sb) return sa < sb;
+              return a.second < b.second;
+            });
+  sorted_list_.clear();
+  sorted_list_.reserve(entries.size());
+  for (const auto& [token, id] : entries) sorted_list_.push_back(id);
+  stats.index_ops += entries.size();
+
+  buffer_.clear();
+  current_window_ = 1;
+
+  if (variant_ == PsnVariant::kGlobal) {
+    // GS-PSN: aggregate weight sum(1/d) over all co-occurrences within
+    // the maximum window, then a single global ranking.
+    std::unordered_map<uint64_t, Comparison> weights;
+    for (size_t w = 1; w <= max_window_; ++w) {
+      for (const auto& c : PairsAtDistance(w)) {
+        auto [it, inserted] = weights.try_emplace(c.Key(), c);
+        if (!inserted) it->second.weight += c.weight;
+        ++stats.comparisons_generated;
+      }
+    }
+    buffer_.reserve(weights.size());
+    for (const auto& [key, c] : weights) buffer_.push_back(c);
+    std::sort(buffer_.begin(), buffer_.end(), CompareByWeight());
+  }
+  initialized_ = true;
+  return stats;
+}
+
+std::vector<Comparison> Psn::PairsAtDistance(size_t w) const {
+  // Pairs of distinct profiles w apart in the sorted list; the weight
+  // counts co-occurrences at this distance (duplicate entries of the
+  // same pair are merged), scaled by 1/w so near neighbours dominate.
+  std::unordered_map<uint64_t, Comparison> pairs;
+  const DatasetKind kind = blocks_.kind();
+  for (size_t i = 0; i + w < sorted_list_.size(); ++i) {
+    const ProfileId a = sorted_list_[i];
+    const ProfileId b = sorted_list_[i + w];
+    if (a == b) continue;
+    if (kind == DatasetKind::kCleanClean &&
+        profiles_.Get(a).source == profiles_.Get(b).source) {
+      continue;
+    }
+    const Comparison c(a, b, 1.0 / static_cast<double>(w));
+    auto [it, inserted] = pairs.try_emplace(c.Key(), c);
+    if (!inserted) it->second.weight += c.weight;
+  }
+  std::vector<Comparison> out;
+  out.reserve(pairs.size());
+  for (const auto& [key, c] : pairs) out.push_back(c);
+  return out;
+}
+
+std::vector<Comparison> Psn::NextBatch(WorkStats* stats) {
+  std::vector<Comparison> out;
+  if (!initialized_) return out;
+
+  while (out.size() < batch_size_) {
+    if (buffer_.empty()) {
+      // LS-PSN refills lazily from the next window; GS-PSN built its
+      // whole ranking at Init, so an empty buffer means done.
+      if (variant_ != PsnVariant::kLocal || current_window_ > max_window_) {
+        break;
+      }
+      buffer_ = PairsAtDistance(current_window_++);
+      std::sort(buffer_.begin(), buffer_.end(), CompareByWeight());
+      if (stats != nullptr) stats->comparisons_generated += buffer_.size();
+      continue;
+    }
+    const Comparison c = buffer_.back();
+    buffer_.pop_back();
+    if (executed_.TestAndAdd(c.Key())) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace pier

@@ -1,0 +1,84 @@
+// Schema-agnostic Progressive Sorted Neighborhood (Simonini et al.,
+// TKDE 2019 [36]): the two remaining progressive baselines the paper's
+// related work discusses (Section 2.4). All profiles are placed in a
+// sorted list -- one entry per (token, profile) pair ordered by token
+// spelling -- and profiles near each other in the list are likely
+// matches.
+//
+//  * LS-PSN (local): processes the list window by window (distance
+//    w = 1, 2, ...), ranking each window's pairs by how often they
+//    co-occur at that distance; early windows come first.
+//  * GS-PSN (global): precomputes, for every pair within the maximum
+//    window, an aggregate weight sum(1/d) over all co-occurrences at
+//    distance d, then emits strictly by weight.
+//
+// Both are batch algorithms: like PBS/PPS they need the whole dataset
+// before their pre-analysis (kStatic), or they re-run it per increment
+// (kGlobalIncremental).
+
+#ifndef PIER_BASELINE_PSN_H_
+#define PIER_BASELINE_PSN_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/pbs.h"  // BaselineMode
+#include "baseline/streaming_er_base.h"
+#include "util/scalable_bloom_filter.h"
+
+namespace pier {
+
+enum class PsnVariant : uint8_t {
+  kLocal = 0,   // LS-PSN
+  kGlobal = 1,  // GS-PSN
+};
+
+class Psn : public StreamingErBase {
+ public:
+  Psn(DatasetKind kind, BlockingOptions blocking,
+      PsnVariant variant = PsnVariant::kGlobal,
+      BaselineMode mode = BaselineMode::kStatic, size_t max_window = 10,
+      size_t batch_size = 256)
+      : StreamingErBase(kind, blocking),
+        variant_(variant),
+        mode_(mode),
+        max_window_(max_window),
+        batch_size_(batch_size) {}
+
+  WorkStats OnIncrement(std::vector<EntityProfile> profiles) override;
+  WorkStats OnStreamEnd() override;
+  std::vector<Comparison> NextBatch(WorkStats* stats) override;
+
+  const char* name() const override {
+    return variant_ == PsnVariant::kLocal ? "LS-PSN" : "GS-PSN";
+  }
+
+  // Exposed for tests: length of the sorted token-profile list.
+  size_t SortedListSize() const { return sorted_list_.size(); }
+
+ private:
+  WorkStats Init();
+
+  // Collects the weighted pairs at sliding-window distance `w`.
+  std::vector<Comparison> PairsAtDistance(size_t w) const;
+
+  PsnVariant variant_;
+  BaselineMode mode_;
+  size_t max_window_;
+  size_t batch_size_;
+
+  bool initialized_ = false;
+  // Profile ids ordered by the spelling of each token occurrence.
+  std::vector<ProfileId> sorted_list_;
+
+  // Emission state. LS-PSN: current window distance and its ranked
+  // pair buffer; GS-PSN: one global ranked buffer.
+  size_t current_window_ = 1;
+  std::vector<Comparison> buffer_;  // worst-first; served from the back
+
+  ScalableBloomFilter executed_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_BASELINE_PSN_H_

@@ -1,0 +1,57 @@
+// Shared machinery for the baseline algorithms: every baseline owns
+// its own dictionary / profile store / block collection and ingests
+// increments the same way the PIER pipeline does (tokenize, store,
+// block); they differ in what happens afterwards.
+
+#ifndef PIER_BASELINE_STREAMING_ER_BASE_H_
+#define PIER_BASELINE_STREAMING_ER_BASE_H_
+
+#include <vector>
+
+#include "blocking/block_collection.h"
+#include "model/profile_store.h"
+#include "model/token_dictionary.h"
+#include "stream/er_algorithm.h"
+#include "text/tokenizer.h"
+
+namespace pier {
+
+class StreamingErBase : public ErAlgorithm {
+ public:
+  StreamingErBase(DatasetKind kind, BlockingOptions blocking)
+      : blocks_(kind, blocking) {}
+
+  const EntityProfile& Profile(ProfileId id) const override {
+    return profiles_.Get(id);
+  }
+
+  const ProfileStore& profiles() const { return profiles_; }
+  const BlockCollection& blocks() const { return blocks_; }
+
+ protected:
+  // Tokenizes, stores, and blocks the increment; returns the delta ids
+  // and accumulates work stats.
+  std::vector<ProfileId> IngestToStore(std::vector<EntityProfile> profiles,
+                                       WorkStats* stats) {
+    std::vector<ProfileId> delta;
+    delta.reserve(profiles.size());
+    for (auto& profile : profiles) {
+      tokenizer_.TokenizeProfile(profile, dictionary_);
+      stats->tokens += profile.tokens.size();
+      ++stats->profiles;
+      delta.push_back(profile.id);
+      stats->block_updates += blocks_.AddProfile(profile);
+      profiles_.Add(std::move(profile));
+    }
+    return delta;
+  }
+
+  TokenDictionary dictionary_;
+  ProfileStore profiles_;
+  BlockCollection blocks_;
+  Tokenizer tokenizer_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_BASELINE_STREAMING_ER_BASE_H_

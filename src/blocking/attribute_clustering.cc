@@ -1,0 +1,126 @@
+#include "blocking/attribute_clustering.h"
+
+#include <algorithm>
+
+namespace pier {
+
+namespace {
+
+double VocabularyJaccard(const std::unordered_set<std::string>& a,
+                         const std::unordered_set<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& smaller = a.size() <= b.size() ? a : b;
+  const auto& larger = a.size() <= b.size() ? b : a;
+  size_t common = 0;
+  for (const auto& token : smaller) {
+    if (larger.count(token)) ++common;
+  }
+  return static_cast<double>(common) /
+         static_cast<double>(a.size() + b.size() - common);
+}
+
+}  // namespace
+
+void AttributeClusterer::Fit(const std::vector<EntityProfile>& sample) {
+  // 1. Per (source, attribute name): the value-token vocabulary.
+  struct NameStats {
+    SourceId source = 0;
+    std::unordered_set<std::string> vocabulary;
+  };
+  std::unordered_map<std::string, NameStats> stats[2];
+  const Tokenizer tokenizer;
+  for (const auto& profile : sample) {
+    for (const auto& attribute : profile.attributes) {
+      NameStats& entry = stats[profile.source][attribute.name];
+      entry.source = profile.source;
+      if (entry.vocabulary.size() >= options_.max_vocabulary) continue;
+      for (auto& token : tokenizer.Split(attribute.value)) {
+        entry.vocabulary.insert(std::move(token));
+        if (entry.vocabulary.size() >= options_.max_vocabulary) break;
+      }
+    }
+  }
+
+  // 2. Cross-source best-match attachment with union-find grouping.
+  std::vector<std::string> names;
+  std::unordered_map<std::string, size_t> name_index;  // name -> node
+  auto node_of = [&](const std::string& name) {
+    auto [it, inserted] = name_index.try_emplace(name, names.size());
+    if (inserted) names.push_back(name);
+    return it->second;
+  };
+  std::vector<size_t> parent;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const SourceId s : {SourceId{0}, SourceId{1}}) {
+    for (const auto& [name, entry] : stats[s]) node_of(name);
+  }
+  parent.resize(names.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+
+  std::unordered_set<size_t> attached;
+  for (const SourceId s : {SourceId{0}, SourceId{1}}) {
+    const SourceId other = static_cast<SourceId>(1 - s);
+    for (const auto& [name, entry] : stats[s]) {
+      double best = 0.0;
+      const std::string* best_name = nullptr;
+      for (const auto& [candidate, candidate_entry] : stats[other]) {
+        const double sim =
+            VocabularyJaccard(entry.vocabulary, candidate_entry.vocabulary);
+        if (sim > best) {
+          best = sim;
+          best_name = &candidate;
+        }
+      }
+      if (best_name != nullptr && best >= options_.similarity_threshold) {
+        const size_t a = find(node_of(name));
+        const size_t b = find(node_of(*best_name));
+        parent[a] = b;
+        attached.insert(node_of(name));
+        attached.insert(node_of(*best_name));
+      }
+    }
+  }
+
+  // 3. Assign dense cluster ids; unattached names -> glue cluster 0.
+  clusters_.clear();
+  std::unordered_map<size_t, uint32_t> root_cluster;
+  uint32_t next_cluster = 1;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (!attached.count(i)) {
+      clusters_[names[i]] = 0;
+      continue;
+    }
+    const size_t root = find(i);
+    auto [it, inserted] = root_cluster.try_emplace(root, next_cluster);
+    if (inserted) ++next_cluster;
+    clusters_[names[i]] = it->second;
+  }
+  num_clusters_ = next_cluster;
+  fitted_ = true;
+}
+
+uint32_t AttributeClusterer::ClusterOf(
+    const std::string& attribute_name) const {
+  const auto it = clusters_.find(attribute_name);
+  return it == clusters_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> AttributeClusterer::QualifyTokens(
+    const EntityProfile& profile, const Tokenizer& tokenizer) const {
+  std::vector<std::string> qualified;
+  for (const auto& attribute : profile.attributes) {
+    const uint32_t cluster = ClusterOf(attribute.name);
+    for (const auto& token : tokenizer.Split(attribute.value)) {
+      qualified.push_back(std::to_string(cluster) + "#" + token);
+    }
+  }
+  std::sort(qualified.begin(), qualified.end());
+  qualified.erase(std::unique(qualified.begin(), qualified.end()),
+                  qualified.end());
+  return qualified;
+}
+
+}  // namespace pier

@@ -1,0 +1,46 @@
+// A block of the schema-agnostic token-blocking scheme: all profiles
+// whose values contain a given token. Members are kept per source so
+// Clean-Clean ER can generate cross-source pairs only.
+
+#ifndef PIER_BLOCKING_BLOCK_H_
+#define PIER_BLOCKING_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/types.h"
+
+namespace pier {
+
+struct Block {
+  // members[s] holds the profile ids of source s, in arrival order.
+  // Dirty ER uses members[0] only.
+  std::vector<ProfileId> members[2];
+
+  size_t size() const { return members[0].size() + members[1].size(); }
+  bool empty() const { return members[0].empty() && members[1].empty(); }
+
+  // Number of pairwise comparisons the block yields (||b|| in the
+  // paper): all pairs for Dirty ER, cross-source pairs for Clean-Clean.
+  uint64_t NumComparisons(DatasetKind kind) const {
+    if (kind == DatasetKind::kCleanClean) {
+      return static_cast<uint64_t>(members[0].size()) * members[1].size();
+    }
+    const uint64_t n = size();
+    return n * (n - 1) / 2;
+  }
+
+  // Number of *new* comparisons created when one more profile of
+  // `source` joins the block (with the profile already appended).
+  uint64_t NumNewComparisons(DatasetKind kind, SourceId source) const {
+    if (kind == DatasetKind::kCleanClean) {
+      return members[1 - source].size();
+    }
+    return size() - 1;
+  }
+};
+
+}  // namespace pier
+
+#endif  // PIER_BLOCKING_BLOCK_H_

@@ -1,0 +1,36 @@
+#include "blocking/block_collection.h"
+
+namespace pier {
+
+size_t BlockCollection::AddProfile(const EntityProfile& profile) {
+  PIER_CHECK(profile.source < 2);
+  for (const TokenId token : profile.tokens) {
+    if (token >= blocks_.size()) blocks_.resize(token + 1);
+    Block& b = blocks_[token];
+    if (b.empty()) ++num_nonempty_;
+    b.members[profile.source].push_back(profile.id);
+  }
+  return profile.tokens.size();
+}
+
+bool BlockCollection::IsActive(TokenId id) const {
+  if (id >= blocks_.size()) return false;
+  const Block& b = blocks_[id];
+  if (b.size() < 2) return false;
+  if (IsPurged(id)) return false;
+  if (kind_ == DatasetKind::kCleanClean &&
+      (b.members[0].empty() || b.members[1].empty())) {
+    return false;
+  }
+  return true;
+}
+
+uint64_t BlockCollection::TotalComparisons() const {
+  uint64_t total = 0;
+  for (TokenId id = 0; id < blocks_.size(); ++id) {
+    if (IsActive(id)) total += blocks_[id].NumComparisons(kind_);
+  }
+  return total;
+}
+
+}  // namespace pier

@@ -1,0 +1,84 @@
+// Incrementally maintained token-blocking collection (the
+// "Incremental Blocking" framework component, Section 3.2): each
+// distinct token of any attribute value defines one block; a new
+// profile is appended to the block of every token it contains.
+//
+// Block purging (block cleaning from [17]) is built in: blocks whose
+// size exceeds max_block_size are excluded from comparison generation.
+// Since blocks only ever grow, a block can become purged over the
+// stream's lifetime -- exactly the incremental behaviour of [17].
+
+#ifndef PIER_BLOCKING_BLOCK_COLLECTION_H_
+#define PIER_BLOCKING_BLOCK_COLLECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/block.h"
+#include "model/entity_profile.h"
+#include "model/types.h"
+#include "util/check.h"
+
+namespace pier {
+
+struct BlockingOptions {
+  // Blocks with more members than this are purged (never generate
+  // comparisons). 0 disables purging.
+  size_t max_block_size = 1000;
+};
+
+class BlockCollection {
+ public:
+  explicit BlockCollection(DatasetKind kind,
+                           BlockingOptions options = BlockingOptions())
+      : kind_(kind), options_(options) {}
+
+  BlockCollection(const BlockCollection&) = delete;
+  BlockCollection& operator=(const BlockCollection&) = delete;
+
+  // Appends the (already tokenized) profile to the block of each of
+  // its tokens. Returns the number of block updates performed.
+  size_t AddProfile(const EntityProfile& profile);
+
+  // The block keyed by token `id`; valid for any id < capacity, blocks
+  // for never-seen tokens are empty.
+  const Block& block(TokenId id) const {
+    PIER_DCHECK(id < blocks_.size());
+    return blocks_[id];
+  }
+
+  bool HasBlock(TokenId id) const { return id < blocks_.size(); }
+
+  // True iff the block may generate comparisons: at least 2 members,
+  // not purged, and (Clean-Clean) members from both sources.
+  bool IsActive(TokenId id) const;
+
+  // True iff the block exceeded the purging threshold.
+  bool IsPurged(TokenId id) const {
+    return options_.max_block_size != 0 &&
+           block(id).size() > options_.max_block_size;
+  }
+
+  DatasetKind kind() const { return kind_; }
+  const BlockingOptions& options() const { return options_; }
+
+  // Number of token slots (upper bound on block count).
+  size_t NumSlots() const { return blocks_.size(); }
+
+  // Number of non-empty blocks.
+  size_t NumBlocks() const { return num_nonempty_; }
+
+  // Total comparisons over all active blocks (with multiplicity across
+  // blocks; the "BC" blocking cardinality).
+  uint64_t TotalComparisons() const;
+
+ private:
+  DatasetKind kind_;
+  BlockingOptions options_;
+  std::vector<Block> blocks_;
+  size_t num_nonempty_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_BLOCKING_BLOCK_COLLECTION_H_

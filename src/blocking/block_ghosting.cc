@@ -1,0 +1,30 @@
+#include "blocking/block_ghosting.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace pier {
+
+std::vector<TokenId> GhostBlocks(const BlockCollection& blocks,
+                                 const EntityProfile& profile, double beta) {
+  PIER_CHECK(beta > 0.0 && beta <= 1.0);
+  size_t min_size = std::numeric_limits<size_t>::max();
+  for (const TokenId token : profile.tokens) {
+    if (!blocks.IsActive(token)) continue;
+    const size_t size = blocks.block(token).size();
+    if (size < min_size) min_size = size;
+  }
+  std::vector<TokenId> retained;
+  if (min_size == std::numeric_limits<size_t>::max()) return retained;
+  const double limit = static_cast<double>(min_size) / beta;
+  for (const TokenId token : profile.tokens) {
+    if (!blocks.IsActive(token)) continue;
+    if (static_cast<double>(blocks.block(token).size()) <= limit) {
+      retained.push_back(token);
+    }
+  }
+  return retained;
+}
+
+}  // namespace pier

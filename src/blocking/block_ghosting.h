@@ -1,0 +1,27 @@
+// Block ghosting (incremental block cleaning from [17], used by I-PCS
+// and I-PES, Algorithm 2 line 5): of the blocks B_x containing a new
+// profile p_x, keep only the most representative ones -- those whose
+// size does not exceed |b_min| / beta, where b_min is the smallest
+// active block of B_x and beta is in (0, 1]. beta = 1 keeps only
+// minimum-size blocks; smaller beta keeps more.
+
+#ifndef PIER_BLOCKING_BLOCK_GHOSTING_H_
+#define PIER_BLOCKING_BLOCK_GHOSTING_H_
+
+#include <vector>
+
+#include "blocking/block_collection.h"
+#include "model/entity_profile.h"
+#include "model/types.h"
+
+namespace pier {
+
+// Returns the token ids of the retained blocks of `profile`, i.e. the
+// ghosted B_x. Purged and inactive blocks are dropped before the size
+// test. The result preserves token order.
+std::vector<TokenId> GhostBlocks(const BlockCollection& blocks,
+                                 const EntityProfile& profile, double beta);
+
+}  // namespace pier
+
+#endif  // PIER_BLOCKING_BLOCK_GHOSTING_H_

@@ -1,0 +1,76 @@
+#include "core/block_scanner.h"
+
+#include <algorithm>
+
+#include "metablocking/weighting.h"
+
+namespace pier {
+
+void BlockScanner::Rebuild() {
+  order_.clear();
+  const BlockCollection& blocks = *ctx_.blocks;
+  if (scanned_size_.size() < blocks.NumSlots()) {
+    scanned_size_.resize(blocks.NumSlots(), 0);
+  }
+  for (TokenId token = 0; token < blocks.NumSlots(); ++token) {
+    if (!blocks.IsActive(token)) continue;
+    const uint32_t size = static_cast<uint32_t>(blocks.block(token).size());
+    const uint32_t scanned = scanned_size_[token];
+    if (size <= scanned) continue;  // nothing new
+    if (!full_rescan_ && scanned > 0) {
+      // Growth throttle: wait for >= 2 new members and >= 12.5%.
+      const uint32_t min_growth = std::max<uint32_t>(2, scanned / 8);
+      if (size < scanned + min_growth) continue;
+    }
+    order_.emplace_back(size, token);
+  }
+  std::sort(order_.begin(), order_.end(),
+            std::greater<std::pair<uint32_t, TokenId>>());
+  exhausted_ = order_.empty();
+}
+
+std::vector<Comparison> BlockScanner::NextBlock(WorkStats* stats) {
+  std::vector<Comparison> out;
+  const BlockCollection& blocks = *ctx_.blocks;
+  const ProfileStore& profiles = *ctx_.profiles;
+
+  while (out.empty()) {
+    if (order_.empty()) {
+      Rebuild();
+      if (order_.empty()) return out;
+    }
+    const TokenId token = order_.back().second;
+    order_.pop_back();
+    if (!blocks.IsActive(token)) continue;
+    const Block& b = blocks.block(token);
+    const uint32_t bsize = static_cast<uint32_t>(b.size());
+    if (scanned_size_.size() <= token) scanned_size_.resize(token + 1, 0);
+    if (bsize <= scanned_size_[token]) continue;  // stale order entry
+    scanned_size_[token] = bsize;
+
+    if (blocks.kind() == DatasetKind::kCleanClean) {
+      for (const ProfileId x : b.members[0]) {
+        for (const ProfileId y : b.members[1]) {
+          out.emplace_back(x, y,
+                           PairCbsWeight(profiles.Get(x), profiles.Get(y)),
+                           bsize);
+        }
+      }
+    } else {
+      const auto& m = b.members[0];
+      for (size_t i = 0; i < m.size(); ++i) {
+        for (size_t j = i + 1; j < m.size(); ++j) {
+          out.emplace_back(
+              m[i], m[j],
+              PairCbsWeight(profiles.Get(m[i]), profiles.Get(m[j])), bsize);
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->comparisons_generated += out.size();
+  }
+  return out;
+}
+
+}  // namespace pier

@@ -1,0 +1,52 @@
+#include "core/find_k.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pier {
+
+AdaptiveK::AdaptiveK(AdaptiveKOptions options)
+    : options_(options),
+      interarrival_(options.window),
+      cost_per_comparison_(options.window),
+      k_(static_cast<double>(options.initial_k)) {
+  PIER_CHECK(options_.min_k > 0 && options_.min_k <= options_.max_k);
+  PIER_CHECK(options_.target_utilization > 0.0);
+  PIER_CHECK(options_.gain > 0.0 && options_.gain <= 1.0);
+}
+
+void AdaptiveK::OnArrival(double t) {
+  if (last_arrival_ >= 0.0 && t > last_arrival_) {
+    interarrival_.Add(t - last_arrival_);
+  }
+  last_arrival_ = t;
+}
+
+void AdaptiveK::OnBatchProcessed(size_t comparisons, double seconds) {
+  if (comparisons == 0) return;
+  cost_per_comparison_.Add(seconds / static_cast<double>(comparisons));
+}
+
+double AdaptiveK::MeanInterarrival() const {
+  return interarrival_.empty() ? 0.0 : interarrival_.Mean();
+}
+
+double AdaptiveK::MeanCostPerComparison() const {
+  return cost_per_comparison_.empty() ? 0.0 : cost_per_comparison_.Mean();
+}
+
+size_t AdaptiveK::FindK() {
+  if (!interarrival_.empty() && !cost_per_comparison_.empty() &&
+      cost_per_comparison_.Mean() > 0.0) {
+    const double target = interarrival_.Mean() * options_.target_utilization /
+                          cost_per_comparison_.Mean();
+    k_ = (1.0 - options_.gain) * k_ + options_.gain * target;
+  }
+  const double lo = static_cast<double>(options_.min_k);
+  const double hi = static_cast<double>(options_.max_k);
+  k_ = std::clamp(k_, lo, hi);
+  return static_cast<size_t>(k_);
+}
+
+}  // namespace pier

@@ -1,0 +1,58 @@
+// findK() (Algorithm 1, line 4): chooses how many comparisons the
+// prioritizer hands to the matcher per emission, adaptively balancing
+// early quality against stream consumption. The controller estimates
+// the stream's inter-arrival time and the matcher's per-comparison
+// cost from sliding-window averages of the latest measurements and
+// sizes K so one batch fits in a fraction (target_utilization) of an
+// inter-arrival period: a slow matcher therefore implies a small K, a
+// fast matcher a large K, exactly the behaviour Section 3.2 describes.
+
+#ifndef PIER_CORE_FIND_K_H_
+#define PIER_CORE_FIND_K_H_
+
+#include <cstddef>
+
+#include "util/moving_average.h"
+
+namespace pier {
+
+struct AdaptiveKOptions {
+  size_t initial_k = 64;
+  size_t min_k = 8;
+  size_t max_k = 16384;
+  // Number of latest measurements averaged.
+  size_t window = 8;
+  // Fraction of the inter-arrival budget one batch may consume; the
+  // remainder absorbs blocking/prioritization work and rate jitter.
+  double target_utilization = 0.5;
+  // Smoothing: K_new = (1 - gain) * K_old + gain * K_target.
+  double gain = 0.3;
+};
+
+class AdaptiveK {
+ public:
+  explicit AdaptiveK(AdaptiveKOptions options = AdaptiveKOptions());
+
+  // Records an increment arrival at virtual time `t` (seconds).
+  void OnArrival(double t);
+
+  // Records that a batch of `comparisons` took `seconds` to match.
+  void OnBatchProcessed(size_t comparisons, double seconds);
+
+  // The K to use for the next emission.
+  size_t FindK();
+
+  double MeanInterarrival() const;
+  double MeanCostPerComparison() const;
+
+ private:
+  AdaptiveKOptions options_;
+  WindowAverage interarrival_;
+  WindowAverage cost_per_comparison_;
+  double last_arrival_ = -1.0;
+  double k_ = 0.0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_CORE_FIND_K_H_

@@ -1,0 +1,120 @@
+#include "core/i_pbs.h"
+
+#include "metablocking/weighting.h"
+
+namespace pier {
+
+IPbs::IPbs(PrioritizerContext ctx, PrioritizerOptions options)
+    : ctx_(ctx), options_(options), index_(options.cmp_index_capacity) {}
+
+WorkStats IPbs::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
+  WorkStats stats;
+  const BlockCollection& blocks = *ctx_.blocks;
+
+  // Lines 1-5: fold the increment's profiles into CI and PI.
+  for (const ProfileId id : delta) {
+    const EntityProfile& p = ctx_.profiles->Get(id);
+    for (const TokenId token : p.tokens) {
+      if (blocks.IsPurged(token)) continue;
+      const Block& b = blocks.block(token);
+      const uint64_t new_comparisons =
+          b.NumNewComparisons(blocks.kind(), p.source);
+      auto [it, inserted] = cardinality_index_.try_emplace(token, 0);
+      if (!inserted && it->second > 0) {
+        min_index_.erase({it->second, token});
+      }
+      it->second += new_comparisons;
+      if (it->second > 0) min_index_.insert({it->second, token});
+      profile_index_[token].push_back(p.id);
+      ++stats.block_updates;
+    }
+  }
+
+  // Line 6 onwards: schedule b_min, the block yielding the fewest
+  // unexecuted comparisons. On an idle tick (empty delta) with a
+  // drained index we keep scheduling blocks until one actually yields
+  // comparisons -- a scheduled block may contribute nothing when all
+  // of its pairs were already caught by the comparison filter CF.
+  do {
+    // Blocks that grew past the purging threshold since their CI entry
+    // was created are discarded here (incremental block purging).
+    TokenId bmin_token = kInvalidTokenId;
+    while (!min_index_.empty()) {
+      const TokenId candidate = min_index_.begin()->second;
+      if (!blocks.IsPurged(candidate)) {
+        bmin_token = candidate;
+        break;
+      }
+      min_index_.erase(min_index_.begin());
+      cardinality_index_.erase(candidate);
+      profile_index_.erase(candidate);
+    }
+    if (bmin_token == kInvalidTokenId) return stats;
+    const uint32_t bmin_size =
+        static_cast<uint32_t>(blocks.block(bmin_token).size());
+
+    // Lines 7-9. The paper updates the CmpIndex "only when the
+    // comparisons generated in an earlier iteration have been
+    // exhausted or [to] prefer comparisons that originated from
+    // smaller blocks"; we schedule b_min when the index is empty or
+    // when b_min is smaller than the block that produced the current
+    // top comparison (i.e. the new block would actually preempt),
+    // which implements that stated intent. (Algorithm 3 line 9 prints
+    // the comparison reversed, which would starve better blocks.)
+    if (!index_.empty() && bmin_size >= index_.PeekMax().block_size) {
+      return stats;
+    }
+    ScheduleBlock(bmin_token, &stats);
+  } while (delta.empty() && index_.empty());
+  return stats;
+}
+
+void IPbs::ScheduleBlock(TokenId token, WorkStats* stats) {
+  const BlockCollection& blocks = *ctx_.blocks;
+  const ProfileStore& profiles = *ctx_.profiles;
+  const Block& b = blocks.block(token);
+  const uint32_t bsize = static_cast<uint32_t>(b.size());
+  const DatasetKind kind = blocks.kind();
+
+  // Lines 10-14: all non-redundant comparisons with at least one
+  // unexecuted endpoint (p_x ranges over PI(b_min), p_y over the whole
+  // block); CF catches both cross-block redundancy and x,y both in PI.
+  const auto pi_it = profile_index_.find(token);
+  if (pi_it != profile_index_.end()) {
+    for (const ProfileId x : pi_it->second) {
+      const EntityProfile& px = profiles.Get(x);
+      const SourceId lo = kind == DatasetKind::kCleanClean
+                              ? static_cast<SourceId>(1 - px.source)
+                              : static_cast<SourceId>(0);
+      const SourceId hi =
+          kind == DatasetKind::kCleanClean ? lo : static_cast<SourceId>(1);
+      for (SourceId s = lo; s <= hi; ++s) {
+        for (const ProfileId y : b.members[s]) {
+          if (y == x) continue;
+          Comparison c(x, y, 0.0, bsize);
+          if (comparison_filter_.TestAndAdd(c.Key())) continue;  // redundant
+          c.weight = PairCbsWeight(px, profiles.Get(y));
+          index_.PushBounded(c);
+          ++stats->comparisons_generated;
+          ++stats->index_ops;
+        }
+      }
+    }
+  }
+
+  // Lines 15-16: reset the block's CI/PI entries.
+  auto ci_it = cardinality_index_.find(token);
+  if (ci_it != cardinality_index_.end()) {
+    if (ci_it->second > 0) min_index_.erase({ci_it->second, token});
+    cardinality_index_.erase(ci_it);
+  }
+  profile_index_.erase(token);
+}
+
+bool IPbs::Dequeue(Comparison* out) {
+  if (index_.empty()) return false;
+  *out = index_.PopMax();
+  return true;
+}
+
+}  // namespace pier

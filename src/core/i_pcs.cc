@@ -1,0 +1,53 @@
+#include "core/i_pcs.h"
+
+#include "blocking/block_ghosting.h"
+#include "metablocking/i_wnp.h"
+
+namespace pier {
+
+IPcs::IPcs(PrioritizerContext ctx, PrioritizerOptions options)
+    : ctx_(ctx),
+      options_(options),
+      index_(options.cmp_index_capacity),
+      scanner_(ctx) {}
+
+WorkStats IPcs::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
+  WorkStats stats;
+  const WeightingContext wctx{ctx_.blocks, ctx_.profiles, options_.scheme};
+
+  std::vector<Comparison> cmp_list;
+  for (const ProfileId id : delta) {
+    const EntityProfile& p = ctx_.profiles->Get(id);
+    // Algorithm 2, lines 4-5: retained blocks after block ghosting.
+    const std::vector<TokenId> retained =
+        GhostBlocks(*ctx_.blocks, p, options_.beta);
+    // Lines 6-7: candidate generation (only_older_neighbors makes each
+    // pair unique per increment); line 8: I-WNP comparison cleaning.
+    std::vector<Comparison> candidates =
+        GenerateWeightedComparisons(wctx, p, retained);
+    stats.comparisons_generated += candidates.size();
+    candidates = IWnpPrune(std::move(candidates));
+    cmp_list.insert(cmp_list.end(), candidates.begin(), candidates.end());
+  }
+
+  // Lines 10-11: on an idle tick with a drained index, fall back to
+  // scanning blocks smallest-first.
+  if (delta.empty() && index_.empty()) {
+    cmp_list = scanner_.NextBlock(&stats);
+  }
+
+  // Lines 12-13: fold into the global bounded index.
+  for (auto& c : cmp_list) {
+    index_.PushBounded(c);
+    ++stats.index_ops;
+  }
+  return stats;
+}
+
+bool IPcs::Dequeue(Comparison* out) {
+  if (index_.empty()) return false;
+  *out = index_.PopMax();
+  return true;
+}
+
+}  // namespace pier

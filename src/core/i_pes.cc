@@ -1,0 +1,160 @@
+#include "core/i_pes.h"
+
+#include <limits>
+
+#include "blocking/block_ghosting.h"
+#include "metablocking/i_wnp.h"
+
+namespace pier {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+IPes::IPes(PrioritizerContext ctx, PrioritizerOptions options)
+    : ctx_(ctx),
+      options_(options),
+      entity_queue_(options.entity_queue_capacity),
+      low_queue_(options.low_weight_queue_capacity),
+      scanner_(ctx) {}
+
+WorkStats IPes::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
+  WorkStats stats;
+  const WeightingContext wctx{ctx_.blocks, ctx_.profiles, options_.scheme};
+
+  // Algorithm 2 lines 1-11 (shared with I-PCS): ghosting, candidate
+  // generation, I-WNP cleaning; block-scanner fallback on idle ticks.
+  std::vector<Comparison> cmp_list;
+  for (const ProfileId id : delta) {
+    const EntityProfile& p = ctx_.profiles->Get(id);
+    const std::vector<TokenId> retained =
+        GhostBlocks(*ctx_.blocks, p, options_.beta);
+    std::vector<Comparison> candidates =
+        GenerateWeightedComparisons(wctx, p, retained);
+    stats.comparisons_generated += candidates.size();
+    candidates = IWnpPrune(std::move(candidates));
+    cmp_list.insert(cmp_list.end(), candidates.begin(), candidates.end());
+  }
+  if (delta.empty() && Empty()) {
+    cmp_list = scanner_.NextBlock(&stats);
+  }
+
+  // Algorithm 4, lines 1-14.
+  for (const auto& c : cmp_list) {
+    Insert(c, &stats);
+  }
+  return stats;
+}
+
+double IPes::TopWeight(ProfileId e) const {
+  const auto it = entity_index_.find(e);
+  if (it == entity_index_.end() || it->second.pq.empty()) return kNegInf;
+  return it->second.pq.PeekMax().weight;
+}
+
+size_t IPes::EntityQueueSize(ProfileId e) const {
+  const auto it = entity_index_.find(e);
+  return it == entity_index_.end() ? 0 : it->second.pq.size();
+}
+
+void IPes::PushToEntity(ProfileId e, const Comparison& c) {
+  auto [it, inserted] =
+      entity_index_.try_emplace(e, options_.per_entity_capacity);
+  EntityEntry& entry = it->second;
+  const bool was_empty = entry.pq.empty();
+  if (entry.pq.PushBounded(c)) {
+    entry.inserted_total += c.weight;
+    ++entry.inserted_count;
+    if (was_empty) ++nonempty_entities_;
+  }
+}
+
+void IPes::Insert(const Comparison& c, WorkStats* stats) {
+  const double w = c.weight;
+  // Line 3: global running mean.
+  total_ += w;
+  ++count_;
+  ++stats->index_ops;
+
+  // Lines 4-9: a comparison improving either endpoint's best enters
+  // that endpoint's queue and re-ranks the entity.
+  if (TopWeight(c.x) < w) {
+    PushToEntity(c.x, c);
+    entity_queue_.PushBounded(EntityRef{c.x, w});
+    return;
+  }
+  if (TopWeight(c.y) < w) {
+    PushToEntity(c.y, c);
+    entity_queue_.PushBounded(EntityRef{c.y, w});
+    return;
+  }
+
+  // Lines 10-12: double pruning -- above the global mean, insert into
+  // the endpoint with the smaller queue, but only if it also beats
+  // that entity's own inserted-weight mean.
+  if (w > total_ / static_cast<double>(count_)) {
+    const ProfileId i =
+        EntityQueueSize(c.x) <= EntityQueueSize(c.y) ? c.x : c.y;
+    auto it = entity_index_.find(i);
+    const bool beats_entity_mean =
+        it == entity_index_.end() || it->second.inserted_count == 0 ||
+        w > it->second.inserted_total /
+                static_cast<double>(it->second.inserted_count);
+    if (beats_entity_mean) {
+      PushToEntity(i, c);
+      return;
+    }
+    // Pruned by the per-entity mean: demote to PQ rather than dropping
+    // outright, preserving eventual quality.
+    low_queue_.PushBounded(c);
+    return;
+  }
+
+  // Lines 13-14: below the global mean -> bounded low-weight queue.
+  low_queue_.PushBounded(c);
+}
+
+void IPes::RefillEntityQueue() {
+  ++num_refills_;
+  for (auto it = entity_index_.begin(); it != entity_index_.end();) {
+    if (it->second.pq.empty()) {
+      // Drained entity: drop its entry to bound memory on long
+      // streams. (Its per-entity mean resets if it reappears.)
+      it = entity_index_.erase(it);
+      continue;
+    }
+    entity_queue_.PushBounded(
+        EntityRef{it->first, it->second.pq.PeekMax().weight});
+    ++it;
+  }
+}
+
+bool IPes::Dequeue(Comparison* out) {
+  for (;;) {
+    if (entity_queue_.empty()) {
+      if (nonempty_entities_ > 0) RefillEntityQueue();
+      if (entity_queue_.empty()) break;
+    }
+    const EntityRef ref = entity_queue_.PopMax();
+    const auto it = entity_index_.find(ref.id);
+    if (it == entity_index_.end() || it->second.pq.empty()) continue;  // stale
+    *out = it->second.pq.PopMax();
+    if (it->second.pq.empty()) {
+      --nonempty_entities_;
+      // Eagerly drop the drained entry so entity_index_ stays bounded
+      // on long streams (its per-entity mean restarts if the entity
+      // reappears; see also RefillEntityQueue).
+      entity_index_.erase(it);
+    }
+    return true;
+  }
+  // "If the EntityQueue is smaller than K the missing comparisons are
+  // taken from PQ."
+  if (!low_queue_.empty()) {
+    *out = low_queue_.PopMax();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pier

@@ -1,0 +1,109 @@
+// I-PES: Incremental Progressive Entity Scheduling (Section 6,
+// Algorithm 4) -- the paper's best-performing PIER algorithm.
+//
+// Entity-centric prioritization without a meta-blocking graph: each
+// entity e owns a small bounded priority queue E_PQ(e) of its best
+// comparisons; an EntityQueue ranks entities by the weight of their
+// best comparison at insertion time; a global bounded queue PQ catches
+// low-weight comparisons. A *double pruning* keeps memory bounded and
+// discards superfluous comparisons: a comparison that does not improve
+// either endpoint's best must beat both the global mean weight
+// (Total/Count) and its endpoint's per-entity mean to enter an E_PQ.
+//
+// Dequeue order: best entity first (its best comparison), refilling
+// the EntityQueue from E_PQ when it drains, then falling back to PQ --
+// making the strategy robust to a weighting scheme that misranks
+// individual comparisons (the I-PCS failure mode with expensive
+// matchers).
+
+#ifndef PIER_CORE_I_PES_H_
+#define PIER_CORE_I_PES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_scanner.h"
+#include "core/prioritizer.h"
+#include "model/comparison.h"
+#include "util/bounded_priority_queue.h"
+
+namespace pier {
+
+class IPes : public IncrementalPrioritizer {
+ public:
+  IPes(PrioritizerContext ctx, PrioritizerOptions options);
+
+  WorkStats UpdateCmpIndex(const std::vector<ProfileId>& delta) override;
+  bool Dequeue(Comparison* out) override;
+  bool Empty() const override {
+    return nonempty_entities_ == 0 && low_queue_.empty();
+  }
+  void OnStreamEnd() override { scanner_.AllowFullRescan(); }
+  const char* name() const override { return "I-PES"; }
+
+  // Exposed for tests / diagnostics.
+  size_t NumTrackedEntities() const { return entity_index_.size(); }
+  size_t NumEntityQueueRefills() const { return num_refills_; }
+  double GlobalMeanWeight() const {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+
+ private:
+  // Reference into the EntityQueue: entity id plus the weight of its
+  // best comparison at enqueue time (may be stale; stale refs are
+  // skipped at dequeue).
+  struct EntityRef {
+    ProfileId id = kInvalidProfileId;
+    double weight = 0.0;
+  };
+  struct EntityRefLess {
+    bool operator()(const EntityRef& a, const EntityRef& b) const {
+      if (a.weight != b.weight) return a.weight < b.weight;
+      return a.id > b.id;
+    }
+  };
+
+  struct EntityEntry {
+    BoundedPriorityQueue<Comparison, CompareByWeight> pq;
+    // Running mean of the weights inserted into this entity's queue,
+    // for the insert() pruning condition (Algorithm 4, line 12).
+    double inserted_total = 0.0;
+    uint64_t inserted_count = 0;
+
+    explicit EntityEntry(size_t capacity) : pq(capacity) {}
+  };
+
+  // Algorithm 4, lines 1-14 for one weighted comparison.
+  void Insert(const Comparison& c, WorkStats* stats);
+
+  // Pushes c into entity e's queue, maintaining the nonempty-entity
+  // counter and per-entity running means.
+  void PushToEntity(ProfileId e, const Comparison& c);
+
+  double TopWeight(ProfileId e) const;
+  size_t EntityQueueSize(ProfileId e) const;
+
+  // Re-seeds the EntityQueue with every entity that still holds
+  // comparisons ("if the EntityQueue becomes empty, for each entry e
+  // in E_PQ we add <e, top.weight>"); prunes drained entries.
+  void RefillEntityQueue();
+
+  PrioritizerContext ctx_;
+  PrioritizerOptions options_;
+
+  std::unordered_map<ProfileId, EntityEntry> entity_index_;  // E_PQ
+  BoundedPriorityQueue<EntityRef, EntityRefLess> entity_queue_;
+  BoundedPriorityQueue<Comparison, CompareByWeight> low_queue_;  // PQ
+
+  double total_ = 0.0;     // Total: sum of all inserted weights
+  uint64_t count_ = 0;     // Count: number of inserted comparisons
+  size_t nonempty_entities_ = 0;
+  size_t num_refills_ = 0;
+
+  BlockScanner scanner_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_CORE_I_PES_H_

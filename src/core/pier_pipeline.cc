@@ -1,0 +1,98 @@
+#include "core/pier_pipeline.h"
+
+#include "core/i_pbs.h"
+#include "core/i_pcs.h"
+#include "core/i_pes.h"
+#include "util/check.h"
+
+namespace pier {
+
+const char* ToString(PierStrategy strategy) {
+  switch (strategy) {
+    case PierStrategy::kIPcs:
+      return "I-PCS";
+    case PierStrategy::kIPbs:
+      return "I-PBS";
+    case PierStrategy::kIPes:
+      return "I-PES";
+  }
+  return "?";
+}
+
+PierPipeline::PierPipeline(PierOptions options)
+    : options_(options),
+      blocks_(options.kind, options.blocking),
+      tokenizer_(options.tokenizer),
+      adaptive_k_(options.adaptive_k) {
+  const PrioritizerContext ctx{&blocks_, &profiles_};
+  switch (options_.strategy) {
+    case PierStrategy::kIPcs:
+      prioritizer_ = std::make_unique<IPcs>(ctx, options_.prioritizer);
+      break;
+    case PierStrategy::kIPbs:
+      prioritizer_ = std::make_unique<IPbs>(ctx, options_.prioritizer);
+      break;
+    case PierStrategy::kIPes:
+      prioritizer_ = std::make_unique<IPes>(ctx, options_.prioritizer);
+      break;
+  }
+  PIER_CHECK(prioritizer_ != nullptr);
+}
+
+PierPipeline::~PierPipeline() = default;
+
+WorkStats PierPipeline::Ingest(std::vector<EntityProfile> profiles) {
+  WorkStats stats;
+  std::vector<ProfileId> delta;
+  delta.reserve(profiles.size());
+  // Data Reading: scrub/tokenize; Incremental Blocking: extend the
+  // block collection. All of the increment is blocked before any of
+  // its comparisons are generated, so only_older_neighbors covers
+  // intra-increment pairs too.
+  for (auto& profile : profiles) {
+    tokenizer_.TokenizeProfile(profile, dictionary_);
+    stats.tokens += profile.tokens.size();
+    ++stats.profiles;
+    delta.push_back(profile.id);
+    stats.block_updates += blocks_.AddProfile(profile);
+    profiles_.Add(std::move(profile));
+  }
+  stats += prioritizer_->UpdateCmpIndex(delta);
+  return stats;
+}
+
+WorkStats PierPipeline::Tick() { return prioritizer_->UpdateCmpIndex({}); }
+
+bool PierPipeline::AlreadyExecuted(uint64_t key) {
+  if (options_.exact_executed_filter) {
+    return !executed_exact_.insert(key).second;
+  }
+  return executed_filter_.TestAndAdd(key);
+}
+
+std::vector<Comparison> PierPipeline::EmitBatch() {
+  return EmitBatch(adaptive_k_.FindK());
+}
+
+std::vector<Comparison> PierPipeline::EmitBatch(size_t k, WorkStats* stats) {
+  std::vector<Comparison> batch;
+  batch.reserve(k);
+  Comparison c;
+  while (batch.size() < k) {
+    if (!prioritizer_->Dequeue(&c)) {
+      // Index drained: pull older pairs forward (empty-increment tick)
+      // before giving up -- I-PBS schedules its next pending block,
+      // I-PCS/I-PES fall back to the block scanner.
+      const WorkStats tick_stats = prioritizer_->UpdateCmpIndex({});
+      if (stats != nullptr) *stats += tick_stats;
+      if (prioritizer_->Empty()) break;  // genuinely exhausted
+      continue;
+    }
+    if (AlreadyExecuted(c.Key())) continue;
+    batch.push_back(c);
+  }
+  comparisons_emitted_ += batch.size();
+  return batch;
+}
+
+}  // namespace pier

@@ -1,0 +1,127 @@
+// The PIER pipeline facade (Figure 3 / Section 3.2): wires Data
+// Reading (tokenization), Incremental Blocking, Incremental Comparison
+// Prioritization (one of I-PCS / I-PBS / I-PES), and the adaptive
+// findK() controller into the public API downstream users interact
+// with.
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   pier::PierOptions options;
+//   options.kind = pier::DatasetKind::kCleanClean;
+//   pier::PierPipeline pipeline(options);
+//   pipeline.Ingest(std::move(new_profiles));      // per increment
+//   for (auto& c : pipeline.EmitBatch()) {         // between arrivals
+//     if (matcher.Matches(pipeline.profiles().Get(c.x),
+//                         pipeline.profiles().Get(c.y))) { ... }
+//   }
+//   pipeline.Tick();  // when idle, pulls older pairs forward
+//
+// The pipeline owns all shared state; it is single-threaded by design
+// (the paper's asynchronous stages are reproduced by the stream
+// simulator's virtual-time interleaving).
+
+#ifndef PIER_CORE_PIER_PIPELINE_H_
+#define PIER_CORE_PIER_PIPELINE_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "blocking/block_collection.h"
+#include "core/find_k.h"
+#include "core/prioritizer.h"
+#include "model/comparison.h"
+#include "model/entity_profile.h"
+#include "model/profile_store.h"
+#include "model/token_dictionary.h"
+#include "text/tokenizer.h"
+#include "util/scalable_bloom_filter.h"
+
+namespace pier {
+
+enum class PierStrategy : uint8_t {
+  kIPcs = 0,
+  kIPbs = 1,
+  kIPes = 2,
+};
+
+const char* ToString(PierStrategy strategy);
+
+struct PierOptions {
+  DatasetKind kind = DatasetKind::kDirty;
+  PierStrategy strategy = PierStrategy::kIPes;
+  BlockingOptions blocking;
+  PrioritizerOptions prioritizer;
+  AdaptiveKOptions adaptive_k;
+  TokenizerOptions tokenizer;
+  // Use an exact hash set instead of the scalable Bloom filter for the
+  // executed-comparison filter (ablation knob; exact never drops a
+  // pair but grows without bound).
+  bool exact_executed_filter = false;
+};
+
+class PierPipeline {
+ public:
+  explicit PierPipeline(PierOptions options);
+  ~PierPipeline();
+
+  PierPipeline(const PierPipeline&) = delete;
+  PierPipeline& operator=(const PierPipeline&) = delete;
+
+  // Data Reading + Incremental Blocking + prioritizer update for one
+  // increment. Profiles must carry dense ids continuing the ingestion
+  // order; tokens/flat_text are filled here.
+  WorkStats Ingest(std::vector<EntityProfile> profiles);
+
+  // The periodic empty increment the blocking step emits while the
+  // stream is idle; lets the prioritizer pull older pairs forward.
+  WorkStats Tick();
+
+  // Signals that no further increments will arrive; unlocks the block
+  // scanner's full tail rescan for eventual quality.
+  void NotifyStreamEnd() { prioritizer_->OnStreamEnd(); }
+
+  // Algorithm 1, lines 3-9: dequeues up to findK() best comparisons,
+  // suppressing any comparison already executed. When the index
+  // underfills the batch, the pipeline pulls more work forward with
+  // internal idle ticks (the blocking step's empty increments), so an
+  // empty result means the pipeline is fully drained for now.
+  std::vector<Comparison> EmitBatch();
+  // Same, with an explicit K (used by tests and baselines). `stats`,
+  // when non-null, accumulates the work of any internal ticks.
+  std::vector<Comparison> EmitBatch(size_t k, WorkStats* stats = nullptr);
+
+  // Rate feedback for the adaptive-K controller.
+  void ReportArrival(double t) { adaptive_k_.OnArrival(t); }
+  void ReportBatchCost(size_t comparisons, double seconds) {
+    adaptive_k_.OnBatchProcessed(comparisons, seconds);
+  }
+
+  bool PrioritizerEmpty() const { return prioritizer_->Empty(); }
+
+  const ProfileStore& profiles() const { return profiles_; }
+  const BlockCollection& blocks() const { return blocks_; }
+  const TokenDictionary& dictionary() const { return dictionary_; }
+  const IncrementalPrioritizer& prioritizer() const { return *prioritizer_; }
+  AdaptiveK& adaptive_k() { return adaptive_k_; }
+  uint64_t comparisons_emitted() const { return comparisons_emitted_; }
+
+ private:
+  bool AlreadyExecuted(uint64_t key);
+
+  PierOptions options_;
+  TokenDictionary dictionary_;
+  ProfileStore profiles_;
+  BlockCollection blocks_;
+  Tokenizer tokenizer_;
+  std::unique_ptr<IncrementalPrioritizer> prioritizer_;
+  AdaptiveK adaptive_k_;
+
+  ScalableBloomFilter executed_filter_;
+  std::unordered_set<uint64_t> executed_exact_;
+  uint64_t comparisons_emitted_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_CORE_PIER_PIPELINE_H_

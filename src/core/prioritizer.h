@@ -1,0 +1,97 @@
+// The Incremental Comparison Prioritization component (Section 3.2,
+// Algorithm 1): the novel PIER pipeline stage that maintains a global
+// index of the best unexecuted comparisons across *all* increments
+// seen so far (the globality condition of Definition 3) and emits them
+// best-first.
+//
+// Three strategies implement this interface:
+//   I-PCS (comparison-centric, Section 4 / Algorithm 2)
+//   I-PBS (block-centric,      Section 5 / Algorithm 3)
+//   I-PES (entity-centric,     Section 6 / Algorithm 4)
+
+#ifndef PIER_CORE_PRIORITIZER_H_
+#define PIER_CORE_PRIORITIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/block_collection.h"
+#include "metablocking/weighting.h"
+#include "model/comparison.h"
+#include "model/profile_store.h"
+#include "model/types.h"
+
+namespace pier {
+
+// Work accounting returned by pipeline steps; consumed by the
+// ModeledCostMeter to derive deterministic virtual-time costs.
+struct WorkStats {
+  uint64_t profiles = 0;
+  uint64_t tokens = 0;
+  uint64_t block_updates = 0;
+  uint64_t comparisons_generated = 0;
+  uint64_t index_ops = 0;
+
+  WorkStats& operator+=(const WorkStats& other) {
+    profiles += other.profiles;
+    tokens += other.tokens;
+    block_updates += other.block_updates;
+    comparisons_generated += other.comparisons_generated;
+    index_ops += other.index_ops;
+    return *this;
+  }
+};
+
+struct PrioritizerOptions {
+  // Block-ghosting parameter (Algorithm 2): keep blocks of size
+  // <= |b_min| / beta; beta in (0, 1].
+  double beta = 0.5;
+
+  // Capacity of the main bounded CmpIndex (I-PCS, I-PBS).
+  size_t cmp_index_capacity = 1u << 18;
+
+  // I-PES: per-entity priority queue bound |E_PQ(e)|.
+  size_t per_entity_capacity = 64;
+  // I-PES: EntityQueue bound.
+  size_t entity_queue_capacity = 1u << 18;
+  // I-PES: bound of the low-weight overflow queue PQ.
+  size_t low_weight_queue_capacity = 1u << 17;
+
+  WeightingScheme scheme = WeightingScheme::kCbs;
+};
+
+// Read-only shared state every prioritizer consults. The pointed-to
+// objects are owned by the pipeline and outlive the prioritizer.
+struct PrioritizerContext {
+  const BlockCollection* blocks = nullptr;
+  const ProfileStore* profiles = nullptr;
+};
+
+class IncrementalPrioritizer {
+ public:
+  virtual ~IncrementalPrioritizer() = default;
+
+  // Algorithm 1, line 1: folds the (already blocked) increment into
+  // the global CmpIndex. `delta` holds the increment's profile ids and
+  // is empty for the periodic ticks the blocking step emits while the
+  // stream is idle (Section 3.2), which trigger the consideration of
+  // further pairs from older data.
+  virtual WorkStats UpdateCmpIndex(const std::vector<ProfileId>& delta) = 0;
+
+  // Retrieves and removes the globally best remaining comparison.
+  // Returns false when the index is depleted.
+  virtual bool Dequeue(Comparison* out) = 0;
+
+  virtual bool Empty() const = 0;
+
+  // Called once when the stream has delivered its last increment;
+  // strategies with a block scanner lift its rescan throttle so the
+  // tail pass covers every block at its final size.
+  virtual void OnStreamEnd() {}
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_CORE_PRIORITIZER_H_

@@ -1,0 +1,137 @@
+#include "datagen/dataset_io.h"
+
+#include <charconv>
+
+#include "util/csv_writer.h"
+
+namespace pier {
+
+namespace {
+
+std::optional<uint64_t> ParseU64(const std::string& field) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> ParseCsvLine(
+    const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!current.empty()) return std::nullopt;  // quote mid-field
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return std::nullopt;  // unterminated quote
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+void WriteProfilesCsv(const Dataset& dataset, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.WriteRow({"profile_id", "source", "attribute", "value"});
+  for (const auto& profile : dataset.profiles) {
+    for (const auto& attribute : profile.attributes) {
+      csv.WriteRow({std::to_string(profile.id),
+                    std::to_string(profile.source), attribute.name,
+                    attribute.value});
+    }
+  }
+}
+
+void WriteGroundTruthCsv(const Dataset& dataset, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.WriteRow({"profile_id_a", "profile_id_b"});
+  for (const uint64_t key : dataset.truth.pairs()) {
+    csv.WriteRow({std::to_string(key >> 32),
+                  std::to_string(key & 0xffffffffu)});
+  }
+}
+
+std::optional<Dataset> ReadDatasetCsv(std::istream& profiles_in,
+                                      std::istream* truth_in,
+                                      std::string name, DatasetKind kind) {
+  Dataset dataset;
+  dataset.name = std::move(name);
+  dataset.kind = kind;
+
+  std::string line;
+  bool first = true;
+  while (std::getline(profiles_in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      continue;  // header
+    }
+    const auto fields = ParseCsvLine(line);
+    if (!fields || fields->size() != 4) return std::nullopt;
+    const auto id = ParseU64((*fields)[0]);
+    const auto source = ParseU64((*fields)[1]);
+    if (!id || !source || *source > 1) return std::nullopt;
+    if (*id >= dataset.profiles.size()) {
+      dataset.profiles.resize(*id + 1);
+    }
+    EntityProfile& profile = dataset.profiles[*id];
+    if (profile.id == kInvalidProfileId) {
+      profile.id = static_cast<ProfileId>(*id);
+      profile.source = static_cast<SourceId>(*source);
+    } else if (profile.source != *source) {
+      return std::nullopt;  // inconsistent source
+    }
+    profile.attributes.push_back({(*fields)[2], (*fields)[3]});
+  }
+  // Dense-id check.
+  for (size_t i = 0; i < dataset.profiles.size(); ++i) {
+    if (dataset.profiles[i].id != i) return std::nullopt;
+  }
+
+  if (truth_in != nullptr) {
+    first = true;
+    while (std::getline(*truth_in, line)) {
+      if (line.empty()) continue;
+      if (first) {
+        first = false;
+        continue;
+      }
+      const auto fields = ParseCsvLine(line);
+      if (!fields || fields->size() != 2) return std::nullopt;
+      const auto a = ParseU64((*fields)[0]);
+      const auto b = ParseU64((*fields)[1]);
+      if (!a || !b || *a >= dataset.profiles.size() ||
+          *b >= dataset.profiles.size()) {
+        return std::nullopt;
+      }
+      dataset.truth.AddMatch(static_cast<ProfileId>(*a),
+                             static_cast<ProfileId>(*b));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace pier

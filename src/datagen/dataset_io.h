@@ -1,0 +1,44 @@
+// CSV persistence for datasets, so users can run pier on their own
+// data and so generated benchmark datasets can be exported for
+// inspection or external tooling.
+//
+// Profile file: one row per attribute, long format
+//   profile_id,source,attribute,value
+// Ground-truth file: one row per duplicate pair
+//   profile_id_a,profile_id_b
+// Both RFC-4180 quoted.
+
+#ifndef PIER_DATAGEN_DATASET_IO_H_
+#define PIER_DATAGEN_DATASET_IO_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "model/dataset.h"
+
+namespace pier {
+
+// Splits one CSV line into fields, honouring RFC-4180 quoting.
+// Returns std::nullopt on malformed quoting.
+std::optional<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+// Writes dataset.profiles in long format (with a header row).
+void WriteProfilesCsv(const Dataset& dataset, std::ostream& out);
+
+// Writes the ground-truth pairs (with a header row).
+void WriteGroundTruthCsv(const Dataset& dataset, std::ostream& out);
+
+// Reads a dataset back. Profiles may appear in any row order but ids
+// must be dense (0..n-1); rows of the same profile must agree on
+// `source`. The truth stream is optional (pass nullptr for data
+// without labels). Returns std::nullopt on malformed input.
+std::optional<Dataset> ReadDatasetCsv(std::istream& profiles_in,
+                                      std::istream* truth_in,
+                                      std::string name, DatasetKind kind);
+
+}  // namespace pier
+
+#endif  // PIER_DATAGEN_DATASET_IO_H_

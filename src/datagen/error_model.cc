@@ -1,0 +1,92 @@
+#include "datagen/error_model.h"
+
+#include <sstream>
+
+namespace pier {
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& value) {
+  std::vector<std::string> words;
+  std::istringstream in(value);
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+std::string JoinWords(const std::vector<std::string>& words) {
+  std::string out;
+  for (const auto& w : words) {
+    if (!out.empty()) out.push_back(' ');
+    out += w;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ErrorModel::ApplyTypo(const std::string& word, Rng& rng) const {
+  if (word.size() <= 1) return word;
+  std::string out = word;
+  const size_t pos = rng.UniformInt(0, out.size() - 1);
+  const char random_char = static_cast<char>('a' + rng.UniformInt(0, 25));
+  switch (rng.UniformInt(0, 3)) {
+    case 0:  // substitute
+      out[pos] = random_char;
+      break;
+    case 1:  // insert
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos), random_char);
+      break;
+    case 2:  // delete
+      out.erase(out.begin() + static_cast<ptrdiff_t>(pos));
+      break;
+    default:  // transpose with the next character
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string ErrorModel::PerturbValue(const std::string& value,
+                                     Rng& rng) const {
+  std::vector<std::string> words = SplitWords(value);
+  if (words.empty()) return value;
+
+  if (words.size() > 1 && rng.Bernoulli(options_.token_drop_prob)) {
+    words.erase(words.begin() +
+                static_cast<ptrdiff_t>(rng.UniformInt(0, words.size() - 1)));
+  }
+  if (words.size() > 1 && rng.Bernoulli(options_.token_swap_prob)) {
+    const size_t i = rng.UniformInt(0, words.size() - 2);
+    std::swap(words[i], words[i + 1]);
+  }
+  for (auto& w : words) {
+    if (rng.Bernoulli(options_.abbreviation_prob)) {
+      w = w.substr(0, 1);
+    } else if (rng.Bernoulli(options_.typo_prob)) {
+      w = ApplyTypo(w, rng);
+    }
+  }
+  return JoinWords(words);
+}
+
+std::vector<Attribute> ErrorModel::PerturbAttributes(
+    const std::vector<Attribute>& attributes, Rng& rng) const {
+  std::vector<Attribute> out;
+  out.reserve(attributes.size());
+  for (const auto& attribute : attributes) {
+    if (attributes.size() > 1 && rng.Bernoulli(options_.attribute_drop_prob)) {
+      continue;  // drop this attribute
+    }
+    out.push_back(
+        Attribute{attribute.name, PerturbValue(attribute.value, rng)});
+  }
+  if (out.empty()) {
+    // Every attribute was dropped; keep the first one so the duplicate
+    // remains discoverable.
+    out.push_back(attributes.front());
+  }
+  return out;
+}
+
+}  // namespace pier

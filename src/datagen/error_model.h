@@ -1,0 +1,59 @@
+// Perturbation model applied to duplicate records: duplicates of a
+// profile differ from the original through realistic noise -- typos,
+// dropped/swapped tokens, abbreviations, dropped attributes -- in the
+// style of Febrl's error injection [7]. All randomness comes from the
+// caller's Rng, so generated datasets are seed-deterministic.
+
+#ifndef PIER_DATAGEN_ERROR_MODEL_H_
+#define PIER_DATAGEN_ERROR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "model/entity_profile.h"
+#include "util/rng.h"
+
+namespace pier {
+
+struct ErrorModelOptions {
+  // Per-word probability of one character-level edit.
+  double typo_prob = 0.15;
+  // Per-value probability of dropping one token.
+  double token_drop_prob = 0.2;
+  // Per-value probability of swapping two adjacent tokens.
+  double token_swap_prob = 0.1;
+  // Per-word probability of abbreviating to its initial ("john" ->
+  // "j").
+  double abbreviation_prob = 0.05;
+  // Per-attribute probability of dropping the whole attribute.
+  double attribute_drop_prob = 0.1;
+};
+
+class ErrorModel {
+ public:
+  explicit ErrorModel(ErrorModelOptions options = ErrorModelOptions())
+      : options_(options) {}
+
+  // One random character edit (substitute / insert / delete /
+  // transpose) applied to `word`. Words of length <= 1 are returned
+  // unchanged.
+  std::string ApplyTypo(const std::string& word, Rng& rng) const;
+
+  // Applies the word-level and token-level perturbations to one
+  // attribute value.
+  std::string PerturbValue(const std::string& value, Rng& rng) const;
+
+  // Returns a perturbed copy of the attribute list (the duplicate's
+  // payload). At least one attribute is always kept.
+  std::vector<Attribute> PerturbAttributes(
+      const std::vector<Attribute>& attributes, Rng& rng) const;
+
+  const ErrorModelOptions& options() const { return options_; }
+
+ private:
+  ErrorModelOptions options_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_DATAGEN_ERROR_MODEL_H_

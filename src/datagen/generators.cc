@@ -1,0 +1,330 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/vocabulary.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pier {
+
+namespace {
+
+// Pre-id profile: generators work with entity uids; ids are assigned
+// after the stream order is fixed.
+struct ProtoProfile {
+  uint32_t entity_uid = 0;
+  SourceId source = 0;
+  std::vector<Attribute> attributes;
+};
+
+// Shuffles the protos into stream order, assigns dense ids, and builds
+// the ground truth from entity uids.
+Dataset Finalize(std::string name, DatasetKind kind,
+                 std::vector<ProtoProfile> protos, Rng& rng) {
+  // Fisher-Yates with the generator's own Rng (seed-deterministic).
+  for (size_t i = protos.size(); i > 1; --i) {
+    const size_t j = rng.UniformInt(0, i - 1);
+    std::swap(protos[i - 1], protos[j]);
+  }
+
+  Dataset dataset;
+  dataset.name = std::move(name);
+  dataset.kind = kind;
+  dataset.profiles.reserve(protos.size());
+
+  std::unordered_map<uint32_t, std::vector<ProfileId>> clusters;
+  for (size_t i = 0; i < protos.size(); ++i) {
+    const ProfileId id = static_cast<ProfileId>(i);
+    dataset.profiles.emplace_back(id, protos[i].source,
+                                  std::move(protos[i].attributes));
+    clusters[protos[i].entity_uid].push_back(id);
+  }
+
+  for (const auto& [uid, members] : clusters) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        const auto& a = dataset.profiles[members[i]];
+        const auto& b = dataset.profiles[members[j]];
+        if (kind == DatasetKind::kCleanClean && a.source == b.source) {
+          continue;  // Clean sources are duplicate-free internally.
+        }
+        dataset.truth.AddMatch(a.id, b.id);
+      }
+    }
+  }
+  return dataset;
+}
+
+std::string PersonName(Rng& rng) {
+  const auto& first = Vocabulary::FirstNames();
+  const auto& last = Vocabulary::LastNames();
+  return first[rng.UniformInt(0, first.size() - 1)] + " " +
+         last[rng.UniformInt(0, last.size() - 1)];
+}
+
+std::string ZipfWords(const ZipfDistribution& zipf, Rng& rng, size_t count) {
+  std::string out;
+  for (size_t i = 0; i < count; ++i) {
+    if (!out.empty()) out.push_back(' ');
+    out += Vocabulary::Word(zipf.Sample(rng));
+  }
+  return out;
+}
+
+// Splits `total_overlap` entity uids between two sources plus
+// exclusive tails; returns per-source entity uid lists.
+struct SourceSplit {
+  std::vector<uint32_t> source0;
+  std::vector<uint32_t> source1;
+};
+
+SourceSplit SplitEntities(size_t n0, size_t n1, double overlap_fraction) {
+  PIER_CHECK(overlap_fraction >= 0.0 && overlap_fraction <= 1.0);
+  const size_t overlap = static_cast<size_t>(
+      overlap_fraction * static_cast<double>(std::min(n0, n1)));
+  SourceSplit split;
+  uint32_t uid = 0;
+  for (size_t i = 0; i < overlap; ++i, ++uid) {
+    split.source0.push_back(uid);
+    split.source1.push_back(uid);
+  }
+  for (size_t i = overlap; i < n0; ++i, ++uid) split.source0.push_back(uid);
+  for (size_t i = overlap; i < n1; ++i, ++uid) split.source1.push_back(uid);
+  return split;
+}
+
+}  // namespace
+
+Dataset GenerateBibliographic(const BibliographicOptions& options) {
+  Rng rng(options.seed);
+  const ErrorModel errors(options.errors);
+  const ZipfDistribution title_vocab(4000, 0.9);
+  const auto& venues = Vocabulary::Venues();
+
+  const SourceSplit split = SplitEntities(
+      options.source0_count, options.source1_count, options.overlap_fraction);
+
+  // Canonical (clean) records per entity uid, generated on demand.
+  std::unordered_map<uint32_t, std::vector<Attribute>> canonical;
+  auto canonical_record = [&](uint32_t uid) -> const std::vector<Attribute>& {
+    auto it = canonical.find(uid);
+    if (it != canonical.end()) return it->second;
+    std::vector<Attribute> attrs;
+    attrs.push_back({"title", ZipfWords(title_vocab, rng,
+                                        4 + rng.UniformInt(0, 5))});
+    std::string authors = PersonName(rng);
+    const size_t extra_authors = rng.UniformInt(0, 2);
+    for (size_t a = 0; a < extra_authors; ++a) authors += " " + PersonName(rng);
+    attrs.push_back({"authors", authors});
+    attrs.push_back({"venue", venues[rng.UniformInt(0, venues.size() - 1)]});
+    attrs.push_back({"year", std::to_string(1980 + rng.UniformInt(0, 43))});
+    return canonical.emplace(uid, std::move(attrs)).first->second;
+  };
+
+  std::vector<ProtoProfile> protos;
+  protos.reserve(split.source0.size() + split.source1.size());
+  for (const uint32_t uid : split.source0) {
+    protos.push_back({uid, 0, canonical_record(uid)});
+  }
+  for (const uint32_t uid : split.source1) {
+    // Source 1 uses a different schema and perturbed values.
+    std::vector<Attribute> attrs =
+        errors.PerturbAttributes(canonical_record(uid), rng);
+    static const char* const kRenames[][2] = {{"title", "name"},
+                                              {"authors", "writers"},
+                                              {"venue", "booktitle"},
+                                              {"year", "date"}};
+    for (auto& attribute : attrs) {
+      for (const auto& rename : kRenames) {
+        if (attribute.name == rename[0]) {
+          attribute.name = rename[1];
+          break;
+        }
+      }
+    }
+    protos.push_back({uid, 1, std::move(attrs)});
+  }
+  return Finalize("bibliographic", DatasetKind::kCleanClean,
+                  std::move(protos), rng);
+}
+
+Dataset GenerateMovies(const MoviesOptions& options) {
+  Rng rng(options.seed);
+  const ErrorModel errors(options.errors);
+  const ZipfDistribution title_vocab(6000, 0.9);
+  const ZipfDistribution description_vocab(12000, 1.0);
+  const auto& genres = Vocabulary::Genres();
+
+  const SourceSplit split = SplitEntities(
+      options.source0_count, options.source1_count, options.overlap_fraction);
+
+  std::unordered_map<uint32_t, std::vector<Attribute>> canonical;
+  auto canonical_record = [&](uint32_t uid) -> const std::vector<Attribute>& {
+    auto it = canonical.find(uid);
+    if (it != canonical.end()) return it->second;
+    std::vector<Attribute> attrs;
+    attrs.push_back({"title", ZipfWords(title_vocab, rng,
+                                        2 + rng.UniformInt(0, 3))});
+    std::string cast = PersonName(rng);
+    const size_t extra_cast = 1 + rng.UniformInt(0, 3);
+    for (size_t a = 0; a < extra_cast; ++a) cast += " " + PersonName(rng);
+    attrs.push_back({"starring", cast});
+    attrs.push_back({"director", PersonName(rng)});
+    std::string genre_list = genres[rng.UniformInt(0, genres.size() - 1)];
+    if (rng.Bernoulli(0.6)) {
+      genre_list += " " + genres[rng.UniformInt(0, genres.size() - 1)];
+    }
+    attrs.push_back({"genres", genre_list});
+    attrs.push_back({"description",
+                     ZipfWords(description_vocab, rng,
+                               8 + rng.UniformInt(0, 12))});
+    attrs.push_back({"year", std::to_string(1930 + rng.UniformInt(0, 93))});
+    return canonical.emplace(uid, std::move(attrs)).first->second;
+  };
+
+  std::vector<ProtoProfile> protos;
+  protos.reserve(split.source0.size() + split.source1.size());
+  for (const uint32_t uid : split.source0) {
+    protos.push_back({uid, 0, canonical_record(uid)});
+  }
+  for (const uint32_t uid : split.source1) {
+    std::vector<Attribute> attrs =
+        errors.PerturbAttributes(canonical_record(uid), rng);
+    static const char* const kRenames[][2] = {
+        {"title", "label"},          {"starring", "actors"},
+        {"director", "directedby"},  {"genres", "categories"},
+        {"description", "abstract"}, {"year", "released"}};
+    for (auto& attribute : attrs) {
+      for (const auto& rename : kRenames) {
+        if (attribute.name == rename[0]) {
+          attribute.name = rename[1];
+          break;
+        }
+      }
+    }
+    protos.push_back({uid, 1, std::move(attrs)});
+  }
+  return Finalize("movies", DatasetKind::kCleanClean, std::move(protos), rng);
+}
+
+Dataset GenerateCensus(const CensusOptions& options) {
+  Rng rng(options.seed);
+  const ErrorModel errors(options.errors);
+  const auto& cities = Vocabulary::Cities();
+  const auto& streets = Vocabulary::Streets();
+  const auto& states = Vocabulary::States();
+
+  std::vector<ProtoProfile> protos;
+  protos.reserve(options.num_records);
+  uint32_t uid = 0;
+  while (protos.size() < options.num_records) {
+    std::vector<Attribute> record;
+    record.push_back({"given_name", PersonName(rng)});
+    record.push_back(
+        {"surname",
+         Vocabulary::LastNames()[rng.UniformInt(
+             0, Vocabulary::LastNames().size() - 1)]});
+    record.push_back(
+        {"street_number", std::to_string(rng.UniformInt(1, 999))});
+    record.push_back(
+        {"address_1",
+         streets[rng.UniformInt(0, streets.size() - 1)] + " street"});
+    record.push_back({"suburb", cities[rng.UniformInt(0, cities.size() - 1)]});
+    record.push_back(
+        {"postcode", std::to_string(rng.UniformInt(1000, 9999))});
+    record.push_back({"state", states[rng.UniformInt(0, states.size() - 1)]});
+    {
+      const uint64_t year = rng.UniformInt(1920, 2005);
+      const uint64_t month = rng.UniformInt(1, 12);
+      const uint64_t day = rng.UniformInt(1, 28);
+      std::string dob = std::to_string(year);
+      dob += month < 10 ? "0" + std::to_string(month) : std::to_string(month);
+      dob += day < 10 ? "0" + std::to_string(day) : std::to_string(day);
+      record.push_back({"date_of_birth", dob});
+    }
+    record.push_back(
+        {"phone", std::to_string(rng.UniformInt(10000000, 99999999))});
+
+    protos.push_back({uid, 0, record});
+
+    if (rng.Bernoulli(options.duplicate_entity_fraction)) {
+      // Geometric number of extra duplicate records, capped.
+      size_t cluster = 2;
+      while (cluster < options.max_cluster_size && rng.Bernoulli(0.35)) {
+        ++cluster;
+      }
+      for (size_t d = 1;
+           d < cluster && protos.size() < options.num_records; ++d) {
+        protos.push_back({uid, 0, errors.PerturbAttributes(record, rng)});
+      }
+    }
+    ++uid;
+  }
+  return Finalize("census", DatasetKind::kDirty, std::move(protos), rng);
+}
+
+Dataset GenerateDbpedia(const DbpediaOptions& options) {
+  Rng rng(options.seed);
+  const ErrorModel errors(options.errors);
+  const ZipfDistribution content_vocab(options.vocabulary_size,
+                                       options.zipf_alpha);
+  // Rare, entity-specific vocabulary: guarantees that duplicates share
+  // at least a few discriminative tokens even after perturbation.
+  const size_t rare_offset = options.vocabulary_size + 1000;
+
+  static const char* const kAttributePool[] = {
+      "label",     "comment",    "type",      "subject",   "abstract",
+      "founded",   "location",   "area",      "population", "homepage",
+      "birthdate", "occupation", "genre",     "producer",  "country",
+      "language",  "author",     "publisher", "series",    "runtime",
+      "network",   "developer",  "platform",  "license"};
+  constexpr size_t kPoolSize =
+      sizeof(kAttributePool) / sizeof(kAttributePool[0]);
+
+  const SourceSplit split = SplitEntities(
+      options.source0_count, options.source1_count, options.overlap_fraction);
+
+  std::unordered_map<uint32_t, std::vector<Attribute>> canonical;
+  auto canonical_record = [&](uint32_t uid) -> const std::vector<Attribute>& {
+    auto it = canonical.find(uid);
+    if (it != canonical.end()) return it->second;
+    std::vector<Attribute> attrs;
+    // Distinctive name: two entity-specific rare words.
+    attrs.push_back({"name", Vocabulary::Word(rare_offset + 2 * uid) + " " +
+                                 Vocabulary::Word(rare_offset + 2 * uid + 1)});
+    const size_t num_attributes = 3 + rng.UniformInt(0, 8);
+    for (size_t a = 0; a < num_attributes; ++a) {
+      const char* attr_name =
+          kAttributePool[rng.UniformInt(0, kPoolSize - 1)];
+      const size_t num_words = 1 + rng.UniformInt(0, 14);
+      attrs.push_back({attr_name, ZipfWords(content_vocab, rng, num_words)});
+    }
+    return canonical.emplace(uid, std::move(attrs)).first->second;
+  };
+
+  std::vector<ProtoProfile> protos;
+  protos.reserve(split.source0.size() + split.source1.size());
+  for (const uint32_t uid : split.source0) {
+    protos.push_back({uid, 0, canonical_record(uid)});
+  }
+  for (const uint32_t uid : split.source1) {
+    // The second snapshot evolves the entity: perturbed values plus a
+    // possible new attribute.
+    std::vector<Attribute> attrs =
+        errors.PerturbAttributes(canonical_record(uid), rng);
+    if (rng.Bernoulli(0.4)) {
+      attrs.push_back({kAttributePool[rng.UniformInt(0, kPoolSize - 1)],
+                       ZipfWords(content_vocab, rng,
+                                 1 + rng.UniformInt(0, 9))});
+    }
+    protos.push_back({uid, 1, std::move(attrs)});
+  }
+  return Finalize("dbpedia", DatasetKind::kCleanClean, std::move(protos),
+                  rng);
+}
+
+}  // namespace pier

@@ -1,0 +1,76 @@
+// Synthetic dataset generators standing in for the paper's evaluation
+// corpora (Table 1). Each generator is seed-deterministic and
+// reproduces the *structural* properties that drive the paper's
+// results (see DESIGN.md, "Substitutions"):
+//
+//   GenerateBibliographic  ~ dblp-acm   (small Clean-Clean, short text)
+//   GenerateMovies         ~ movies     (medium Clean-Clean, longer text)
+//   GenerateCensus         ~ 2M / Febrl (Dirty, short relational values,
+//                                        small highly informative blocks)
+//   GenerateDbpedia        ~ dbpedia    (large Clean-Clean, ragged
+//                                        heterogeneous web profiles)
+//
+// Profiles are emitted in a shuffled stream order (sources
+// interleaved) with dense ids, ready for SplitIntoIncrements.
+
+#ifndef PIER_DATAGEN_GENERATORS_H_
+#define PIER_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "datagen/error_model.h"
+#include "model/dataset.h"
+
+namespace pier {
+
+struct BibliographicOptions {
+  size_t source0_count = 2600;
+  size_t source1_count = 2300;
+  // Fraction of the smaller source that has a counterpart in the other
+  // source (paper: 2.22k matches over 2.29k profiles ~ 0.97).
+  double overlap_fraction = 0.95;
+  uint64_t seed = 1;
+  ErrorModelOptions errors;
+};
+
+struct MoviesOptions {
+  size_t source0_count = 6000;
+  size_t source1_count = 5000;
+  double overlap_fraction = 0.9;
+  uint64_t seed = 2;
+  ErrorModelOptions errors;
+};
+
+struct CensusOptions {
+  // Approximate total number of records (originals + duplicates).
+  size_t num_records = 30000;
+  // Fraction of entities that receive at least one duplicate record.
+  double duplicate_entity_fraction = 0.5;
+  // Cluster sizes are 2 + Geometric(p) capped here; bigger clusters
+  // quadratically increase the match count (paper: 1.7M matches from
+  // 2M records implies cluster sizes around 3).
+  size_t max_cluster_size = 6;
+  uint64_t seed = 3;
+  ErrorModelOptions errors;
+};
+
+struct DbpediaOptions {
+  size_t source0_count = 12000;
+  size_t source1_count = 16000;
+  double overlap_fraction = 0.6;
+  // Size and skew of the content-word vocabulary; alpha ~ 1.0 yields
+  // the web-like power-law block-size distribution.
+  size_t vocabulary_size = 30000;
+  double zipf_alpha = 1.0;
+  uint64_t seed = 4;
+  ErrorModelOptions errors;
+};
+
+Dataset GenerateBibliographic(const BibliographicOptions& options);
+Dataset GenerateMovies(const MoviesOptions& options);
+Dataset GenerateCensus(const CensusOptions& options);
+Dataset GenerateDbpedia(const DbpediaOptions& options);
+
+}  // namespace pier
+
+#endif  // PIER_DATAGEN_GENERATORS_H_

@@ -1,0 +1,145 @@
+#include "datagen/vocabulary.h"
+
+#include "util/hashing.h"
+
+namespace pier {
+
+namespace {
+
+const char* const kSyllables[] = {
+    "ba", "be", "bi", "bo", "bu", "ca", "ce", "ci", "co", "cu", "da", "de",
+    "di", "do", "du", "fa", "fe", "fi", "fo", "fu", "ga", "ge", "gi", "go",
+    "gu", "ha", "he", "hi", "ho", "hu", "ka", "ke", "ki", "ko", "ku", "la",
+    "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni",
+    "no", "nu", "pa", "pe", "pi", "po", "pu", "ra", "re", "ri", "ro", "ru",
+    "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu", "va", "ve",
+    "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu", "tra", "pre", "sto",
+    "gra", "ker", "lin", "mar", "nor", "sta", "ver", "wil", "tion", "ment",
+    "berg", "ford", "land", "wick", "shire", "ster", "ley", "ton",
+};
+constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+
+std::vector<std::string> MakeList(std::initializer_list<const char*> items) {
+  return std::vector<std::string>(items.begin(), items.end());
+}
+
+}  // namespace
+
+const std::vector<std::string>& Vocabulary::FirstNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>(
+      MakeList({"james",    "mary",    "robert",  "patricia", "john",
+                "jennifer", "michael", "linda",   "david",    "elizabeth",
+                "william",  "barbara", "richard", "susan",    "joseph",
+                "jessica",  "thomas",  "sarah",   "charles",  "karen",
+                "christopher", "lisa", "daniel",  "nancy",    "matthew",
+                "betty",    "anthony", "sandra",  "mark",     "margaret",
+                "donald",   "ashley",  "steven",  "kimberly", "andrew",
+                "emily",    "paul",    "donna",   "joshua",   "michelle",
+                "kenneth",  "carol",   "kevin",   "amanda",   "brian",
+                "melissa",  "george",  "deborah", "timothy",  "stephanie",
+                "ronald",   "rebecca", "jason",   "laura",    "edward",
+                "sharon",   "jeffrey", "cynthia", "ryan",     "kathleen",
+                "jacob",    "amy",     "gary",    "angela",   "nicholas",
+                "shirley",  "eric",    "anna",    "jonathan", "brenda",
+                "stephen",  "pamela",  "larry",   "emma",     "justin",
+                "nicole",   "scott",   "helen",   "brandon",  "samantha"}));
+  return names;
+}
+
+const std::vector<std::string>& Vocabulary::LastNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>(
+      MakeList({"smith",     "johnson",  "williams", "brown",    "jones",
+                "garcia",    "miller",   "davis",    "rodriguez", "martinez",
+                "hernandez", "lopez",    "gonzalez", "wilson",   "anderson",
+                "thomas",    "taylor",   "moore",    "jackson",  "martin",
+                "lee",       "perez",    "thompson", "white",    "harris",
+                "sanchez",   "clark",    "ramirez",  "lewis",    "robinson",
+                "walker",    "young",    "allen",    "king",     "wright",
+                "scott",     "torres",   "nguyen",   "hill",     "flores",
+                "green",     "adams",    "nelson",   "baker",    "hall",
+                "rivera",    "campbell", "mitchell", "carter",   "roberts",
+                "gomez",     "phillips", "evans",    "turner",   "diaz",
+                "parker",    "cruz",     "edwards",  "collins",  "reyes",
+                "stewart",   "morris",   "morales",  "murphy",   "cook",
+                "rogers",    "gutierrez", "ortiz",   "morgan",   "cooper",
+                "peterson",  "bailey",   "reed",     "kelly",    "howard",
+                "ramos",     "kim",      "cox",      "ward",     "richardson"}));
+  return names;
+}
+
+const std::vector<std::string>& Vocabulary::Venues() {
+  static const std::vector<std::string>& venues =
+      *new std::vector<std::string>(
+          MakeList({"sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "www",
+                    "icdt", "pods", "cidr", "tkde", "tods", "pvldb",
+                    "dasfaa", "ssdbm", "bigdata"}));
+  return venues;
+}
+
+const std::vector<std::string>& Vocabulary::Genres() {
+  static const std::vector<std::string>& genres =
+      *new std::vector<std::string>(
+          MakeList({"drama", "comedy", "thriller", "action", "romance",
+                    "horror", "documentary", "animation", "fantasy",
+                    "scifi", "crime", "mystery", "western", "musical",
+                    "biography", "adventure", "war", "family", "noir",
+                    "sport"}));
+  return genres;
+}
+
+const std::vector<std::string>& Vocabulary::Cities() {
+  static const std::vector<std::string>& cities =
+      *new std::vector<std::string>(
+          MakeList({"springfield", "riverside", "fairview", "greenville",
+                    "bristol",     "clinton",   "salem",    "georgetown",
+                    "arlington",   "ashland",   "burlington", "manchester",
+                    "oxford",      "clayton",   "jackson",  "milton",
+                    "auburn",      "dayton",    "lexington", "milford",
+                    "newport",     "kingston",  "dover",    "hudson",
+                    "winchester",  "cleveland", "brighton", "columbia",
+                    "franklin",    "chester",   "marion",   "monroe"}));
+  return cities;
+}
+
+const std::vector<std::string>& Vocabulary::Streets() {
+  static const std::vector<std::string>& streets =
+      *new std::vector<std::string>(
+          MakeList({"main", "church", "park", "elm", "walnut", "washington",
+                    "oak", "maple", "cedar", "pine", "lake", "hill",
+                    "spring", "ridge", "mill", "sunset", "river", "meadow",
+                    "forest", "highland", "jefferson", "madison", "cherry",
+                    "dogwood", "hickory", "willow", "locust", "poplar",
+                    "chestnut", "sycamore", "linden", "magnolia"}));
+  return streets;
+}
+
+const std::vector<std::string>& Vocabulary::States() {
+  static const std::vector<std::string>& states =
+      *new std::vector<std::string>(
+          MakeList({"nsw", "vic", "qld", "wa", "sa", "tas", "act", "nt"}));
+  return states;
+}
+
+std::string Vocabulary::Word(size_t i) {
+  // Mix the index so consecutive indices give unrelated words, then
+  // compose 2-4 syllables. Appending the index digits in base-26
+  // letters guarantees distinctness even under syllable collisions.
+  uint64_t h = Mix64(static_cast<uint64_t>(i) + 0x5eedULL);
+  const int num_syllables = 2 + static_cast<int>(h % 3);
+  h >>= 2;
+  std::string word;
+  for (int s = 0; s < num_syllables; ++s) {
+    word += kSyllables[h % kNumSyllables];
+    h /= kNumSyllables;
+  }
+  // Distinctness suffix: base-26 encoding of i (empty for i == 0 is
+  // avoided by offsetting).
+  uint64_t v = static_cast<uint64_t>(i) + 1;
+  while (v > 0) {
+    word.push_back(static_cast<char>('a' + (v % 26)));
+    v /= 26;
+  }
+  return word;
+}
+
+}  // namespace pier

@@ -1,0 +1,46 @@
+// Deterministic vocabularies for the synthetic dataset generators.
+//
+// Real-world ER corpora mix (a) small curated vocabularies (venues,
+// states, genres) that create large blocks, (b) mid-size vocabularies
+// (person names) and (c) long-tail content words with a Zipfian
+// frequency distribution that create many small, highly informative
+// blocks. This module reproduces all three ingredients without
+// shipping corpus files: the long tail is a syllable-composed
+// pseudo-word vocabulary, deterministic in the word index.
+
+#ifndef PIER_DATAGEN_VOCABULARY_H_
+#define PIER_DATAGEN_VOCABULARY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pier {
+
+class Vocabulary {
+ public:
+  // Curated lists (fixed, embedded).
+  static const std::vector<std::string>& FirstNames();
+  static const std::vector<std::string>& LastNames();
+  static const std::vector<std::string>& Venues();
+  static const std::vector<std::string>& Genres();
+  static const std::vector<std::string>& Cities();
+  static const std::vector<std::string>& Streets();
+  static const std::vector<std::string>& States();
+
+  // The i-th pseudo content word; deterministic, distinct for
+  // i < ~10^9. Words are 2-4 syllables (4-12 characters).
+  static std::string Word(size_t i);
+
+  // Samples a content word index from a Zipf(alpha) distribution over
+  // a vocabulary of `vocab_size` words, then renders it.
+  static std::string SampleWord(const ZipfDistribution& zipf, Rng& rng) {
+    return Word(zipf.Sample(rng));
+  }
+};
+
+}  // namespace pier
+
+#endif  // PIER_DATAGEN_VOCABULARY_H_

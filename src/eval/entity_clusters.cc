@@ -1,0 +1,65 @@
+#include "eval/entity_clusters.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pier {
+
+void EntityClusters::EnsureTracked(ProfileId id) {
+  if (id < parent_.size()) return;
+  const size_t old = parent_.size();
+  parent_.resize(id + 1);
+  size_.resize(id + 1, 1);
+  std::iota(parent_.begin() + static_cast<ptrdiff_t>(old), parent_.end(),
+            static_cast<ProfileId>(old));
+}
+
+ProfileId EntityClusters::Find(ProfileId id) {
+  EnsureTracked(id);
+  ProfileId root = id;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[id] != root) {  // path compression
+    const ProfileId next = parent_[id];
+    parent_[id] = root;
+    id = next;
+  }
+  return root;
+}
+
+bool EntityClusters::AddMatch(ProfileId a, ProfileId b) {
+  ProfileId ra = Find(a);
+  ProfileId rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);  // union by size
+  // Count cluster transitions: merging two singletons creates one
+  // non-trivial cluster; absorbing a non-trivial one removes one.
+  if (size_[ra] == 1 && size_[rb] == 1) {
+    ++num_merged_clusters_;
+  } else if (size_[ra] > 1 && size_[rb] > 1) {
+    --num_merged_clusters_;
+  }
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  return true;
+}
+
+size_t EntityClusters::ClusterSize(ProfileId id) {
+  return size_[Find(id)];
+}
+
+std::vector<std::vector<ProfileId>> EntityClusters::Clusters(
+    size_t min_size) {
+  std::unordered_map<ProfileId, std::vector<ProfileId>> by_root;
+  for (ProfileId id = 0; id < parent_.size(); ++id) {
+    by_root[Find(id)].push_back(id);
+  }
+  std::vector<std::vector<ProfileId>> out;
+  for (auto& [root, members] : by_root) {
+    if (members.size() >= min_size) out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return out;
+}
+
+}  // namespace pier

@@ -1,0 +1,57 @@
+// Incremental entity consolidation: maintains the connected components
+// of the match graph (profiles as nodes, discovered duplicate pairs as
+// edges) with a union-find structure, so downstream applications can
+// ask "which resolved entity does this profile belong to?" at any
+// point of the stream. This is the standard post-matching step of an
+// ER pipeline and completes the library's end-to-end story.
+
+#ifndef PIER_EVAL_ENTITY_CLUSTERS_H_
+#define PIER_EVAL_ENTITY_CLUSTERS_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "model/types.h"
+
+namespace pier {
+
+class EntityClusters {
+ public:
+  EntityClusters() = default;
+
+  // Records that a and b refer to the same real-world entity. Grows
+  // the universe as needed (ids are dense). Returns true if the edge
+  // merged two previously separate clusters.
+  bool AddMatch(ProfileId a, ProfileId b);
+
+  // Canonical representative of the cluster containing `id` (path
+  // compression; amortized near-O(1)). Ids never seen form singleton
+  // clusters.
+  ProfileId Find(ProfileId id);
+
+  bool SameEntity(ProfileId a, ProfileId b) { return Find(a) == Find(b); }
+
+  // Size of the cluster containing `id`.
+  size_t ClusterSize(ProfileId id);
+
+  // Number of profiles tracked so far (the universe size).
+  size_t universe_size() const { return parent_.size(); }
+
+  // Number of clusters with at least 2 members.
+  size_t NumNonTrivialClusters() const { return num_merged_clusters_; }
+
+  // Materializes all clusters of size >= min_size as member lists.
+  std::vector<std::vector<ProfileId>> Clusters(size_t min_size = 2);
+
+ private:
+  void EnsureTracked(ProfileId id);
+
+  std::vector<ProfileId> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_merged_clusters_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_EVAL_ENTITY_CLUSTERS_H_

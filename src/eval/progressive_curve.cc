@@ -1,0 +1,77 @@
+#include "eval/progressive_curve.h"
+
+#include <algorithm>
+
+namespace pier {
+
+uint64_t ProgressiveCurve::MatchesAtTime(double time) const {
+  uint64_t found = 0;
+  for (const auto& p : points_) {
+    if (p.time > time) break;
+    found = p.matches_found;
+  }
+  return found;
+}
+
+uint64_t ProgressiveCurve::MatchesAtComparisons(uint64_t comparisons) const {
+  uint64_t found = 0;
+  for (const auto& p : points_) {
+    if (p.comparisons > comparisons) break;
+    found = p.matches_found;
+  }
+  return found;
+}
+
+double ProgressiveCurve::PcAtTime(double time, uint64_t total_matches) const {
+  if (total_matches == 0) return 0.0;
+  return static_cast<double>(MatchesAtTime(time)) /
+         static_cast<double>(total_matches);
+}
+
+double ProgressiveCurve::AucOverTime(double horizon,
+                                     uint64_t total_matches) const {
+  if (total_matches == 0 || horizon <= 0.0 || points_.empty()) return 0.0;
+  double area = 0.0;
+  double prev_time = 0.0;
+  uint64_t prev_matches = 0;
+  for (const auto& p : points_) {
+    const double t = std::min(p.time, horizon);
+    if (t > prev_time) {
+      area += static_cast<double>(prev_matches) * (t - prev_time);
+    }
+    if (p.time >= horizon) {
+      prev_time = horizon;
+      prev_matches = p.matches_found;
+      break;
+    }
+    prev_time = t;
+    prev_matches = p.matches_found;
+  }
+  if (prev_time < horizon) {
+    area += static_cast<double>(prev_matches) * (horizon - prev_time);
+  }
+  return area / (static_cast<double>(total_matches) * horizon);
+}
+
+ProgressiveCurve ProgressiveCurve::Downsample(size_t max_points) const {
+  ProgressiveCurve out;
+  if (points_.size() <= max_points || max_points < 2) {
+    out.points_ = points_;
+    return out;
+  }
+  const double stride = static_cast<double>(points_.size() - 1) /
+                        static_cast<double>(max_points - 1);
+  size_t last_index = static_cast<size_t>(-1);
+  for (size_t i = 0; i < max_points; ++i) {
+    const size_t index = static_cast<size_t>(stride * static_cast<double>(i));
+    if (index == last_index) continue;
+    out.points_.push_back(points_[index]);
+    last_index = index;
+  }
+  if (out.points_.back().comparisons != points_.back().comparisons) {
+    out.points_.push_back(points_.back());
+  }
+  return out;
+}
+
+}  // namespace pier

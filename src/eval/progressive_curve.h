@@ -1,0 +1,50 @@
+// Progressive-quality recording: the (virtual time, executed
+// comparisons, true matches found) trajectory of one run. Pair
+// Completeness over time (Figures 2, 4, 6-8) and PC per emitted
+// comparison (Figures 5-6) are two projections of the same curve.
+
+#ifndef PIER_EVAL_PROGRESSIVE_CURVE_H_
+#define PIER_EVAL_PROGRESSIVE_CURVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pier {
+
+struct CurvePoint {
+  double time = 0.0;            // virtual seconds since stream start
+  uint64_t comparisons = 0;     // cumulative executed comparisons
+  uint64_t matches_found = 0;   // cumulative true matches emitted
+};
+
+class ProgressiveCurve {
+ public:
+  void Add(CurvePoint point) { points_.push_back(point); }
+
+  const std::vector<CurvePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Matches found no later than `time` (steps between points).
+  uint64_t MatchesAtTime(double time) const;
+  // Matches found within the first `comparisons` executed comparisons.
+  uint64_t MatchesAtComparisons(uint64_t comparisons) const;
+
+  // Pair completeness at `time` given the ground-truth match count.
+  double PcAtTime(double time, uint64_t total_matches) const;
+
+  // Normalized area under the PC-over-time curve on [0, horizon]:
+  // 1.0 would mean every match was found at t=0. The standard scalar
+  // summary of progressive behaviour.
+  double AucOverTime(double horizon, uint64_t total_matches) const;
+
+  // Thins the curve to at most `max_points` points (keeps first/last).
+  ProgressiveCurve Downsample(size_t max_points) const;
+
+ private:
+  std::vector<CurvePoint> points_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_EVAL_PROGRESSIVE_CURVE_H_

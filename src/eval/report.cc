@@ -1,0 +1,85 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+#include "util/csv_writer.h"
+
+namespace pier {
+
+void PrintCurveCsv(std::ostream& out, const std::vector<RunResult>& runs,
+                   size_t max_points) {
+  CsvWriter csv(out);
+  csv.WriteRow({"series", "time_s", "comparisons", "matches", "pc"});
+  for (const auto& run : runs) {
+    const ProgressiveCurve curve = run.curve.Downsample(max_points);
+    for (const auto& p : curve.points()) {
+      const double pc =
+          run.total_true_matches == 0
+              ? 0.0
+              : static_cast<double>(p.matches_found) /
+                    static_cast<double>(run.total_true_matches);
+      char time_buf[32];
+      char pc_buf[32];
+      std::snprintf(time_buf, sizeof(time_buf), "%.4f", p.time);
+      std::snprintf(pc_buf, sizeof(pc_buf), "%.4f", pc);
+      csv.WriteRow({run.algorithm, time_buf, std::to_string(p.comparisons),
+                    std::to_string(p.matches_found), pc_buf});
+    }
+  }
+}
+
+void PrintSummaryTable(std::ostream& out, const std::vector<RunResult>& runs,
+                       double horizon) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-14s %9s %9s %9s %9s %8s %9s %12s %10s\n", "algorithm",
+                "PC@25%", "PC@50%", "PC@final", "AUC", "tt50_s", "cmp(k)",
+                "consumed_s", "end_s");
+  out << line;
+  for (const auto& run : runs) {
+    const double pc25 = run.curve.PcAtTime(0.25 * horizon,
+                                           run.total_true_matches);
+    const double pc50 = run.curve.PcAtTime(0.50 * horizon,
+                                           run.total_true_matches);
+    const double auc = run.curve.AucOverTime(horizon, run.total_true_matches);
+    char consumed[32];
+    if (run.stream_consumed_at >= 0.0) {
+      std::snprintf(consumed, sizeof(consumed), "%.2f",
+                    run.stream_consumed_at);
+    } else {
+      std::snprintf(consumed, sizeof(consumed), "-");
+    }
+    char tt50[32];
+    const double time_to_half = run.TimeToPc(0.5);
+    if (time_to_half >= 0.0) {
+      std::snprintf(tt50, sizeof(tt50), "%.2f", time_to_half);
+    } else {
+      std::snprintf(tt50, sizeof(tt50), "-");
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-14s %9.3f %9.3f %9.3f %9.3f %8s %9.1f %12s %10.2f\n",
+                  run.algorithm.c_str(), pc25, pc50, run.FinalPc(), auc,
+                  tt50,
+                  static_cast<double>(run.comparisons_executed) / 1000.0,
+                  consumed, run.end_time);
+    out << line;
+  }
+}
+
+void PrintMatcherQualityTable(std::ostream& out,
+                              const std::vector<RunResult>& runs) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-14s %10s %10s %10s %10s\n",
+                "algorithm", "positives", "precision", "recall", "F1");
+  out << line;
+  for (const auto& run : runs) {
+    std::snprintf(line, sizeof(line), "%-14s %10llu %10.3f %10.3f %10.3f\n",
+                  run.algorithm.c_str(),
+                  static_cast<unsigned long long>(run.matcher_positives),
+                  run.MatcherPrecision(), run.MatcherRecall(),
+                  run.MatcherF1());
+    out << line;
+  }
+}
+
+}  // namespace pier

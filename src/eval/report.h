@@ -1,0 +1,34 @@
+// Textual reporting for the benchmark harnesses: CSV curve series
+// (one row per sampled point per algorithm) plus a human-readable
+// summary table mirroring what each paper figure conveys.
+
+#ifndef PIER_EVAL_REPORT_H_
+#define PIER_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eval/run_result.h"
+
+namespace pier {
+
+// Prints "series,time_s,comparisons,matches,pc" rows, downsampled to
+// at most `max_points` per run.
+void PrintCurveCsv(std::ostream& out, const std::vector<RunResult>& runs,
+                   size_t max_points = 64);
+
+// Prints a fixed-width summary: final PC, PC at several fractions of
+// the horizon, AUC, time-to-PC-0.5, comparisons, stream-consumption
+// marker.
+void PrintSummaryTable(std::ostream& out, const std::vector<RunResult>& runs,
+                       double horizon);
+
+// Prints the matcher-output quality per run: positive classifications,
+// precision, recall (w.r.t. the full ground truth), F1.
+void PrintMatcherQualityTable(std::ostream& out,
+                              const std::vector<RunResult>& runs);
+
+}  // namespace pier
+
+#endif  // PIER_EVAL_REPORT_H_

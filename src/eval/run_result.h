@@ -1,0 +1,83 @@
+// The outcome of one simulated ER run: identity, progressive curve,
+// and summary statistics. Produced by the stream simulator, consumed
+// by the report printers and by EXPERIMENTS.md numbers.
+
+#ifndef PIER_EVAL_RUN_RESULT_H_
+#define PIER_EVAL_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "eval/progressive_curve.h"
+
+namespace pier {
+
+struct RunResult {
+  std::string algorithm;
+  std::string dataset;
+  std::string matcher;
+
+  ProgressiveCurve curve;
+
+  uint64_t total_true_matches = 0;   // |M| (PC denominator)
+  uint64_t comparisons_executed = 0;
+  uint64_t matches_found = 0;
+
+  // Matcher-output quality (beyond the paper's PC focus): how many
+  // executed comparisons the matcher classified positive, and how many
+  // of those are true duplicates.
+  uint64_t matcher_positives = 0;
+  uint64_t matcher_true_positives = 0;
+
+  // Virtual time at which the last increment was ingested; < 0 when
+  // the stream was not fully consumed within the budget (this is the
+  // "x" marker of Figures 7-8).
+  double stream_consumed_at = -1.0;
+  // Virtual time at which the run finished or hit the budget.
+  double end_time = 0.0;
+
+  double FinalPc() const {
+    return total_true_matches == 0
+               ? 0.0
+               : static_cast<double>(matches_found) /
+                     static_cast<double>(total_true_matches);
+  }
+
+  // Precision of the matcher's positive classifications.
+  double MatcherPrecision() const {
+    return matcher_positives == 0
+               ? 0.0
+               : static_cast<double>(matcher_true_positives) /
+                     static_cast<double>(matcher_positives);
+  }
+
+  // Recall of the matcher over the full ground truth (bounded by PC:
+  // a pair never emitted can never be classified).
+  double MatcherRecall() const {
+    return total_true_matches == 0
+               ? 0.0
+               : static_cast<double>(matcher_true_positives) /
+                     static_cast<double>(total_true_matches);
+  }
+
+  double MatcherF1() const {
+    const double p = MatcherPrecision();
+    const double r = MatcherRecall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  // Earliest recorded virtual time at which PC reached `target`
+  // (fraction of all true matches); negative if never reached.
+  double TimeToPc(double target) const {
+    const uint64_t needed = static_cast<uint64_t>(
+        target * static_cast<double>(total_true_matches));
+    for (const auto& p : curve.points()) {
+      if (p.matches_found >= needed && needed > 0) return p.time;
+    }
+    return -1.0;
+  }
+};
+
+}  // namespace pier
+
+#endif  // PIER_EVAL_RUN_RESULT_H_

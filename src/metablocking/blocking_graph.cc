@@ -1,0 +1,56 @@
+#include "metablocking/blocking_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pier {
+
+size_t BlockingGraph::Build(const WeightingContext& ctx, ProfileId limit,
+                            uint64_t* visits) {
+  PIER_CHECK(ctx.blocks != nullptr && ctx.profiles != nullptr);
+  PIER_CHECK(limit <= ctx.profiles->size());
+  adjacency_.assign(limit, {});
+  num_edges_ = 0;
+
+  std::vector<TokenId> active_blocks;
+  for (ProfileId x = 0; x < limit; ++x) {
+    const EntityProfile& profile = ctx.profiles->Get(x);
+    active_blocks.clear();
+    for (const TokenId token : profile.tokens) {
+      if (ctx.blocks->IsActive(token)) active_blocks.push_back(token);
+    }
+    // only_older_neighbors guarantees each undirected edge is created
+    // exactly once (from its larger endpoint).
+    for (auto& edge :
+         GenerateWeightedComparisons(ctx, profile, active_blocks,
+                                     /*only_older_neighbors=*/true,
+                                     visits)) {
+      if (edge.y >= limit) continue;
+      adjacency_[edge.x].push_back(edge);
+      adjacency_[edge.y].push_back(edge);
+      ++num_edges_;
+    }
+  }
+
+  const CompareByWeight less;
+  for (auto& edges : adjacency_) {
+    std::sort(edges.begin(), edges.end(),
+              [&less](const Comparison& a, const Comparison& b) {
+                return less(b, a);  // weight descending
+              });
+  }
+  return num_edges_;
+}
+
+const std::vector<Comparison>& BlockingGraph::Edges(ProfileId id) const {
+  PIER_DCHECK(id < adjacency_.size());
+  return adjacency_[id];
+}
+
+double BlockingGraph::NodeWeight(ProfileId id) const {
+  const auto& edges = Edges(id);
+  return edges.empty() ? 0.0 : edges.front().weight;
+}
+
+}  // namespace pier

@@ -1,0 +1,51 @@
+// Batch meta-blocking graph: nodes are profiles, weighted edges
+// connect profiles sharing at least one block. Needed by the batch
+// progressive baselines (PPS keeps per-node sorted edge lists and node
+// duplication likelihoods). Building it over the full dataset is the
+// expensive pre-analysis step whose cost the PIER algorithms avoid
+// (Section 6: "the incremental building, maintaining, and updating of
+// the meta-blocking graph is very costly").
+
+#ifndef PIER_METABLOCKING_BLOCKING_GRAPH_H_
+#define PIER_METABLOCKING_BLOCKING_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metablocking/weighting.h"
+#include "model/comparison.h"
+#include "model/types.h"
+
+namespace pier {
+
+class BlockingGraph {
+ public:
+  BlockingGraph() = default;
+
+  // Builds the graph over all profiles currently in ctx.profiles,
+  // restricted to profile ids in [0, limit) (limit = store size for
+  // the full graph). Existing content is discarded. Returns the number
+  // of undirected edges created. `visits`, when non-null, receives the
+  // raw block-member iteration count (the true build cost).
+  size_t Build(const WeightingContext& ctx, ProfileId limit,
+               uint64_t* visits = nullptr);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  // Edges incident to `id`, sorted by weight descending. Each
+  // undirected edge appears in both endpoints' lists.
+  const std::vector<Comparison>& Edges(ProfileId id) const;
+
+  // Duplication likelihood of a node: the weight of its best incident
+  // edge (0 for isolated nodes).
+  double NodeWeight(ProfileId id) const;
+
+ private:
+  std::vector<std::vector<Comparison>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_METABLOCKING_BLOCKING_GRAPH_H_

@@ -1,0 +1,109 @@
+#include "metablocking/comparison_cleaning.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hashing.h"
+
+namespace pier {
+
+namespace {
+
+// All undirected edges exactly once (from the adjacency of the larger
+// endpoint, mirroring how BlockingGraph creates them).
+std::vector<Comparison> UniqueEdges(const BlockingGraph& graph) {
+  std::vector<Comparison> edges;
+  for (ProfileId id = 0; id < graph.num_nodes(); ++id) {
+    for (const auto& edge : graph.Edges(id)) {
+      if (std::max(edge.x, edge.y) == id) edges.push_back(edge);
+    }
+  }
+  return edges;
+}
+
+void SortByWeightDesc(std::vector<Comparison>& edges) {
+  const CompareByWeight less;
+  std::sort(edges.begin(), edges.end(),
+            [&less](const Comparison& a, const Comparison& b) {
+              return less(b, a);
+            });
+}
+
+}  // namespace
+
+const char* ToString(PruningAlgorithm algorithm) {
+  switch (algorithm) {
+    case PruningAlgorithm::kWep:
+      return "WEP";
+    case PruningAlgorithm::kCep:
+      return "CEP";
+    case PruningAlgorithm::kWnp:
+      return "WNP";
+    case PruningAlgorithm::kCnp:
+      return "CNP";
+  }
+  return "?";
+}
+
+std::vector<Comparison> PruneComparisons(const BlockingGraph& graph,
+                                         PruningAlgorithm algorithm,
+                                         PruningOptions options) {
+  std::vector<Comparison> retained;
+
+  switch (algorithm) {
+    case PruningAlgorithm::kWep: {
+      std::vector<Comparison> edges = UniqueEdges(graph);
+      double total = 0.0;
+      for (const auto& e : edges) total += e.weight;
+      const double mean =
+          edges.empty() ? 0.0 : total / static_cast<double>(edges.size());
+      for (const auto& e : edges) {
+        if (e.weight >= mean) retained.push_back(e);
+      }
+      break;
+    }
+    case PruningAlgorithm::kCep: {
+      retained = UniqueEdges(graph);
+      SortByWeightDesc(retained);
+      if (retained.size() > options.cep_k) {
+        retained.resize(options.cep_k);
+      }
+      break;
+    }
+    case PruningAlgorithm::kWnp: {
+      // An edge survives if at least one endpoint's neighbourhood mean
+      // admits it (the standard "redefined" WNP union semantics).
+      std::unordered_set<uint64_t> kept;
+      for (ProfileId id = 0; id < graph.num_nodes(); ++id) {
+        const auto& edges = graph.Edges(id);
+        if (edges.empty()) continue;
+        double total = 0.0;
+        for (const auto& e : edges) total += e.weight;
+        const double mean = total / static_cast<double>(edges.size());
+        for (const auto& e : edges) {
+          if (e.weight >= mean) kept.insert(e.Key());
+        }
+      }
+      for (auto& e : UniqueEdges(graph)) {
+        if (kept.count(e.Key())) retained.push_back(e);
+      }
+      break;
+    }
+    case PruningAlgorithm::kCnp: {
+      std::unordered_set<uint64_t> kept;
+      for (ProfileId id = 0; id < graph.num_nodes(); ++id) {
+        const auto& edges = graph.Edges(id);  // weight-desc already
+        const size_t limit = std::min(options.cnp_k, edges.size());
+        for (size_t i = 0; i < limit; ++i) kept.insert(edges[i].Key());
+      }
+      for (auto& e : UniqueEdges(graph)) {
+        if (kept.count(e.Key())) retained.push_back(e);
+      }
+      break;
+    }
+  }
+  SortByWeightDesc(retained);
+  return retained;
+}
+
+}  // namespace pier

@@ -1,0 +1,49 @@
+// Batch comparison cleaning: the four classic meta-blocking pruning
+// algorithms (Papadakis et al., TKDE 2013 [25]) over a built blocking
+// graph. The paper's incremental pipeline replaces these with I-WNP
+// (i_wnp.h); the batch variants complete the substrate and let the
+// batch-ER baseline run with meta-blocking, as JedAI pipelines do.
+//
+//   WEP (weighted edge pruning):    keep edges >= global mean weight.
+//   CEP (cardinality edge pruning): keep the globally top-K edges.
+//   WNP (weighted node pruning):    per node, keep edges >= the node's
+//                                   mean weight (an edge survives if
+//                                   either endpoint keeps it).
+//   CNP (cardinality node pruning): per node, keep the top-k edges.
+
+#ifndef PIER_METABLOCKING_COMPARISON_CLEANING_H_
+#define PIER_METABLOCKING_COMPARISON_CLEANING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "metablocking/blocking_graph.h"
+#include "model/comparison.h"
+
+namespace pier {
+
+enum class PruningAlgorithm : uint8_t {
+  kWep = 0,
+  kCep = 1,
+  kWnp = 2,
+  kCnp = 3,
+};
+
+const char* ToString(PruningAlgorithm algorithm);
+
+struct PruningOptions {
+  // CEP: number of edges retained globally.
+  size_t cep_k = 1000;
+  // CNP: number of edges retained per node.
+  size_t cnp_k = 10;
+};
+
+// Returns the retained comparisons, each undirected edge exactly once,
+// sorted by weight descending (deterministic tie-break).
+std::vector<Comparison> PruneComparisons(const BlockingGraph& graph,
+                                         PruningAlgorithm algorithm,
+                                         PruningOptions options = {});
+
+}  // namespace pier
+
+#endif  // PIER_METABLOCKING_COMPARISON_CLEANING_H_

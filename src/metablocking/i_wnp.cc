@@ -1,0 +1,24 @@
+#include "metablocking/i_wnp.h"
+
+#include <algorithm>
+
+namespace pier {
+
+double MeanWeight(const std::vector<Comparison>& candidates) {
+  if (candidates.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& c : candidates) total += c.weight;
+  return total / static_cast<double>(candidates.size());
+}
+
+std::vector<Comparison> IWnpPrune(std::vector<Comparison> candidates) {
+  if (candidates.size() <= 1) return candidates;
+  const double mean = MeanWeight(candidates);
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [mean](const Comparison& c) { return c.weight < mean; }),
+      candidates.end());
+  return candidates;
+}
+
+}  // namespace pier

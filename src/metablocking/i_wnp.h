@@ -1,0 +1,28 @@
+// I-WNP: incremental Weighted Node Pruning (Gazzarri & Herschel, ICDE
+// 2021 [17]). Given the weighted comparison candidates of one
+// profile's neighbourhood, it discards every candidate whose weight is
+// below the neighbourhood's mean weight. This is the incremental
+// comparison-cleaning step invoked by I-PCS and I-PES (Algorithm 2,
+// line 8).
+
+#ifndef PIER_METABLOCKING_I_WNP_H_
+#define PIER_METABLOCKING_I_WNP_H_
+
+#include <vector>
+
+#include "model/comparison.h"
+
+namespace pier {
+
+// Returns the retained candidates (weight >= mean weight of the input
+// list). An empty input yields an empty output; a single candidate is
+// always retained.
+std::vector<Comparison> IWnpPrune(std::vector<Comparison> candidates);
+
+// The mean weight of a candidate list (0.0 for an empty list);
+// exposed for tests and diagnostics.
+double MeanWeight(const std::vector<Comparison>& candidates);
+
+}  // namespace pier
+
+#endif  // PIER_METABLOCKING_I_WNP_H_

@@ -1,0 +1,100 @@
+#include "metablocking/weighting.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "similarity/string_distance.h"
+#include "util/check.h"
+
+namespace pier {
+
+namespace {
+
+struct NeighborStats {
+  uint32_t cbs = 0;
+  double arcs = 0.0;
+};
+
+double SafeLog(double x) { return std::log(x < 1.01 ? 1.01 : x); }
+
+}  // namespace
+
+const char* ToString(WeightingScheme scheme) {
+  switch (scheme) {
+    case WeightingScheme::kCbs:
+      return "CBS";
+    case WeightingScheme::kEcbs:
+      return "ECBS";
+    case WeightingScheme::kJs:
+      return "JS";
+    case WeightingScheme::kArcs:
+      return "ARCS";
+  }
+  return "?";
+}
+
+std::vector<Comparison> GenerateWeightedComparisons(
+    const WeightingContext& ctx, const EntityProfile& x,
+    const std::vector<TokenId>& retained_blocks, bool only_older_neighbors,
+    uint64_t* visits) {
+  PIER_DCHECK(ctx.blocks != nullptr && ctx.profiles != nullptr);
+  const BlockCollection& blocks = *ctx.blocks;
+  const DatasetKind kind = blocks.kind();
+
+  std::unordered_map<ProfileId, NeighborStats> neighbors;
+  for (const TokenId token : retained_blocks) {
+    const Block& b = blocks.block(token);
+    const double arcs_share =
+        1.0 / static_cast<double>(
+                  std::max<uint64_t>(1, b.NumComparisons(kind)));
+    const SourceId lo =
+        kind == DatasetKind::kCleanClean ? static_cast<SourceId>(1 - x.source)
+                                         : static_cast<SourceId>(0);
+    const SourceId hi = kind == DatasetKind::kCleanClean
+                            ? lo
+                            : static_cast<SourceId>(1);
+    for (SourceId s = lo; s <= hi; ++s) {
+      if (visits != nullptr) *visits += b.members[s].size();
+      for (const ProfileId y : b.members[s]) {
+        if (y == x.id) continue;
+        if (only_older_neighbors && y > x.id) continue;
+        NeighborStats& stats = neighbors[y];
+        ++stats.cbs;
+        stats.arcs += arcs_share;
+      }
+    }
+  }
+
+  std::vector<Comparison> out;
+  out.reserve(neighbors.size());
+  const double num_blocks = static_cast<double>(blocks.NumBlocks());
+  const double bx = static_cast<double>(x.tokens.size());
+  for (const auto& [y, stats] : neighbors) {
+    const double by =
+        static_cast<double>(ctx.profiles->Get(y).tokens.size());
+    double w = 0.0;
+    switch (ctx.scheme) {
+      case WeightingScheme::kCbs:
+        w = stats.cbs;
+        break;
+      case WeightingScheme::kEcbs:
+        w = stats.cbs * SafeLog(num_blocks / std::max(1.0, bx)) *
+            SafeLog(num_blocks / std::max(1.0, by));
+        break;
+      case WeightingScheme::kJs:
+        w = stats.cbs / (bx + by - stats.cbs);
+        break;
+      case WeightingScheme::kArcs:
+        w = stats.arcs;
+        break;
+    }
+    out.emplace_back(x.id, y, w);
+  }
+  return out;
+}
+
+double PairCbsWeight(const EntityProfile& a, const EntityProfile& b) {
+  return static_cast<double>(IntersectionSize(a.tokens, b.tokens));
+}
+
+}  // namespace pier

@@ -1,0 +1,68 @@
+// A complete benchmark dataset: profiles in stream (arrival) order,
+// ground truth, and metadata. Produced by the generators in
+// src/datagen/ and consumed by the stream simulator.
+
+#ifndef PIER_MODEL_DATASET_H_
+#define PIER_MODEL_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "model/entity_profile.h"
+#include "model/ground_truth.h"
+#include "model/types.h"
+
+namespace pier {
+
+struct Dataset {
+  std::string name;
+  DatasetKind kind = DatasetKind::kDirty;
+
+  // Profiles in the order they stream in. For Clean-Clean datasets
+  // profiles of both sources are interleaved, mirroring two live feeds.
+  std::vector<EntityProfile> profiles;
+
+  GroundTruth truth;
+
+  size_t NumProfiles(SourceId source) const {
+    size_t n = 0;
+    for (const auto& p : profiles) {
+      if (p.source == source) ++n;
+    }
+    return n;
+  }
+};
+
+// A data increment Delta-D: a contiguous batch of profiles arriving at
+// one time instant (Section 2.3).
+struct Increment {
+  // Index range [begin, end) into Dataset::profiles.
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+// Splits a dataset into `n` equi-sized increments (the last one takes
+// the remainder), as done for all experiments in Section 7.
+inline std::vector<Increment> SplitIntoIncrements(const Dataset& dataset,
+                                                  size_t n) {
+  std::vector<Increment> increments;
+  if (n == 0 || dataset.profiles.empty()) return increments;
+  const size_t total = dataset.profiles.size();
+  if (n > total) n = total;
+  const size_t base = total / n;
+  const size_t extra = total % n;
+  size_t begin = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t len = base + (i < extra ? 1 : 0);
+    increments.push_back(Increment{begin, begin + len});
+    begin += len;
+  }
+  return increments;
+}
+
+}  // namespace pier
+
+#endif  // PIER_MODEL_DATASET_H_

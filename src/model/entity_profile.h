@@ -1,0 +1,48 @@
+// Schema-agnostic entity profiles: a profile is a bag of (attribute
+// name, value) pairs with no schema assumptions; different profiles --
+// even of the same real-world entity -- may use entirely different
+// attribute names (Section 1: "variety").
+
+#ifndef PIER_MODEL_ENTITY_PROFILE_H_
+#define PIER_MODEL_ENTITY_PROFILE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/types.h"
+
+namespace pier {
+
+// One attribute of a profile. Plain data carrier.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+// A profile describing one real-world entity as found in one source.
+// Plain data carrier: `tokens` and `flat_text` are derived fields
+// filled in by the Data Reading step (text/tokenizer.h) and empty
+// until then.
+struct EntityProfile {
+  ProfileId id = kInvalidProfileId;
+  SourceId source = 0;
+  std::vector<Attribute> attributes;
+
+  // Sorted, de-duplicated token ids over all attribute values
+  // (schema-agnostic: attribute names do not contribute tokens).
+  std::vector<TokenId> tokens;
+
+  // Normalized concatenation of all attribute values; input to
+  // string-level match functions such as edit distance.
+  std::string flat_text;
+
+  EntityProfile() = default;
+  EntityProfile(ProfileId id_in, SourceId source_in,
+                std::vector<Attribute> attributes_in)
+      : id(id_in), source(source_in), attributes(std::move(attributes_in)) {}
+};
+
+}  // namespace pier
+
+#endif  // PIER_MODEL_ENTITY_PROFILE_H_

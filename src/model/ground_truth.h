@@ -1,0 +1,36 @@
+// Ground truth for evaluation: the set of true duplicate pairs. Only
+// the evaluation layer reads it; no algorithm may consult it.
+
+#ifndef PIER_MODEL_GROUND_TRUTH_H_
+#define PIER_MODEL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "model/types.h"
+#include "util/hashing.h"
+
+namespace pier {
+
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  void AddMatch(ProfileId a, ProfileId b) { pairs_.insert(PairKey(a, b)); }
+
+  bool IsMatch(ProfileId a, ProfileId b) const {
+    return pairs_.count(PairKey(a, b)) > 0;
+  }
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  const std::unordered_set<uint64_t>& pairs() const { return pairs_; }
+
+ private:
+  std::unordered_set<uint64_t> pairs_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_MODEL_GROUND_TRUTH_H_

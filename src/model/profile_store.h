@@ -1,0 +1,49 @@
+// Append-only store of all profiles ingested so far, indexed by their
+// dense ProfileId. Shared by blocking, prioritization, and matching.
+
+#ifndef PIER_MODEL_PROFILE_STORE_H_
+#define PIER_MODEL_PROFILE_STORE_H_
+
+#include <utility>
+#include <vector>
+
+#include "model/entity_profile.h"
+#include "model/types.h"
+#include "util/check.h"
+
+namespace pier {
+
+class ProfileStore {
+ public:
+  ProfileStore() = default;
+
+  ProfileStore(const ProfileStore&) = delete;
+  ProfileStore& operator=(const ProfileStore&) = delete;
+
+  // Appends a profile; its id must equal the current size (dense ids
+  // in ingestion order).
+  void Add(EntityProfile profile) {
+    PIER_CHECK(profile.id == profiles_.size());
+    profiles_.push_back(std::move(profile));
+  }
+
+  const EntityProfile& Get(ProfileId id) const {
+    PIER_DCHECK(id < profiles_.size());
+    return profiles_[id];
+  }
+
+  EntityProfile& GetMutable(ProfileId id) {
+    PIER_DCHECK(id < profiles_.size());
+    return profiles_[id];
+  }
+
+  size_t size() const { return profiles_.size(); }
+  bool empty() const { return profiles_.empty(); }
+
+ private:
+  std::vector<EntityProfile> profiles_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_MODEL_PROFILE_STORE_H_

@@ -1,0 +1,37 @@
+#include "model/token_dictionary.h"
+
+#include "util/check.h"
+
+namespace pier {
+
+TokenId TokenDictionary::Intern(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(spellings_.size());
+  spellings_.emplace_back(token);
+  doc_frequency_.push_back(0);
+  ids_.emplace(spellings_.back(), id);
+  return id;
+}
+
+TokenId TokenDictionary::Lookup(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kInvalidTokenId : it->second;
+}
+
+const std::string& TokenDictionary::Spelling(TokenId id) const {
+  PIER_DCHECK(id < spellings_.size());
+  return spellings_[id];
+}
+
+uint32_t TokenDictionary::DocFrequency(TokenId id) const {
+  PIER_DCHECK(id < doc_frequency_.size());
+  return doc_frequency_[id];
+}
+
+void TokenDictionary::IncrementDocFrequency(TokenId id) {
+  PIER_DCHECK(id < doc_frequency_.size());
+  ++doc_frequency_[id];
+}
+
+}  // namespace pier

@@ -1,0 +1,50 @@
+// Incremental token dictionary: interns token strings to dense
+// TokenIds. The blocking layer keys its block collection by TokenId,
+// so the dictionary is shared state between Data Reading and
+// Incremental Blocking. It also tracks per-token document frequency,
+// which the EJS weighting scheme consumes.
+
+#ifndef PIER_MODEL_TOKEN_DICTIONARY_H_
+#define PIER_MODEL_TOKEN_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "model/types.h"
+
+namespace pier {
+
+class TokenDictionary {
+ public:
+  TokenDictionary() = default;
+
+  // Not copyable (dictionaries are large and shared by reference).
+  TokenDictionary(const TokenDictionary&) = delete;
+  TokenDictionary& operator=(const TokenDictionary&) = delete;
+
+  // Returns the id for `token`, interning it if new.
+  TokenId Intern(std::string_view token);
+
+  // Returns the id for `token` or kInvalidTokenId if never interned.
+  TokenId Lookup(std::string_view token) const;
+
+  const std::string& Spelling(TokenId id) const;
+
+  // Number of profiles whose token set contains `id` (document
+  // frequency); maintained by IncrementDocFrequency.
+  uint32_t DocFrequency(TokenId id) const;
+  void IncrementDocFrequency(TokenId id);
+
+  size_t size() const { return spellings_.size(); }
+
+ private:
+  std::unordered_map<std::string, TokenId> ids_;
+  std::vector<std::string> spellings_;
+  std::vector<uint32_t> doc_frequency_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_MODEL_TOKEN_DICTIONARY_H_

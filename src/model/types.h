@@ -1,0 +1,40 @@
+// Fundamental identifier types shared across the pier library.
+
+#ifndef PIER_MODEL_TYPES_H_
+#define PIER_MODEL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace pier {
+
+// Dense, append-only profile identifier: the i-th profile ever ingested
+// has id i. All indexes (blocks, stores, queues) exploit this density.
+using ProfileId = uint32_t;
+
+// Dense token identifier assigned by the TokenDictionary.
+using TokenId = uint32_t;
+
+// Identifier of the originating data source. Clean-Clean ER uses
+// sources 0 and 1; Dirty ER uses a single source 0.
+using SourceId = uint8_t;
+
+inline constexpr ProfileId kInvalidProfileId =
+    std::numeric_limits<ProfileId>::max();
+inline constexpr TokenId kInvalidTokenId =
+    std::numeric_limits<TokenId>::max();
+
+// Whether a dataset holds one dirty source (duplicates within) or two
+// clean sources (duplicates only across sources). See Section 2.1.
+enum class DatasetKind : uint8_t {
+  kDirty = 0,
+  kCleanClean = 1,
+};
+
+inline const char* ToString(DatasetKind kind) {
+  return kind == DatasetKind::kDirty ? "dirty" : "clean-clean";
+}
+
+}  // namespace pier
+
+#endif  // PIER_MODEL_TYPES_H_

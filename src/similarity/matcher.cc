@@ -1,0 +1,36 @@
+#include "similarity/matcher.h"
+
+#include <string_view>
+
+#include "similarity/string_distance.h"
+
+namespace pier {
+
+double JaccardMatcher::Similarity(const EntityProfile& a,
+                                  const EntityProfile& b) const {
+  return JaccardSimilarity(a.tokens, b.tokens);
+}
+
+double EditDistanceMatcher::Similarity(const EntityProfile& a,
+                                       const EntityProfile& b) const {
+  const std::string_view ta =
+      std::string_view(a.flat_text).substr(0, max_text_length_);
+  const std::string_view tb =
+      std::string_view(b.flat_text).substr(0, max_text_length_);
+  return NormalizedEditSimilarity(ta, tb);
+}
+
+double CosineMatcher::Similarity(const EntityProfile& a,
+                                 const EntityProfile& b) const {
+  return CosineSimilarity(a.tokens, b.tokens);
+}
+
+std::unique_ptr<Matcher> MakeMatcher(const std::string& name,
+                                     double threshold) {
+  if (name == "JS") return std::make_unique<JaccardMatcher>(threshold);
+  if (name == "ED") return std::make_unique<EditDistanceMatcher>(threshold);
+  if (name == "COS") return std::make_unique<CosineMatcher>(threshold);
+  return nullptr;
+}
+
+}  // namespace pier

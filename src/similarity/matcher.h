@@ -1,0 +1,110 @@
+// Match functions M (Section 2.1): given two profiles, compute a
+// similarity and classify the pair as match/non-match against a
+// threshold. The paper evaluates two pipeline configurations: a cheap
+// matcher (Jaccard over token sets, "JS") and an expensive matcher
+// (edit distance over the flat profile text, "ED"); the PIER
+// algorithms adapt K to whichever is plugged in.
+//
+// CostUnits() reports a deterministic, input-dependent work estimate
+// used by the ModeledCostMeter so simulations are reproducible; the
+// MeasuredCostMeter ignores it and uses wall time.
+
+#ifndef PIER_SIMILARITY_MATCHER_H_
+#define PIER_SIMILARITY_MATCHER_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "model/entity_profile.h"
+
+namespace pier {
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  // Similarity in [0, 1]; higher means more similar.
+  virtual double Similarity(const EntityProfile& a,
+                            const EntityProfile& b) const = 0;
+
+  // Deterministic work estimate for computing Similarity(a, b).
+  virtual uint64_t CostUnits(const EntityProfile& a,
+                             const EntityProfile& b) const = 0;
+
+  virtual const char* name() const = 0;
+
+  double threshold() const { return threshold_; }
+
+  bool Matches(const EntityProfile& a, const EntityProfile& b) const {
+    return Similarity(a, b) >= threshold_;
+  }
+
+ protected:
+  explicit Matcher(double threshold) : threshold_(threshold) {}
+
+ private:
+  double threshold_;
+};
+
+// "JS": Jaccard similarity over the schema-agnostic token sets. Cheap:
+// linear in the token counts.
+class JaccardMatcher : public Matcher {
+ public:
+  explicit JaccardMatcher(double threshold = 0.5) : Matcher(threshold) {}
+
+  double Similarity(const EntityProfile& a,
+                    const EntityProfile& b) const override;
+  uint64_t CostUnits(const EntityProfile& a,
+                     const EntityProfile& b) const override {
+    return a.tokens.size() + b.tokens.size() + 1;
+  }
+  const char* name() const override { return "JS"; }
+};
+
+// "ED": normalized Levenshtein similarity over the flat profile text.
+// Expensive: quadratic in the text lengths (capped at max_text_length
+// to guard against degenerate profiles).
+class EditDistanceMatcher : public Matcher {
+ public:
+  explicit EditDistanceMatcher(double threshold = 0.8,
+                               size_t max_text_length = 512)
+      : Matcher(threshold), max_text_length_(max_text_length) {}
+
+  double Similarity(const EntityProfile& a,
+                    const EntityProfile& b) const override;
+  uint64_t CostUnits(const EntityProfile& a,
+                     const EntityProfile& b) const override {
+    const uint64_t la = std::min(a.flat_text.size(), max_text_length_);
+    const uint64_t lb = std::min(b.flat_text.size(), max_text_length_);
+    return la * lb + 1;
+  }
+  const char* name() const override { return "ED"; }
+
+ private:
+  size_t max_text_length_;
+};
+
+// Set cosine over token sets; same cost class as Jaccard. Provided as
+// an extension point beyond the paper's two configurations.
+class CosineMatcher : public Matcher {
+ public:
+  explicit CosineMatcher(double threshold = 0.6) : Matcher(threshold) {}
+
+  double Similarity(const EntityProfile& a,
+                    const EntityProfile& b) const override;
+  uint64_t CostUnits(const EntityProfile& a,
+                     const EntityProfile& b) const override {
+    return a.tokens.size() + b.tokens.size() + 1;
+  }
+  const char* name() const override { return "COS"; }
+};
+
+// Factory by configuration name ("JS", "ED", "COS"); returns nullptr
+// for unknown names.
+std::unique_ptr<Matcher> MakeMatcher(const std::string& name,
+                                     double threshold);
+
+}  // namespace pier
+
+#endif  // PIER_SIMILARITY_MATCHER_H_

@@ -1,0 +1,115 @@
+#include "similarity/string_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pier {
+
+size_t IntersectionSize(const std::vector<TokenId>& a,
+                        const std::vector<TokenId>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+double JaccardSimilarity(const std::vector<TokenId>& a,
+                         const std::vector<TokenId>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t common = IntersectionSize(a, b);
+  const size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 1.0 : static_cast<double>(common) / uni;
+}
+
+double OverlapCoefficient(const std::vector<TokenId>& a,
+                          const std::vector<TokenId>& b) {
+  if (a.empty() || b.empty()) return 1.0;
+  const size_t common = IntersectionSize(a, b);
+  return static_cast<double>(common) / std::min(a.size(), b.size());
+}
+
+double CosineSimilarity(const std::vector<TokenId>& a,
+                        const std::vector<TokenId>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t common = IntersectionSize(a, b);
+  return static_cast<double>(common) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), size_t{0});
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];  // D[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];  // D[i-1][j]
+      const size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, up + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t LevenshteinBounded(std::string_view a, std::string_view b,
+                          size_t max_dist) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (a.size() - b.size() > max_dist) return max_dist + 1;
+  if (b.empty()) return a.size();
+  constexpr size_t kInf = static_cast<size_t>(-1) / 2;
+  const size_t m = b.size();
+  std::vector<size_t> row(m + 1);
+  std::iota(row.begin(), row.end(), size_t{0});
+  for (size_t i = 1; i <= a.size(); ++i) {
+    // Only columns j with |i - j| <= max_dist can lead to a distance
+    // within the bound (Ukkonen's band).
+    const size_t lo = i > max_dist ? i - max_dist : 1;
+    const size_t hi = std::min(m, i + max_dist);
+    size_t diag = row[lo - 1];                 // D[i-1][lo-1]
+    size_t left = lo == 1 ? i : kInf;          // D[i][lo-1]
+    if (lo == 1) row[0] = i;
+    size_t row_min = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      const size_t up = row[j];  // D[i-1][j]
+      const size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      size_t best = diag + cost;
+      if (up + 1 < best) best = up + 1;
+      if (left + 1 < best) best = left + 1;
+      row[j] = best;
+      left = best;
+      diag = up;
+      if (best < row_min) row_min = best;
+    }
+    // Invalidate the cell right of the band so the next row does not
+    // read a stale value as its `up` neighbour.
+    if (hi < m) row[hi + 1] = kInf;
+    if (row_min > max_dist) return max_dist + 1;
+  }
+  return row[m] <= max_dist ? row[m] : max_dist + 1;
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t max_len = std::max(a.size(), b.size());
+  const size_t dist = Levenshtein(a, b);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(max_len);
+}
+
+}  // namespace pier

@@ -1,0 +1,47 @@
+// String and token-set similarity primitives used by the match
+// functions. All token-set functions take *sorted, de-duplicated*
+// TokenId vectors (the invariant EntityProfile::tokens maintains).
+
+#ifndef PIER_SIMILARITY_STRING_DISTANCE_H_
+#define PIER_SIMILARITY_STRING_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "model/types.h"
+
+namespace pier {
+
+// Number of common elements of two sorted unique vectors.
+size_t IntersectionSize(const std::vector<TokenId>& a,
+                        const std::vector<TokenId>& b);
+
+// |a n b| / |a u b|; 1.0 when both empty.
+double JaccardSimilarity(const std::vector<TokenId>& a,
+                         const std::vector<TokenId>& b);
+
+// |a n b| / min(|a|, |b|); 1.0 when either is empty.
+double OverlapCoefficient(const std::vector<TokenId>& a,
+                          const std::vector<TokenId>& b);
+
+// |a n b| / sqrt(|a| * |b|) (set cosine); 1.0 when both empty.
+double CosineSimilarity(const std::vector<TokenId>& a,
+                        const std::vector<TokenId>& b);
+
+// Levenshtein edit distance (unit costs), O(|a| * |b|) time,
+// O(min(|a|, |b|)) space.
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+// Levenshtein with early abandoning: returns the exact distance if it
+// is <= max_dist, otherwise any value > max_dist. Uses the band
+// |i - j| <= max_dist (Ukkonen), so it runs in O(max_dist * min_len).
+size_t LevenshteinBounded(std::string_view a, std::string_view b,
+                          size_t max_dist);
+
+// 1 - dist / max(|a|, |b|); 1.0 when both empty.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace pier
+
+#endif  // PIER_SIMILARITY_STRING_DISTANCE_H_

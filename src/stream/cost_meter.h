@@ -1,0 +1,76 @@
+// Virtual-time cost attribution (DESIGN.md "Virtual time"): the
+// simulator charges every pipeline operation a duration, either the
+// *measured* wall time of the real C++ computation (realistic, used by
+// the benches) or a *modeled* cost derived from the operation's work
+// statistics (deterministic, used by tests and reproducible figures).
+
+#ifndef PIER_STREAM_COST_METER_H_
+#define PIER_STREAM_COST_METER_H_
+
+#include <cstdint>
+
+#include "core/prioritizer.h"
+
+namespace pier {
+
+// Unit costs (seconds per unit of work) for the modeled mode. The
+// defaults approximate the measured per-op costs of this
+// implementation on a ~2.5 GHz core, so modeled and measured runs have
+// the same orders of magnitude.
+struct CostModel {
+  double per_profile = 2e-6;
+  double per_token = 2e-7;
+  double per_block_update = 1.5e-7;
+  double per_comparison_generated = 4e-7;
+  double per_index_op = 3e-7;
+  // Per matcher cost-unit (Matcher::CostUnits): token for JS,
+  // DP cell for ED.
+  double per_match_unit = 4e-9;
+  // Fixed overhead charged to every operation, so virtual time always
+  // advances.
+  double per_call_overhead = 2e-6;
+};
+
+class CostMeter {
+ public:
+  enum class Mode : uint8_t { kMeasured = 0, kModeled = 1 };
+
+  explicit CostMeter(Mode mode, CostModel model = CostModel())
+      : mode_(mode), model_(model) {}
+
+  Mode mode() const { return mode_; }
+  const CostModel& model() const { return model_; }
+
+  // Cost of a pipeline step that performed `stats` work and took
+  // `measured_seconds` of wall time.
+  double StepCost(const WorkStats& stats, double measured_seconds) const {
+    if (mode_ == Mode::kMeasured) {
+      return measured_seconds + model_.per_call_overhead;
+    }
+    return model_.per_call_overhead +
+           model_.per_profile * static_cast<double>(stats.profiles) +
+           model_.per_token * static_cast<double>(stats.tokens) +
+           model_.per_block_update *
+               static_cast<double>(stats.block_updates) +
+           model_.per_comparison_generated *
+               static_cast<double>(stats.comparisons_generated) +
+           model_.per_index_op * static_cast<double>(stats.index_ops);
+  }
+
+  // Cost of matching a batch whose matcher cost-units sum to `units`.
+  double MatchCost(uint64_t units, double measured_seconds) const {
+    if (mode_ == Mode::kMeasured) {
+      return measured_seconds + model_.per_call_overhead;
+    }
+    return model_.per_call_overhead +
+           model_.per_match_unit * static_cast<double>(units);
+  }
+
+ private:
+  Mode mode_;
+  CostModel model_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_STREAM_COST_METER_H_

@@ -1,0 +1,66 @@
+// The simulator-facing interface every ER algorithm (the three PIER
+// strategies and all baselines) implements. The stream simulator
+// drives an instance through the arrival/processing interleaving of
+// Section 3.1: increments are delivered when due *and* the algorithm
+// is ready (backpressure), comparison batches are processed between
+// arrivals, and idle ticks model the blocking step's periodic empty
+// increments.
+
+#ifndef PIER_STREAM_ER_ALGORITHM_H_
+#define PIER_STREAM_ER_ALGORITHM_H_
+
+#include <vector>
+
+#include "core/prioritizer.h"
+#include "model/comparison.h"
+#include "model/entity_profile.h"
+
+namespace pier {
+
+class ErAlgorithm {
+ public:
+  virtual ~ErAlgorithm() = default;
+
+  // Delivers one data increment (raw, untokenized profiles with dense
+  // ids continuing ingestion order). Returns work accounting for the
+  // modeled cost meter.
+  virtual WorkStats OnIncrement(std::vector<EntityProfile> profiles) = 0;
+
+  // The next batch of comparisons to hand to the matcher; empty when
+  // the algorithm currently has nothing to emit. `stats` accumulates
+  // the generation work.
+  virtual std::vector<Comparison> NextBatch(WorkStats* stats) = 0;
+
+  // Called when the stream is idle and NextBatch returned empty; an
+  // opportunity to pull more work forward (PIER: empty-increment tick;
+  // batch algorithms: the point where the end of input triggers their
+  // main phase). Default: nothing.
+  virtual WorkStats OnIdleTick() { return {}; }
+
+  // Called once when the stream has no further increments; batch
+  // algorithms start their full computation here.
+  virtual WorkStats OnStreamEnd() { return {}; }
+
+  // Backpressure: false while the algorithm must finish pending work
+  // before accepting the next increment (I-BASE semantics). PIER
+  // algorithms are always ready ("put comparisons temporarily on hold
+  // when a new increment arrives").
+  virtual bool ReadyForIncrement() const { return true; }
+
+  // Rate feedback for adaptive controllers; no-ops by default.
+  virtual void OnArrival(double time) { (void)time; }
+  virtual void OnBatchCost(size_t comparisons, double seconds) {
+    (void)comparisons;
+    (void)seconds;
+  }
+
+  // Profile access for the matcher (every algorithm owns a store of
+  // the profiles it has ingested).
+  virtual const EntityProfile& Profile(ProfileId id) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_STREAM_ER_ALGORITHM_H_

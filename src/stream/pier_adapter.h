@@ -1,0 +1,59 @@
+// Adapts a PierPipeline (I-PCS / I-PBS / I-PES) to the simulator's
+// ErAlgorithm interface. This is also the reference wiring for real
+// deployments: arrivals feed Ingest, spare time drives EmitBatch and
+// Tick, and matcher timings feed the adaptive-K controller.
+
+#ifndef PIER_STREAM_PIER_ADAPTER_H_
+#define PIER_STREAM_PIER_ADAPTER_H_
+
+#include <vector>
+
+#include "core/pier_pipeline.h"
+#include "stream/er_algorithm.h"
+
+namespace pier {
+
+class PierAdapter : public ErAlgorithm {
+ public:
+  explicit PierAdapter(PierOptions options)
+      : strategy_(options.strategy), pipeline_(options) {}
+
+  WorkStats OnIncrement(std::vector<EntityProfile> profiles) override {
+    return pipeline_.Ingest(std::move(profiles));
+  }
+
+  std::vector<Comparison> NextBatch(WorkStats* stats) override {
+    std::vector<Comparison> batch =
+        pipeline_.EmitBatch(pipeline_.adaptive_k().FindK(), stats);
+    stats->index_ops += batch.size();
+    return batch;
+  }
+
+  WorkStats OnIdleTick() override { return pipeline_.Tick(); }
+
+  WorkStats OnStreamEnd() override {
+    pipeline_.NotifyStreamEnd();
+    return pipeline_.Tick();
+  }
+
+  void OnArrival(double time) override { pipeline_.ReportArrival(time); }
+  void OnBatchCost(size_t comparisons, double seconds) override {
+    pipeline_.ReportBatchCost(comparisons, seconds);
+  }
+
+  const EntityProfile& Profile(ProfileId id) const override {
+    return pipeline_.profiles().Get(id);
+  }
+
+  const char* name() const override { return ToString(strategy_); }
+
+  PierPipeline& pipeline() { return pipeline_; }
+
+ private:
+  PierStrategy strategy_;
+  PierPipeline pipeline_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_STREAM_PIER_ADAPTER_H_

@@ -1,0 +1,78 @@
+#include "stream/realtime_pipeline.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace pier {
+
+RealtimePipeline::RealtimePipeline(PierOptions options,
+                                   const Matcher* matcher,
+                                   MatchCallback on_match)
+    : pipeline_(std::move(options)),
+      matcher_(matcher),
+      on_match_(std::move(on_match)) {
+  PIER_CHECK(matcher_ != nullptr);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+RealtimePipeline::~RealtimePipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+void RealtimePipeline::Ingest(std::vector<EntityProfile> profiles) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pipeline_.ReportArrival(lifetime_.ElapsedSeconds());
+    pipeline_.Ingest(std::move(profiles));
+    idle_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void RealtimePipeline::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] { return idle_ || stop_; });
+}
+
+void RealtimePipeline::WorkerLoop() {
+  for (;;) {
+    std::vector<Comparison> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !idle_; });
+      if (stop_) return;
+      batch = pipeline_.EmitBatch();
+      if (batch.empty()) {
+        idle_ = true;
+        drained_cv_.notify_all();
+        continue;
+      }
+    }
+    // Matching holds the lock because the profile store may relocate
+    // on concurrent ingest; the batch size (adaptive K) bounds how
+    // long an Ingest can be blocked.
+    Stopwatch sw;
+    std::vector<std::pair<ProfileId, ProfileId>> found;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& c : batch) {
+        const EntityProfile& a = pipeline_.profiles().Get(c.x);
+        const EntityProfile& b = pipeline_.profiles().Get(c.y);
+        if (matcher_->Matches(a, b)) found.emplace_back(c.x, c.y);
+      }
+      pipeline_.ReportBatchCost(batch.size(), sw.ElapsedSeconds());
+    }
+    comparisons_.fetch_add(batch.size());
+    matches_.fetch_add(found.size());
+    for (const auto& [x, y] : found) on_match_(x, y);
+  }
+}
+
+}  // namespace pier

@@ -1,0 +1,82 @@
+// Real-time (wall-clock, multi-threaded) deployment wrapper around
+// PierPipeline: a producer thread (your code) feeds increments via
+// Ingest(); a background worker continuously emits the best
+// comparisons, runs the matcher, and invokes a callback for every
+// detected duplicate. This mirrors the paper's asynchronous
+// Akka-Streams deployment, while the discrete-event StreamSimulator
+// remains the tool for reproducible evaluation.
+//
+// Threading model: a single internal mutex guards the pipeline; the
+// worker takes it per batch, so ingest latency is bounded by one
+// batch's processing time (K adapts downward when that grows).
+
+#ifndef PIER_STREAM_REALTIME_PIPELINE_H_
+#define PIER_STREAM_REALTIME_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pier_pipeline.h"
+#include "similarity/matcher.h"
+#include "util/stopwatch.h"
+
+namespace pier {
+
+class RealtimePipeline {
+ public:
+  // Called from the worker thread for every pair the matcher
+  // classified as a duplicate.
+  using MatchCallback = std::function<void(ProfileId, ProfileId)>;
+
+  // `matcher` must outlive this object.
+  RealtimePipeline(PierOptions options, const Matcher* matcher,
+                   MatchCallback on_match);
+
+  // Stops the worker and joins it. Pending prioritized comparisons are
+  // abandoned unless Drain() was called first.
+  ~RealtimePipeline();
+
+  RealtimePipeline(const RealtimePipeline&) = delete;
+  RealtimePipeline& operator=(const RealtimePipeline&) = delete;
+
+  // Thread-safe: feeds one increment (profiles with dense ids
+  // continuing ingestion order) and wakes the worker.
+  void Ingest(std::vector<EntityProfile> profiles);
+
+  // Blocks until the prioritizer has no more comparisons to emit
+  // (including block-scanner backfill). Call after the last Ingest to
+  // get eventual quality.
+  void Drain();
+
+  // Statistics (thread-safe, approximate while running).
+  uint64_t comparisons_processed() const { return comparisons_.load(); }
+  uint64_t matches_found() const { return matches_.load(); }
+
+ private:
+  void WorkerLoop();
+
+  PierPipeline pipeline_;
+  const Matcher* matcher_;
+  MatchCallback on_match_;
+  Stopwatch lifetime_;  // arrival timestamps for the K controller
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable drained_cv_;
+  bool stop_ = false;
+  bool idle_ = false;  // worker found no work on its last pass
+
+  std::atomic<uint64_t> comparisons_{0};
+  std::atomic<uint64_t> matches_{0};
+
+  std::thread worker_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_STREAM_REALTIME_PIPELINE_H_

@@ -1,0 +1,156 @@
+#include "stream/stream_simulator.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace pier {
+
+StreamSimulator::StreamSimulator(const Dataset* dataset,
+                                 SimulatorOptions options)
+    : dataset_(dataset), options_(options) {
+  PIER_CHECK(dataset_ != nullptr);
+  increments_ = SplitIntoIncrements(*dataset_, options_.num_increments);
+}
+
+RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
+                               const Matcher& matcher) const {
+  const CostMeter meter(options_.cost_mode, options_.cost_model);
+
+  RunResult result;
+  result.algorithm = algorithm.name();
+  result.dataset = dataset_->name;
+  result.matcher = matcher.name();
+  result.total_true_matches = dataset_->truth.size();
+
+  // Arrival schedule: t_i = i / rate (all zero in the static setting).
+  const double interarrival =
+      options_.IsStatic() ? 0.0 : 1.0 / options_.increments_per_second;
+
+  double vt = 0.0;
+  size_t next_arrival = 0;
+  int fruitless_ticks = 0;
+  bool stream_ended_notified = false;
+  uint64_t executed = 0;
+  uint64_t found = 0;
+  uint64_t last_recorded = 0;
+  // True-match pairs already credited (guards against an algorithm
+  // emitting the same pair twice, e.g. a Bloom false-negative path).
+  std::unordered_set<uint64_t> credited;
+
+  auto record_point = [&]() {
+    if (executed - last_recorded < options_.curve_granularity &&
+        !result.curve.empty()) {
+      return;
+    }
+    result.curve.Add(CurvePoint{vt, executed, found});
+    last_recorded = executed;
+  };
+  record_point();
+
+  while (vt < options_.time_budget_s) {
+    // 1. Deliver a due increment if the algorithm accepts it.
+    if (next_arrival < increments_.size() &&
+        vt >= interarrival * static_cast<double>(next_arrival) &&
+        algorithm.ReadyForIncrement()) {
+      const Increment inc = increments_[next_arrival];
+      std::vector<EntityProfile> profiles(
+          dataset_->profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
+          dataset_->profiles.begin() + static_cast<ptrdiff_t>(inc.end));
+      algorithm.OnArrival(interarrival *
+                          static_cast<double>(next_arrival));
+      Stopwatch sw;
+      const WorkStats stats = algorithm.OnIncrement(std::move(profiles));
+      vt += meter.StepCost(stats, sw.ElapsedSeconds());
+      ++next_arrival;
+      if (next_arrival == increments_.size()) {
+        result.stream_consumed_at = vt;
+      }
+      fruitless_ticks = 0;
+      continue;
+    }
+
+    // 2. Process the next comparison batch, if any.
+    {
+      WorkStats gen_stats;
+      Stopwatch sw;
+      const std::vector<Comparison> batch = algorithm.NextBatch(&gen_stats);
+      const double gen_seconds = sw.ElapsedSeconds();
+      if (!batch.empty()) {
+        vt += meter.StepCost(gen_stats, gen_seconds);
+        uint64_t units = 0;
+        Stopwatch match_sw;
+        for (const auto& c : batch) {
+          const EntityProfile& a = algorithm.Profile(c.x);
+          const EntityProfile& b = algorithm.Profile(c.y);
+          units += matcher.CostUnits(a, b);
+          const bool positive = matcher.Matches(a, b);
+          ++executed;
+          const bool is_true_match = dataset_->truth.IsMatch(c.x, c.y);
+          if (positive) {
+            ++result.matcher_positives;
+            if (is_true_match) ++result.matcher_true_positives;
+          }
+          if (is_true_match && credited.insert(c.Key()).second) {
+            ++found;
+          }
+        }
+        const double match_cost =
+            meter.MatchCost(units, match_sw.ElapsedSeconds());
+        vt += match_cost;
+        algorithm.OnBatchCost(batch.size(), match_cost);
+        record_point();
+        fruitless_ticks = 0;
+        continue;
+      }
+      vt += meter.StepCost(gen_stats, gen_seconds);
+    }
+
+    // 3. No work right now.
+    if (next_arrival < increments_.size()) {
+      // An algorithm refusing an increment must have pending batches;
+      // otherwise the run could never progress.
+      PIER_CHECK(algorithm.ReadyForIncrement() ||
+                 vt < interarrival * static_cast<double>(next_arrival));
+      // Idle before the next arrival: try a tick, then jump the clock.
+      if (fruitless_ticks < 2) {
+        Stopwatch sw;
+        const WorkStats stats = algorithm.OnIdleTick();
+        vt += meter.StepCost(stats, sw.ElapsedSeconds());
+        ++fruitless_ticks;
+      } else {
+        const double t_next =
+            interarrival * static_cast<double>(next_arrival);
+        if (vt < t_next) vt = t_next;
+        fruitless_ticks = 0;
+      }
+      continue;
+    }
+
+    // 4. Stream fully delivered: notify once, then tick until dry.
+    if (!stream_ended_notified) {
+      Stopwatch sw;
+      const WorkStats stats = algorithm.OnStreamEnd();
+      vt += meter.StepCost(stats, sw.ElapsedSeconds());
+      stream_ended_notified = true;
+      continue;
+    }
+    if (fruitless_ticks < 2) {
+      Stopwatch sw;
+      const WorkStats stats = algorithm.OnIdleTick();
+      vt += meter.StepCost(stats, sw.ElapsedSeconds());
+      ++fruitless_ticks;
+      continue;
+    }
+    break;  // two fruitless ticks after stream end: done
+  }
+
+  result.comparisons_executed = executed;
+  result.matches_found = found;
+  result.end_time = vt;
+  result.curve.Add(CurvePoint{vt, executed, found});
+  return result;
+}
+
+}  // namespace pier

@@ -1,0 +1,61 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pier {
+
+std::string Tokenizer::Normalize(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      out.push_back(static_cast<char>(std::tolower(uc)));
+    } else {
+      out.push_back(' ');
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenizer::Split(std::string_view text) const {
+  std::vector<std::string> tokens;
+  const std::string normalized = Normalize(text);
+  size_t i = 0;
+  const size_t n = normalized.size();
+  while (i < n) {
+    while (i < n && normalized[i] == ' ') ++i;
+    size_t j = i;
+    while (j < n && normalized[j] != ' ') ++j;
+    if (j > i) {
+      size_t len = j - i;
+      if (len >= options_.min_token_length) {
+        if (len > options_.max_token_length) len = options_.max_token_length;
+        tokens.emplace_back(normalized.substr(i, len));
+      }
+    }
+    i = j;
+  }
+  return tokens;
+}
+
+void Tokenizer::TokenizeProfile(EntityProfile& profile,
+                                TokenDictionary& dict) const {
+  std::vector<TokenId> ids;
+  std::string flat;
+  for (const auto& attribute : profile.attributes) {
+    for (auto& token : Split(attribute.value)) {
+      ids.push_back(dict.Intern(token));
+      if (!flat.empty()) flat.push_back(' ');
+      flat += token;
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (const TokenId id : ids) dict.IncrementDocFrequency(id);
+  profile.tokens = std::move(ids);
+  profile.flat_text = std::move(flat);
+}
+
+}  // namespace pier

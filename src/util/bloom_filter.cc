@@ -1,0 +1,44 @@
+#include "util/bloom_filter.h"
+
+#include <cmath>
+
+namespace pier {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_items, double fp_rate)
+    : expected_items_(expected_items) {
+  PIER_CHECK(expected_items > 0);
+  PIER_CHECK(fp_rate > 0.0 && fp_rate < 1.0);
+  const double n = static_cast<double>(expected_items);
+  const double m = std::ceil(-n * std::log(fp_rate) / (kLn2 * kLn2));
+  num_bits_ = static_cast<size_t>(m);
+  if (num_bits_ < 64) num_bits_ = 64;
+  num_hashes_ = static_cast<int>(std::round(m / n * kLn2));
+  if (num_hashes_ < 1) num_hashes_ = 1;
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  const uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t bit = BitIndex(h1, h2, i);
+    bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  ++num_insertions_;
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  const uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t bit = BitIndex(h1, h2, i);
+    if ((bits_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace pier

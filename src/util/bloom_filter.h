@@ -1,0 +1,58 @@
+// A classic Bloom filter over 64-bit keys, used as building block of
+// the scalable Bloom filter (see scalable_bloom_filter.h) that
+// implements the comparison filter CF of the I-PBS algorithm
+// (Algorithm 3 of the paper; technique from Gazzarri & Herschel,
+// EDBT 2020 [16]).
+
+#ifndef PIER_UTIL_BLOOM_FILTER_H_
+#define PIER_UTIL_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace pier {
+
+class BloomFilter {
+ public:
+  // Sizes the filter for `expected_items` insertions at false-positive
+  // probability `fp_rate` (0 < fp_rate < 1).
+  BloomFilter(size_t expected_items, double fp_rate);
+
+  // Inserts a key. Counts insertions so the owner can detect when the
+  // filter reaches its design capacity.
+  void Add(uint64_t key);
+
+  // True if the key *may* have been inserted; false means definitely
+  // not inserted.
+  bool MayContain(uint64_t key) const;
+
+  size_t num_insertions() const { return num_insertions_; }
+  size_t expected_items() const { return expected_items_; }
+  bool AtCapacity() const { return num_insertions_ >= expected_items_; }
+
+  size_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+
+  // Estimated memory footprint in bytes.
+  size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t BitIndex(uint64_t h1, uint64_t h2, int i) const {
+    // Double hashing: g_i(x) = h1 + i * h2 (Kirsch & Mitzenmacher).
+    return (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+  }
+
+  size_t expected_items_;
+  size_t num_bits_;
+  int num_hashes_;
+  size_t num_insertions_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_UTIL_BLOOM_FILTER_H_

@@ -1,0 +1,40 @@
+// Lightweight assertion macros used across the pier library.
+//
+// PIER_CHECK is always on (also in release builds) and is meant for
+// programmer errors: violated invariants, out-of-contract arguments.
+// PIER_DCHECK compiles away in NDEBUG builds and may sit on hot paths.
+
+#ifndef PIER_UTIL_CHECK_H_
+#define PIER_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pier {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "PIER_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pier
+
+#define PIER_CHECK(expr)                                       \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::pier::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define PIER_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define PIER_DCHECK(expr) PIER_CHECK(expr)
+#endif
+
+#endif  // PIER_UTIL_CHECK_H_

@@ -1,0 +1,42 @@
+#include "util/csv_writer.h"
+
+namespace pier {
+
+std::string CsvWriter::Escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) out_ << ',';
+    out_ << Escape(f);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_written_;
+}
+
+void CsvWriter::WriteRow(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (const auto f : fields) {
+    if (!first) out_ << ',';
+    out_ << Escape(f);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_written_;
+}
+
+}  // namespace pier

@@ -1,0 +1,39 @@
+// Minimal CSV emission for the benchmark harnesses: every figure
+// reproduction prints its curve series as CSV rows so they can be fed
+// to any plotting tool.
+
+#ifndef PIER_UTIL_CSV_WRITER_H_
+#define PIER_UTIL_CSV_WRITER_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pier {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  // Writes one row; fields containing separators, quotes, or newlines
+  // are quoted per RFC 4180.
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteRow(std::initializer_list<std::string_view> fields);
+
+  size_t rows_written() const { return rows_written_; }
+
+  static std::string Escape(std::string_view field);
+
+ private:
+  std::ostream& out_;
+  size_t rows_written_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_UTIL_CSV_WRITER_H_

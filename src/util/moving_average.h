@@ -1,0 +1,78 @@
+// Rate/latency estimators used by the adaptive findK() controller
+// (Algorithm 1): the paper computes "the input and processing rates as
+// the average of their latest measurements", which we implement as a
+// fixed-size sliding-window mean, plus an exponential moving average
+// variant for smoother control.
+
+#ifndef PIER_UTIL_MOVING_AVERAGE_H_
+#define PIER_UTIL_MOVING_AVERAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pier {
+
+// Exponential moving average: value <- alpha * x + (1 - alpha) * value.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {
+    PIER_CHECK(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Mean over the latest `window` samples (ring buffer).
+class WindowAverage {
+ public:
+  explicit WindowAverage(size_t window) : window_(window) {
+    PIER_CHECK(window > 0);
+    buf_.reserve(window);
+  }
+
+  void Add(double x) {
+    if (buf_.size() < window_) {
+      buf_.push_back(x);
+      sum_ += x;
+    } else {
+      sum_ += x - buf_[next_];
+      buf_[next_] = x;
+    }
+    next_ = (next_ + 1) % window_;
+  }
+
+  size_t count() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+
+  double Mean() const {
+    PIER_DCHECK(!buf_.empty());
+    return sum_ / static_cast<double>(buf_.size());
+  }
+
+ private:
+  size_t window_;
+  std::vector<double> buf_;
+  size_t next_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_UTIL_MOVING_AVERAGE_H_

@@ -1,0 +1,138 @@
+// Deterministic, seedable random number generation for the synthetic
+// dataset generators and property tests.
+//
+// We deliberately avoid std::mt19937 + std::uniform_int_distribution:
+// their outputs are not guaranteed to be identical across standard
+// library implementations, and reproducible datasets are part of this
+// project's contract.
+
+#ifndef PIER_UTIL_RNG_H_
+#define PIER_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pier {
+
+// xoshiro256**: fast, high-quality 64-bit PRNG with a SplitMix64 seeder.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the full state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi) {
+    PIER_DCHECK(lo <= hi);
+    const uint64_t range = hi - lo + 1;
+    if (range == 0) return NextU64();  // full 64-bit range
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < range) {
+      const uint64_t threshold = (0 - range) % range;
+      while (l < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * range;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return lo + static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Approximate standard normal via the polar Box-Muller transform.
+  double Gaussian(double mean, double stddev) {
+    double u;
+    double v;
+    double s;
+    do {
+      u = 2.0 * UniformDouble() - 1.0;
+      v = 2.0 * UniformDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+};
+
+// Zipf-distributed sampler over {0, ..., n-1} with exponent `alpha`.
+// Sampling is done by binary search over a precomputed CDF; suitable
+// for the vocabulary sizes used by the dataset generators (<= ~1e6).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double alpha) : cdf_(n) {
+    PIER_CHECK(n > 0);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+      cdf_[i] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  size_t Sample(Rng& rng) const {
+    const double u = rng.UniformDouble();
+    // Binary search for the first CDF entry >= u.
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_UTIL_RNG_H_

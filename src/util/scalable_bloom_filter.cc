@@ -1,0 +1,54 @@
+#include "util/scalable_bloom_filter.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pier {
+
+ScalableBloomFilter::ScalableBloomFilter(const Options& options)
+    : options_(options) {
+  PIER_CHECK(options_.initial_capacity > 0);
+  PIER_CHECK(options_.fp_rate > 0.0 && options_.fp_rate < 1.0);
+  PIER_CHECK(options_.growth > 1.0);
+  PIER_CHECK(options_.tightening > 0.0 && options_.tightening < 1.0);
+  AddSlice();
+}
+
+void ScalableBloomFilter::AddSlice() {
+  const size_t i = slices_.size();
+  const double capacity = static_cast<double>(options_.initial_capacity) *
+                          std::pow(options_.growth, static_cast<double>(i));
+  const double p0 = options_.fp_rate * (1.0 - options_.tightening);
+  const double error =
+      p0 * std::pow(options_.tightening, static_cast<double>(i));
+  slices_.push_back(
+      std::make_unique<BloomFilter>(static_cast<size_t>(capacity), error));
+}
+
+void ScalableBloomFilter::Add(uint64_t key) {
+  if (slices_.back()->AtCapacity()) AddSlice();
+  slices_.back()->Add(key);
+  ++num_insertions_;
+}
+
+bool ScalableBloomFilter::MayContain(uint64_t key) const {
+  for (auto it = slices_.rbegin(); it != slices_.rend(); ++it) {
+    if ((*it)->MayContain(key)) return true;
+  }
+  return false;
+}
+
+bool ScalableBloomFilter::TestAndAdd(uint64_t key) {
+  if (MayContain(key)) return true;
+  Add(key);
+  return false;
+}
+
+size_t ScalableBloomFilter::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& slice : slices_) total += slice->MemoryBytes();
+  return total;
+}
+
+}  // namespace pier

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch over std::chrono::steady_clock, used by the
+// MeasuredCostMeter to attribute real compute cost to pipeline stages.
+
+#ifndef PIER_UTIL_STOPWATCH_H_
+#define PIER_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pier {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_UTIL_STOPWATCH_H_

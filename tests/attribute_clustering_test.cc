@@ -1,0 +1,118 @@
+// Tests for attribute-clustering blocking: semantically corresponding
+// attribute names across heterogeneous sources end up in the same
+// cluster, unrelated names do not, and qualified tokens split blocks
+// accordingly.
+
+#include <gtest/gtest.h>
+
+#include "blocking/attribute_clustering.h"
+#include "datagen/generators.h"
+
+namespace pier {
+namespace {
+
+std::vector<EntityProfile> TwoSourceSample() {
+  // Source 0 uses {title, year}; source 1 uses {name, released}. The
+  // title/name vocabularies overlap heavily, as do year/released;
+  // titles and years share nothing.
+  std::vector<EntityProfile> sample;
+  const char* titles[] = {"deep blue ocean", "silent forest dawn",
+                          "crimson winter tale", "golden summer nights"};
+  const char* years[] = {"1994", "2003", "2011", "1987"};
+  ProfileId id = 0;
+  for (int i = 0; i < 4; ++i) {
+    sample.emplace_back(id++, 0,
+                        std::vector<Attribute>{{"title", titles[i]},
+                                               {"year", years[i]}});
+    sample.emplace_back(id++, 1,
+                        std::vector<Attribute>{{"name", titles[i]},
+                                               {"released", years[i]}});
+  }
+  return sample;
+}
+
+TEST(AttributeClusteringTest, CorrespondingNamesCluster) {
+  AttributeClusterer clusterer;
+  clusterer.Fit(TwoSourceSample());
+  ASSERT_TRUE(clusterer.fitted());
+  EXPECT_EQ(clusterer.ClusterOf("title"), clusterer.ClusterOf("name"));
+  EXPECT_EQ(clusterer.ClusterOf("year"), clusterer.ClusterOf("released"));
+  EXPECT_NE(clusterer.ClusterOf("title"), clusterer.ClusterOf("year"));
+  EXPECT_GE(clusterer.num_clusters(), 3u);  // glue + 2 real clusters
+}
+
+TEST(AttributeClusteringTest, UnseenNamesFallIntoGlueCluster) {
+  AttributeClusterer clusterer;
+  clusterer.Fit(TwoSourceSample());
+  EXPECT_EQ(clusterer.ClusterOf("never_seen_attribute"), 0u);
+}
+
+TEST(AttributeClusteringTest, DissimilarNamesStayApart) {
+  AttributeClusterer clusterer;
+  clusterer.Fit(TwoSourceSample());
+  // No cross-source counterpart shares the year vocabulary with
+  // title -- their clusters must differ.
+  EXPECT_NE(clusterer.ClusterOf("name"), clusterer.ClusterOf("released"));
+}
+
+TEST(AttributeClusteringTest, QualifiedTokensCarryClusterTag) {
+  AttributeClusterer clusterer;
+  clusterer.Fit(TwoSourceSample());
+  const Tokenizer tokenizer;
+  EntityProfile p(0, 0, {{"title", "blue ocean"}, {"year", "1994"}});
+  const auto qualified = clusterer.QualifyTokens(p, tokenizer);
+  ASSERT_EQ(qualified.size(), 3u);
+  const std::string title_tag =
+      std::to_string(clusterer.ClusterOf("title")) + "#";
+  const std::string year_tag =
+      std::to_string(clusterer.ClusterOf("year")) + "#";
+  int title_tagged = 0;
+  int year_tagged = 0;
+  for (const auto& token : qualified) {
+    if (token.rfind(title_tag, 0) == 0) ++title_tagged;
+    if (token.rfind(year_tag, 0) == 0) ++year_tagged;
+  }
+  EXPECT_EQ(title_tagged, 2);
+  EXPECT_EQ(year_tagged, 1);
+}
+
+TEST(AttributeClusteringTest, QualificationSplitsSharedTokens) {
+  // The same token under unrelated attributes no longer collides.
+  AttributeClusterer clusterer;
+  clusterer.Fit(TwoSourceSample());
+  const Tokenizer tokenizer;
+  EntityProfile a(0, 0, {{"title", "1994"}});  // a movie titled "1994"!
+  EntityProfile b(1, 0, {{"year", "1994"}});
+  const auto qa = clusterer.QualifyTokens(a, tokenizer);
+  const auto qb = clusterer.QualifyTokens(b, tokenizer);
+  ASSERT_EQ(qa.size(), 1u);
+  ASSERT_EQ(qb.size(), 1u);
+  EXPECT_NE(qa[0], qb[0]);
+}
+
+TEST(AttributeClusteringTest, WorksOnGeneratedHeterogeneousData) {
+  BibliographicOptions options;
+  options.source0_count = 150;
+  options.source1_count = 150;
+  const Dataset d = GenerateBibliographic(options);
+  AttributeClusterer clusterer;
+  clusterer.Fit(d.profiles);
+  // The generator renames title->name, authors->writers, venue->
+  // booktitle, year->date across sources; the clusterer must pair at
+  // least most of them.
+  int paired = 0;
+  paired += clusterer.ClusterOf("title") == clusterer.ClusterOf("name") &&
+            clusterer.ClusterOf("title") != 0;
+  paired += clusterer.ClusterOf("authors") ==
+                clusterer.ClusterOf("writers") &&
+            clusterer.ClusterOf("authors") != 0;
+  paired += clusterer.ClusterOf("venue") ==
+                clusterer.ClusterOf("booktitle") &&
+            clusterer.ClusterOf("venue") != 0;
+  paired += clusterer.ClusterOf("year") == clusterer.ClusterOf("date") &&
+            clusterer.ClusterOf("year") != 0;
+  EXPECT_GE(paired, 3);
+}
+
+}  // namespace
+}  // namespace pier

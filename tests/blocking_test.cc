@@ -1,0 +1,159 @@
+// Tests for src/blocking: incremental token blocking, block purging,
+// comparison cardinalities, and block ghosting.
+
+#include <gtest/gtest.h>
+
+#include "blocking/block.h"
+#include "blocking/block_collection.h"
+#include "blocking/block_ghosting.h"
+#include "model/entity_profile.h"
+
+namespace pier {
+namespace {
+
+EntityProfile Profile(ProfileId id, SourceId source,
+                      std::vector<TokenId> tokens) {
+  EntityProfile p(id, source, {});
+  p.tokens = std::move(tokens);
+  return p;
+}
+
+TEST(BlockTest, SizeAndComparisonsDirty) {
+  Block b;
+  b.members[0] = {0, 1, 2};
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.NumComparisons(DatasetKind::kDirty), 3u);  // C(3,2)
+}
+
+TEST(BlockTest, ComparisonsCleanClean) {
+  Block b;
+  b.members[0] = {0, 1};
+  b.members[1] = {2, 3, 4};
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.NumComparisons(DatasetKind::kCleanClean), 6u);  // 2*3
+  // A single-source block yields no Clean-Clean comparisons.
+  Block one_sided;
+  one_sided.members[0] = {0, 1, 2};
+  EXPECT_EQ(one_sided.NumComparisons(DatasetKind::kCleanClean), 0u);
+}
+
+TEST(BlockTest, NumNewComparisons) {
+  Block b;
+  b.members[0] = {0, 1, 2};  // the newest profile already appended
+  EXPECT_EQ(b.NumNewComparisons(DatasetKind::kDirty, 0), 2u);
+  Block cc;
+  cc.members[0] = {0};
+  cc.members[1] = {1, 2};
+  // New source-0 profile pairs with the 2 source-1 members.
+  EXPECT_EQ(cc.NumNewComparisons(DatasetKind::kCleanClean, 0), 2u);
+  EXPECT_EQ(cc.NumNewComparisons(DatasetKind::kCleanClean, 1), 1u);
+}
+
+TEST(BlockCollectionTest, AddProfileGrowsBlocks) {
+  BlockCollection blocks(DatasetKind::kDirty);
+  EXPECT_EQ(blocks.AddProfile(Profile(0, 0, {0, 2})), 2u);
+  EXPECT_EQ(blocks.AddProfile(Profile(1, 0, {2})), 1u);
+  EXPECT_EQ(blocks.NumBlocks(), 2u);
+  EXPECT_EQ(blocks.block(2).size(), 2u);
+  EXPECT_EQ(blocks.block(0).size(), 1u);
+  EXPECT_EQ(blocks.block(1).size(), 0u);  // hole token: empty block
+}
+
+TEST(BlockCollectionTest, IsActiveRequiresTwoMembers) {
+  BlockCollection blocks(DatasetKind::kDirty);
+  blocks.AddProfile(Profile(0, 0, {0}));
+  EXPECT_FALSE(blocks.IsActive(0));
+  blocks.AddProfile(Profile(1, 0, {0}));
+  EXPECT_TRUE(blocks.IsActive(0));
+  EXPECT_FALSE(blocks.IsActive(99));  // never-seen token
+}
+
+TEST(BlockCollectionTest, IsActiveCleanCleanRequiresBothSources) {
+  BlockCollection blocks(DatasetKind::kCleanClean);
+  blocks.AddProfile(Profile(0, 0, {0}));
+  blocks.AddProfile(Profile(1, 0, {0}));
+  EXPECT_FALSE(blocks.IsActive(0));  // single-source block
+  blocks.AddProfile(Profile(2, 1, {0}));
+  EXPECT_TRUE(blocks.IsActive(0));
+}
+
+TEST(BlockCollectionTest, PurgingDisablesOversizedBlocks) {
+  BlockingOptions options;
+  options.max_block_size = 3;
+  BlockCollection blocks(DatasetKind::kDirty, options);
+  for (ProfileId id = 0; id < 3; ++id) {
+    blocks.AddProfile(Profile(id, 0, {0}));
+  }
+  EXPECT_TRUE(blocks.IsActive(0));
+  EXPECT_FALSE(blocks.IsPurged(0));
+  blocks.AddProfile(Profile(3, 0, {0}));  // grows past the threshold
+  EXPECT_TRUE(blocks.IsPurged(0));
+  EXPECT_FALSE(blocks.IsActive(0));
+}
+
+TEST(BlockCollectionTest, PurgingDisabledWithZero) {
+  BlockingOptions options;
+  options.max_block_size = 0;
+  BlockCollection blocks(DatasetKind::kDirty, options);
+  for (ProfileId id = 0; id < 100; ++id) {
+    blocks.AddProfile(Profile(id, 0, {0}));
+  }
+  EXPECT_FALSE(blocks.IsPurged(0));
+  EXPECT_TRUE(blocks.IsActive(0));
+}
+
+TEST(BlockCollectionTest, TotalComparisons) {
+  BlockCollection blocks(DatasetKind::kDirty);
+  blocks.AddProfile(Profile(0, 0, {0, 1}));
+  blocks.AddProfile(Profile(1, 0, {0, 1}));
+  blocks.AddProfile(Profile(2, 0, {0}));
+  // Block 0: {0,1,2} -> 3 comparisons; block 1: {0,1} -> 1.
+  EXPECT_EQ(blocks.TotalComparisons(), 4u);
+}
+
+TEST(BlockGhostingTest, KeepsOnlySmallBlocksRelativeToMin) {
+  BlockCollection blocks(DatasetKind::kDirty);
+  // Token 0: small block (2 members), token 1: large block (6 members).
+  blocks.AddProfile(Profile(0, 0, {0, 1}));
+  blocks.AddProfile(Profile(1, 0, {0, 1}));
+  for (ProfileId id = 2; id < 6; ++id) {
+    blocks.AddProfile(Profile(id, 0, {1}));
+  }
+  const EntityProfile probe = Profile(1, 0, {0, 1});
+  // beta = 1: keep only blocks of size |b_min| = 2.
+  EXPECT_EQ(GhostBlocks(blocks, probe, 1.0),
+            (std::vector<TokenId>{0}));
+  // beta = 0.5: keep blocks of size <= 4 -> still only token 0.
+  EXPECT_EQ(GhostBlocks(blocks, probe, 0.5),
+            (std::vector<TokenId>{0}));
+  // beta small enough: keep both.
+  EXPECT_EQ(GhostBlocks(blocks, probe, 0.2),
+            (std::vector<TokenId>{0, 1}));
+}
+
+TEST(BlockGhostingTest, SkipsInactiveBlocks) {
+  BlockCollection blocks(DatasetKind::kDirty);
+  blocks.AddProfile(Profile(0, 0, {0, 1}));
+  blocks.AddProfile(Profile(1, 0, {1}));
+  const EntityProfile probe = Profile(0, 0, {0, 1});
+  // Token 0 has a single member -> inactive; only token 1 retained.
+  EXPECT_EQ(GhostBlocks(blocks, probe, 0.5),
+            (std::vector<TokenId>{1}));
+}
+
+TEST(BlockGhostingTest, NoActiveBlocksYieldsEmpty) {
+  BlockCollection blocks(DatasetKind::kDirty);
+  blocks.AddProfile(Profile(0, 0, {0}));
+  const EntityProfile probe = Profile(0, 0, {0});
+  EXPECT_TRUE(GhostBlocks(blocks, probe, 0.5).empty());
+}
+
+TEST(BlockGhostingTest, RejectsInvalidBeta) {
+  BlockCollection blocks(DatasetKind::kDirty);
+  const EntityProfile probe = Profile(0, 0, {});
+  EXPECT_DEATH(GhostBlocks(blocks, probe, 0.0), "PIER_CHECK");
+  EXPECT_DEATH(GhostBlocks(blocks, probe, 1.5), "PIER_CHECK");
+}
+
+}  // namespace
+}  // namespace pier

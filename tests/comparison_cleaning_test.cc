@@ -1,0 +1,137 @@
+// Tests for the batch comparison-cleaning algorithms (WEP, CEP, WNP,
+// CNP) over a crafted blocking graph.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "metablocking/comparison_cleaning.h"
+
+namespace pier {
+namespace {
+
+// Fixture: 5 dirty profiles.
+//   p0-p1 share tokens {0,1,2}  (CBS 3)
+//   p0-p2 share token  {0}      (CBS 1)
+//   p1-p2 share token  {0}      (CBS 1)
+//   p3-p4 share tokens {5,6}    (CBS 2)
+class CleaningFixture : public ::testing::Test {
+ protected:
+  CleaningFixture() : blocks_(DatasetKind::kDirty) {
+    Add(0, {0, 1, 2});
+    Add(1, {0, 1, 2});
+    Add(2, {0});
+    Add(3, {5, 6});
+    Add(4, {5, 6});
+    const WeightingContext ctx{&blocks_, &profiles_, WeightingScheme::kCbs};
+    graph_.Build(ctx, static_cast<ProfileId>(profiles_.size()));
+  }
+
+  void Add(ProfileId id, std::vector<TokenId> tokens) {
+    EntityProfile p(id, 0, {});
+    p.tokens = std::move(tokens);
+    blocks_.AddProfile(p);
+    profiles_.Add(std::move(p));
+  }
+
+  static std::set<uint64_t> Keys(const std::vector<Comparison>& cmps) {
+    std::set<uint64_t> keys;
+    for (const auto& c : cmps) keys.insert(c.Key());
+    return keys;
+  }
+
+  BlockCollection blocks_;
+  ProfileStore profiles_;
+  BlockingGraph graph_;
+};
+
+TEST_F(CleaningFixture, GraphHasExpectedEdges) {
+  EXPECT_EQ(graph_.num_edges(), 4u);
+}
+
+TEST_F(CleaningFixture, WepKeepsAboveGlobalMean) {
+  // Weights: 3, 1, 1, 2 -> mean 1.75 -> keep the 3 and the 2.
+  const auto kept = PruneComparisons(graph_, PruningAlgorithm::kWep);
+  const auto keys = Keys(kept);
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_TRUE(keys.count(PairKey(0, 1)));
+  EXPECT_TRUE(keys.count(PairKey(3, 4)));
+}
+
+TEST_F(CleaningFixture, CepKeepsGlobalTopK) {
+  PruningOptions options;
+  options.cep_k = 2;
+  const auto kept =
+      PruneComparisons(graph_, PruningAlgorithm::kCep, options);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(kept[1].weight, 2.0);
+}
+
+TEST_F(CleaningFixture, CepWithLargeKKeepsEverything) {
+  PruningOptions options;
+  options.cep_k = 100;
+  EXPECT_EQ(PruneComparisons(graph_, PruningAlgorithm::kCep, options).size(),
+            4u);
+}
+
+TEST_F(CleaningFixture, WnpUnionSemantics) {
+  // p2's neighbourhood: edges (0,2) w1 and (1,2) w1, mean 1 -> p2
+  // keeps both, so they survive even though p0/p1 prune them
+  // (their means are 5/3).
+  const auto kept = PruneComparisons(graph_, PruningAlgorithm::kWnp);
+  const auto keys = Keys(kept);
+  EXPECT_EQ(keys.size(), 4u);  // everything survives via some endpoint
+}
+
+TEST_F(CleaningFixture, CnpPerNodeTopOne) {
+  PruningOptions options;
+  options.cnp_k = 1;
+  const auto kept =
+      PruneComparisons(graph_, PruningAlgorithm::kCnp, options);
+  const auto keys = Keys(kept);
+  // Top-1 per node: p0->(0,1), p1->(0,1), p2->(0,2) (tie break), p3/p4
+  // ->(3,4). (0,1), (3,4) and p2's pick survive.
+  EXPECT_TRUE(keys.count(PairKey(0, 1)));
+  EXPECT_TRUE(keys.count(PairKey(3, 4)));
+  EXPECT_EQ(keys.size(), 3u);
+}
+
+TEST_F(CleaningFixture, OutputSortedByWeightDescending) {
+  for (const auto algorithm :
+       {PruningAlgorithm::kWep, PruningAlgorithm::kCep,
+        PruningAlgorithm::kWnp, PruningAlgorithm::kCnp}) {
+    const auto kept = PruneComparisons(graph_, algorithm);
+    for (size_t i = 1; i < kept.size(); ++i) {
+      EXPECT_GE(kept[i - 1].weight, kept[i].weight) << ToString(algorithm);
+    }
+  }
+}
+
+TEST_F(CleaningFixture, EachEdgeAtMostOnce) {
+  for (const auto algorithm :
+       {PruningAlgorithm::kWep, PruningAlgorithm::kCep,
+        PruningAlgorithm::kWnp, PruningAlgorithm::kCnp}) {
+    const auto kept = PruneComparisons(graph_, algorithm);
+    EXPECT_EQ(Keys(kept).size(), kept.size()) << ToString(algorithm);
+  }
+}
+
+TEST(CleaningEmptyTest, EmptyGraph) {
+  BlockingGraph graph;
+  for (const auto algorithm :
+       {PruningAlgorithm::kWep, PruningAlgorithm::kCep,
+        PruningAlgorithm::kWnp, PruningAlgorithm::kCnp}) {
+    EXPECT_TRUE(PruneComparisons(graph, algorithm).empty());
+  }
+}
+
+TEST(CleaningNamesTest, ToString) {
+  EXPECT_STREQ(ToString(PruningAlgorithm::kWep), "WEP");
+  EXPECT_STREQ(ToString(PruningAlgorithm::kCep), "CEP");
+  EXPECT_STREQ(ToString(PruningAlgorithm::kWnp), "WNP");
+  EXPECT_STREQ(ToString(PruningAlgorithm::kCnp), "CNP");
+}
+
+}  // namespace
+}  // namespace pier

@@ -1,0 +1,112 @@
+// Tests for the DySNI real-time sorted-neighborhood baseline.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/dysni.h"
+
+namespace pier {
+namespace {
+
+EntityProfile Raw(ProfileId id, SourceId source, std::string title) {
+  return EntityProfile(id, source, {{"title", std::move(title)}});
+}
+
+std::vector<Comparison> DrainAll(ErAlgorithm& alg) {
+  std::vector<Comparison> out;
+  WorkStats stats;
+  for (;;) {
+    auto batch = alg.NextBatch(&stats);
+    if (batch.empty()) break;
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  return out;
+}
+
+std::set<uint64_t> Keys(const std::vector<Comparison>& cmps) {
+  std::set<uint64_t> keys;
+  for (const auto& c : cmps) keys.insert(c.Key());
+  return keys;
+}
+
+TEST(DySniTest, ExactKeyCollision) {
+  DySni dysni(DatasetKind::kDirty, BlockingOptions{});
+  dysni.OnIncrement({Raw(0, 0, "smith"), Raw(1, 0, "smith")});
+  const auto keys = Keys(DrainAll(dysni));
+  EXPECT_TRUE(keys.count(PairKey(0, 1)));
+}
+
+TEST(DySniTest, WindowCatchesNearbyKeys) {
+  // "smith" and "smithe" are adjacent in the sorted key order even
+  // though token blocking would place them in different blocks.
+  DySni dysni(DatasetKind::kDirty, BlockingOptions{}, /*window=*/1);
+  dysni.OnIncrement({Raw(0, 0, "smith"), Raw(1, 0, "smithe")});
+  const auto keys = Keys(DrainAll(dysni));
+  EXPECT_TRUE(keys.count(PairKey(0, 1)));
+}
+
+TEST(DySniTest, WindowZeroIsExactBlockingOnly) {
+  DySni dysni(DatasetKind::kDirty, BlockingOptions{}, /*window=*/0);
+  dysni.OnIncrement({Raw(0, 0, "smith"), Raw(1, 0, "smithe")});
+  EXPECT_TRUE(DrainAll(dysni).empty());
+}
+
+TEST(DySniTest, RealTimeCrossIncrementMatching) {
+  DySni dysni(DatasetKind::kDirty, BlockingOptions{});
+  dysni.OnIncrement({Raw(0, 0, "unique jonathan")});
+  EXPECT_TRUE(DrainAll(dysni).empty());  // nothing to pair yet
+  dysni.OnIncrement({Raw(1, 0, "unique jonathan")});
+  const auto keys = Keys(DrainAll(dysni));
+  EXPECT_TRUE(keys.count(PairKey(0, 1)));
+}
+
+TEST(DySniTest, BackpressureLikeIBase) {
+  DySni dysni(DatasetKind::kDirty, BlockingOptions{}, 2, /*batch_size=*/1);
+  dysni.OnIncrement({Raw(0, 0, "dup aa"), Raw(1, 0, "dup aa"),
+                     Raw(2, 0, "dup aa")});
+  EXPECT_FALSE(dysni.ReadyForIncrement());
+  DrainAll(dysni);
+  EXPECT_TRUE(dysni.ReadyForIncrement());
+}
+
+TEST(DySniTest, NoDuplicateComparisons) {
+  DySni dysni(DatasetKind::kDirty, BlockingOptions{});
+  dysni.OnIncrement({Raw(0, 0, "alpha beta gamma"),
+                     Raw(1, 0, "alpha beta gamma"),
+                     Raw(2, 0, "alpha beta delta")});
+  const auto emitted = DrainAll(dysni);
+  EXPECT_EQ(Keys(emitted).size(), emitted.size());
+}
+
+TEST(DySniTest, CleanCleanCrossSourceOnly) {
+  DySni dysni(DatasetKind::kCleanClean, BlockingOptions{});
+  dysni.OnIncrement({Raw(0, 0, "token x1"), Raw(1, 0, "token x2"),
+                     Raw(2, 1, "token x3")});
+  for (const auto& c : DrainAll(dysni)) {
+    EXPECT_TRUE((c.x == 2) != (c.y == 2));
+  }
+}
+
+TEST(DySniTest, OversizedBucketsSkipped) {
+  BlockingOptions blocking;
+  blocking.max_block_size = 3;
+  DySni dysni(DatasetKind::kDirty, blocking);
+  std::vector<EntityProfile> profiles;
+  for (ProfileId id = 0; id < 10; ++id) {
+    profiles.push_back(Raw(id, 0, "stopword"));
+  }
+  dysni.OnIncrement(std::move(profiles));
+  // The "stopword" bucket outgrows the cap mid-increment; pairs from
+  // the oversized state are suppressed.
+  EXPECT_LT(Keys(DrainAll(dysni)).size(), 45u);
+}
+
+TEST(DySniTest, IndexKeysGrow) {
+  DySni dysni(DatasetKind::kDirty, BlockingOptions{});
+  dysni.OnIncrement({Raw(0, 0, "one two"), Raw(1, 0, "two three")});
+  EXPECT_EQ(dysni.NumIndexKeys(), 3u);
+}
+
+}  // namespace
+}  // namespace pier

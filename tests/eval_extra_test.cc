@@ -1,0 +1,185 @@
+// Tests for the entity-cluster consolidation (union-find over matches)
+// and the CSV dataset round trip.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/dataset_io.h"
+#include "datagen/generators.h"
+#include "eval/entity_clusters.h"
+
+namespace pier {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EntityClusters
+// ---------------------------------------------------------------------------
+
+TEST(EntityClustersTest, SingletonsByDefault) {
+  EntityClusters clusters;
+  EXPECT_EQ(clusters.Find(5), 5u);
+  EXPECT_FALSE(clusters.SameEntity(1, 2));
+  EXPECT_EQ(clusters.ClusterSize(3), 1u);
+}
+
+TEST(EntityClustersTest, MergeAndFind) {
+  EntityClusters clusters;
+  EXPECT_TRUE(clusters.AddMatch(1, 2));
+  EXPECT_TRUE(clusters.SameEntity(1, 2));
+  EXPECT_EQ(clusters.ClusterSize(1), 2u);
+  EXPECT_FALSE(clusters.AddMatch(2, 1));  // already merged
+}
+
+TEST(EntityClustersTest, TransitiveClosure) {
+  EntityClusters clusters;
+  clusters.AddMatch(1, 2);
+  clusters.AddMatch(3, 4);
+  EXPECT_FALSE(clusters.SameEntity(1, 4));
+  clusters.AddMatch(2, 3);  // bridges the clusters
+  EXPECT_TRUE(clusters.SameEntity(1, 4));
+  EXPECT_EQ(clusters.ClusterSize(4), 4u);
+}
+
+TEST(EntityClustersTest, NonTrivialClusterCount) {
+  EntityClusters clusters;
+  EXPECT_EQ(clusters.NumNonTrivialClusters(), 0u);
+  clusters.AddMatch(0, 1);
+  EXPECT_EQ(clusters.NumNonTrivialClusters(), 1u);
+  clusters.AddMatch(2, 3);
+  EXPECT_EQ(clusters.NumNonTrivialClusters(), 2u);
+  clusters.AddMatch(1, 2);  // merge the two clusters
+  EXPECT_EQ(clusters.NumNonTrivialClusters(), 1u);
+  clusters.AddMatch(4, 0);  // absorb a singleton
+  EXPECT_EQ(clusters.NumNonTrivialClusters(), 1u);
+}
+
+TEST(EntityClustersTest, MaterializeClusters) {
+  EntityClusters clusters;
+  clusters.AddMatch(1, 2);
+  clusters.AddMatch(5, 6);
+  clusters.AddMatch(6, 7);
+  clusters.Find(9);  // grows the universe with a singleton
+  const auto all = clusters.Clusters(2);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], (std::vector<ProfileId>{1, 2}));
+  EXPECT_EQ(all[1], (std::vector<ProfileId>{5, 6, 7}));
+}
+
+TEST(EntityClustersTest, AgreesWithGeneratedTruth) {
+  CensusOptions options;
+  options.num_records = 1000;
+  const Dataset d = GenerateCensus(options);
+  EntityClusters clusters;
+  for (const uint64_t key : d.truth.pairs()) {
+    clusters.AddMatch(static_cast<ProfileId>(key >> 32),
+                      static_cast<ProfileId>(key & 0xffffffffu));
+  }
+  // Every truth pair ends up co-clustered, and cluster sizes match the
+  // quadratic pair counts.
+  size_t pairs = 0;
+  for (const auto& cluster : clusters.Clusters(2)) {
+    pairs += cluster.size() * (cluster.size() - 1) / 2;
+  }
+  EXPECT_EQ(pairs, d.truth.size());
+}
+
+// ---------------------------------------------------------------------------
+// Dataset CSV IO
+// ---------------------------------------------------------------------------
+
+TEST(CsvParseTest, PlainAndQuoted) {
+  EXPECT_EQ(*ParseCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(*ParseCsvLine("\"x,y\",\"he said \"\"hi\"\"\""),
+            (std::vector<std::string>{"x,y", "he said \"hi\""}));
+  EXPECT_EQ(*ParseCsvLine(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(*ParseCsvLine("a,,b"),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(CsvParseTest, MalformedQuoting) {
+  EXPECT_FALSE(ParseCsvLine("\"unterminated").has_value());
+  EXPECT_FALSE(ParseCsvLine("ab\"cd").has_value());
+}
+
+TEST(DatasetIoTest, RoundTripsGeneratedDataset) {
+  BibliographicOptions options;
+  options.source0_count = 60;
+  options.source1_count = 50;
+  const Dataset original = GenerateBibliographic(options);
+
+  std::stringstream profiles_csv;
+  std::stringstream truth_csv;
+  WriteProfilesCsv(original, profiles_csv);
+  WriteGroundTruthCsv(original, truth_csv);
+
+  const auto loaded =
+      ReadDatasetCsv(profiles_csv, &truth_csv, original.name, original.kind);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->profiles.size(), original.profiles.size());
+  for (size_t i = 0; i < original.profiles.size(); ++i) {
+    const auto& a = original.profiles[i];
+    const auto& b = loaded->profiles[i];
+    EXPECT_EQ(a.source, b.source);
+    ASSERT_EQ(a.attributes.size(), b.attributes.size());
+    for (size_t j = 0; j < a.attributes.size(); ++j) {
+      EXPECT_EQ(a.attributes[j].name, b.attributes[j].name);
+      EXPECT_EQ(a.attributes[j].value, b.attributes[j].value);
+    }
+  }
+  EXPECT_EQ(loaded->truth.size(), original.truth.size());
+  for (const uint64_t key : original.truth.pairs()) {
+    EXPECT_TRUE(loaded->truth.IsMatch(static_cast<ProfileId>(key >> 32),
+                                      static_cast<ProfileId>(key)));
+  }
+}
+
+TEST(DatasetIoTest, ValuesWithCommasAndQuotesSurvive) {
+  Dataset d;
+  d.name = "tricky";
+  d.kind = DatasetKind::kDirty;
+  d.profiles.emplace_back(0, 0,
+                          std::vector<Attribute>{
+                              {"note", "hello, \"world\""},
+                          });
+  std::stringstream out;
+  WriteProfilesCsv(d, out);
+  const auto loaded = ReadDatasetCsv(out, nullptr, "tricky",
+                                     DatasetKind::kDirty);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->profiles[0].attributes[0].value, "hello, \"world\"");
+}
+
+TEST(DatasetIoTest, RejectsMalformedRows) {
+  std::stringstream missing_fields("header\n1,0,onlythree\n");
+  EXPECT_FALSE(ReadDatasetCsv(missing_fields, nullptr, "x",
+                              DatasetKind::kDirty)
+                   .has_value());
+  std::stringstream bad_id("header\nnotanum,0,a,b\n");
+  EXPECT_FALSE(
+      ReadDatasetCsv(bad_id, nullptr, "x", DatasetKind::kDirty).has_value());
+  std::stringstream bad_source("header\n0,7,a,b\n");
+  EXPECT_FALSE(ReadDatasetCsv(bad_source, nullptr, "x", DatasetKind::kDirty)
+                   .has_value());
+  std::stringstream sparse_ids("header\n5,0,a,b\n");
+  EXPECT_FALSE(ReadDatasetCsv(sparse_ids, nullptr, "x", DatasetKind::kDirty)
+                   .has_value());
+}
+
+TEST(DatasetIoTest, RejectsInconsistentSource) {
+  std::stringstream csv("header\n0,0,a,b\n0,1,c,d\n");
+  EXPECT_FALSE(
+      ReadDatasetCsv(csv, nullptr, "x", DatasetKind::kDirty).has_value());
+}
+
+TEST(DatasetIoTest, TruthOutOfRangeRejected) {
+  std::stringstream profiles_csv("header\n0,0,a,b\n");
+  std::stringstream truth_csv("header\n0,9\n");
+  EXPECT_FALSE(ReadDatasetCsv(profiles_csv, &truth_csv, "x",
+                              DatasetKind::kDirty)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace pier

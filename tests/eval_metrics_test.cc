@@ -1,0 +1,129 @@
+// Tests for the extended evaluation metrics: matcher precision /
+// recall / F1, TimeToPc, the matcher-quality report, and the
+// simulator's quality counters.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "eval/report.h"
+#include "eval/run_result.h"
+#include "similarity/matcher.h"
+#include "stream/pier_adapter.h"
+#include "stream/stream_simulator.h"
+
+namespace pier {
+namespace {
+
+TEST(RunResultTest, PrecisionRecallF1Math) {
+  RunResult r;
+  r.total_true_matches = 10;
+  r.matcher_positives = 8;
+  r.matcher_true_positives = 6;
+  EXPECT_DOUBLE_EQ(r.MatcherPrecision(), 0.75);
+  EXPECT_DOUBLE_EQ(r.MatcherRecall(), 0.6);
+  EXPECT_NEAR(r.MatcherF1(), 2 * 0.75 * 0.6 / (0.75 + 0.6), 1e-12);
+}
+
+TEST(RunResultTest, DegenerateQualityCounters) {
+  RunResult r;
+  EXPECT_DOUBLE_EQ(r.MatcherPrecision(), 0.0);
+  EXPECT_DOUBLE_EQ(r.MatcherRecall(), 0.0);
+  EXPECT_DOUBLE_EQ(r.MatcherF1(), 0.0);
+}
+
+TEST(RunResultTest, TimeToPc) {
+  RunResult r;
+  r.total_true_matches = 100;
+  r.curve.Add({1.0, 10, 20});
+  r.curve.Add({2.0, 20, 50});
+  r.curve.Add({3.0, 30, 90});
+  r.end_time = 3.0;
+  EXPECT_DOUBLE_EQ(r.TimeToPc(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(r.TimeToPc(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(r.TimeToPc(0.9), 3.0);
+  EXPECT_LT(r.TimeToPc(0.95), 0.0);  // never reached
+}
+
+TEST(RunResultTest, TimeToPcZeroTruth) {
+  RunResult r;
+  r.curve.Add({1.0, 10, 0});
+  EXPECT_LT(r.TimeToPc(0.5), 0.0);
+}
+
+TEST(ReportTest, MatcherQualityTable) {
+  RunResult r;
+  r.algorithm = "ALG";
+  r.total_true_matches = 4;
+  r.matcher_positives = 4;
+  r.matcher_true_positives = 2;
+  std::ostringstream out;
+  PrintMatcherQualityTable(out, {r});
+  EXPECT_NE(out.str().find("ALG"), std::string::npos);
+  EXPECT_NE(out.str().find("0.500"), std::string::npos);
+}
+
+TEST(SimulatorQualityTest, CountersPopulatedAndConsistent) {
+  BibliographicOptions options;
+  options.source0_count = 150;
+  options.source1_count = 120;
+  const Dataset d = GenerateBibliographic(options);
+
+  SimulatorOptions sim_options;
+  sim_options.num_increments = 10;
+  sim_options.cost_mode = CostMeter::Mode::kModeled;
+  const StreamSimulator sim(&d, sim_options);
+
+  PierOptions pier_options;
+  pier_options.kind = d.kind;
+  PierAdapter alg(pier_options);
+  const JaccardMatcher matcher(0.4);
+  const RunResult r = sim.Run(alg, matcher);
+
+  EXPECT_GT(r.matcher_positives, 0u);
+  EXPECT_LE(r.matcher_true_positives, r.matcher_positives);
+  EXPECT_LE(r.matcher_true_positives, r.total_true_matches);
+  // The generated duplicates are similar by construction, so the
+  // matcher's precision is high on this workload.
+  EXPECT_GT(r.MatcherPrecision(), 0.8);
+  EXPECT_GT(r.MatcherRecall(), 0.5);
+  EXPECT_GT(r.MatcherF1(), 0.6);
+  // TimeToPc is monotone in the target.
+  const double t25 = r.TimeToPc(0.25);
+  const double t50 = r.TimeToPc(0.5);
+  ASSERT_GE(t25, 0.0);
+  ASSERT_GE(t50, 0.0);
+  EXPECT_LE(t25, t50);
+}
+
+TEST(GeneratorEdgeTest, ZeroOverlapMeansNoMatches) {
+  BibliographicOptions options;
+  options.source0_count = 40;
+  options.source1_count = 30;
+  options.overlap_fraction = 0.0;
+  const Dataset d = GenerateBibliographic(options);
+  EXPECT_EQ(d.truth.size(), 0u);
+  EXPECT_EQ(d.profiles.size(), 70u);
+}
+
+TEST(GeneratorEdgeTest, FullOverlap) {
+  MoviesOptions options;
+  options.source0_count = 30;
+  options.source1_count = 30;
+  options.overlap_fraction = 1.0;
+  const Dataset d = GenerateMovies(options);
+  EXPECT_EQ(d.truth.size(), 30u);
+}
+
+TEST(GeneratorEdgeTest, CensusWithoutDuplicates) {
+  CensusOptions options;
+  options.num_records = 200;
+  options.duplicate_entity_fraction = 0.0;
+  const Dataset d = GenerateCensus(options);
+  EXPECT_EQ(d.truth.size(), 0u);
+  EXPECT_EQ(d.profiles.size(), 200u);
+}
+
+}  // namespace
+}  // namespace pier

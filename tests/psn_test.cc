@@ -1,0 +1,123 @@
+// Tests for the LS-PSN / GS-PSN progressive sorted-neighborhood
+// baselines.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/psn.h"
+
+namespace pier {
+namespace {
+
+EntityProfile Raw(ProfileId id, SourceId source, std::string title) {
+  return EntityProfile(id, source, {{"title", std::move(title)}});
+}
+
+std::vector<Comparison> DrainAll(ErAlgorithm& alg, size_t max_batches = 200) {
+  std::vector<Comparison> out;
+  WorkStats stats;
+  for (size_t i = 0; i < max_batches; ++i) {
+    auto batch = alg.NextBatch(&stats);
+    if (batch.empty()) break;
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  return out;
+}
+
+TEST(PsnTest, SortedListHasOneEntryPerTokenOccurrence) {
+  Psn psn(DatasetKind::kDirty, BlockingOptions{});
+  psn.OnIncrement({Raw(0, 0, "alpha beta"), Raw(1, 0, "beta gamma")});
+  psn.OnStreamEnd();
+  EXPECT_EQ(psn.SortedListSize(), 4u);
+}
+
+TEST(PsnTest, AdjacentTokensPairUp) {
+  // "aardvark" sorts next to "aardwolf": their owners meet at window 1.
+  Psn psn(DatasetKind::kDirty, BlockingOptions{});
+  psn.OnIncrement({Raw(0, 0, "aardvark"), Raw(1, 0, "aardwolf"),
+                   Raw(2, 0, "zebra")});
+  psn.OnStreamEnd();
+  const auto emitted = DrainAll(psn);
+  ASSERT_FALSE(emitted.empty());
+  std::set<uint64_t> keys;
+  for (const auto& c : emitted) keys.insert(c.Key());
+  EXPECT_TRUE(keys.count(PairKey(0, 1)));
+}
+
+TEST(PsnTest, GlobalRanksRepeatedCoOccurrenceHigher) {
+  // p0/p1 share two adjacent sort positions ("alpha", "beta"); p2 is
+  // adjacent to them only via one token.
+  Psn psn(DatasetKind::kDirty, BlockingOptions{}, PsnVariant::kGlobal);
+  psn.OnIncrement({Raw(0, 0, "alpha beta"), Raw(1, 0, "alpha beta"),
+                   Raw(2, 0, "alpha omega")});
+  psn.OnStreamEnd();
+  WorkStats stats;
+  const auto batch = psn.NextBatch(&stats);
+  ASSERT_FALSE(batch.empty());
+  EXPECT_EQ(PairKey(batch[0].x, batch[0].y), PairKey(0, 1));
+}
+
+TEST(PsnTest, LocalEmitsWindowOneFirst) {
+  Psn psn(DatasetKind::kDirty, BlockingOptions{}, PsnVariant::kLocal);
+  psn.OnIncrement({Raw(0, 0, "alpha beta"), Raw(1, 0, "alpha beta"),
+                   Raw(2, 0, "alpha omega")});
+  psn.OnStreamEnd();
+  const auto emitted = DrainAll(psn);
+  ASSERT_GE(emitted.size(), 3u);
+  std::set<uint64_t> keys;
+  for (const auto& c : emitted) {
+    EXPECT_TRUE(keys.insert(c.Key()).second);  // no duplicates
+  }
+}
+
+TEST(PsnTest, CleanCleanCrossSourceOnly) {
+  Psn psn(DatasetKind::kCleanClean, BlockingOptions{});
+  psn.OnIncrement({Raw(0, 0, "token alpha"), Raw(1, 0, "token alpha"),
+                   Raw(2, 1, "token alpha")});
+  psn.OnStreamEnd();
+  for (const auto& c : DrainAll(psn)) {
+    EXPECT_NE(c.x == 0 || c.x == 1, c.y == 0 || c.y == 1);
+  }
+}
+
+TEST(PsnTest, NothingBeforeInit) {
+  Psn psn(DatasetKind::kDirty, BlockingOptions{});
+  psn.OnIncrement({Raw(0, 0, "same token"), Raw(1, 0, "same token")});
+  EXPECT_TRUE(DrainAll(psn).empty());  // static mode: needs stream end
+}
+
+TEST(PsnTest, GlobalIncrementalModeReinitializes) {
+  Psn psn(DatasetKind::kDirty, BlockingOptions{}, PsnVariant::kGlobal,
+          BaselineMode::kGlobalIncremental);
+  psn.OnIncrement({Raw(0, 0, "dup token1"), Raw(1, 0, "dup token2")});
+  const auto first = DrainAll(psn);
+  EXPECT_FALSE(first.empty());
+  psn.OnIncrement({Raw(2, 0, "dup token3")});
+  const auto second = DrainAll(psn);
+  std::set<uint64_t> keys;
+  for (const auto& c : second) keys.insert(c.Key());
+  EXPECT_TRUE(keys.count(PairKey(0, 2)) || keys.count(PairKey(1, 2)));
+}
+
+TEST(PsnTest, MaxWindowBoundsPairDistance) {
+  // With window 1, profiles whose tokens sort far apart never pair.
+  Psn psn(DatasetKind::kDirty, BlockingOptions{}, PsnVariant::kLocal,
+          BaselineMode::kStatic, /*max_window=*/1);
+  psn.OnIncrement({Raw(0, 0, "aaa"), Raw(1, 0, "mmm"), Raw(2, 0, "zzz")});
+  psn.OnStreamEnd();
+  const auto emitted = DrainAll(psn);
+  std::set<uint64_t> keys;
+  for (const auto& c : emitted) keys.insert(c.Key());
+  EXPECT_FALSE(keys.count(PairKey(0, 2)));  // distance 2 in the list
+}
+
+TEST(PsnTest, Names) {
+  Psn local(DatasetKind::kDirty, BlockingOptions{}, PsnVariant::kLocal);
+  Psn global(DatasetKind::kDirty, BlockingOptions{}, PsnVariant::kGlobal);
+  EXPECT_STREQ(local.name(), "LS-PSN");
+  EXPECT_STREQ(global.name(), "GS-PSN");
+}
+
+}  // namespace
+}  // namespace pier

@@ -1,0 +1,85 @@
+// Tests for the strategy-selection heuristic (the paper's future-work
+// feature): relational-style data should map to I-PBS, heterogeneous
+// web-style data to I-PES, as the evaluation (Section 7.2.3/7.3.1)
+// found empirically.
+
+#include <gtest/gtest.h>
+
+#include "blocking/block_collection.h"
+#include "core/strategy_selector.h"
+#include "datagen/generators.h"
+#include "model/profile_store.h"
+#include "model/token_dictionary.h"
+#include "text/tokenizer.h"
+
+namespace pier {
+namespace {
+
+struct Ingested {
+  TokenDictionary dict;
+  ProfileStore profiles;
+  BlockCollection blocks;
+
+  explicit Ingested(const Dataset& d) : blocks(d.kind) {
+    Tokenizer tokenizer;
+    for (auto p : d.profiles) {
+      tokenizer.TokenizeProfile(p, dict);
+      blocks.AddProfile(p);
+      profiles.Add(std::move(p));
+    }
+  }
+};
+
+TEST(StrategySelectorTest, EmptyDataDefaultsToIPes) {
+  ProfileStore profiles;
+  BlockCollection blocks(DatasetKind::kDirty);
+  const auto rec = RecommendStrategy(blocks, profiles);
+  EXPECT_EQ(rec.strategy, PierStrategy::kIPes);
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(StrategySelectorTest, CensusMapsToIPbs) {
+  CensusOptions options;
+  options.num_records = 2000;
+  const Dataset d = GenerateCensus(options);
+  Ingested state(d);
+  const auto rec = RecommendStrategy(state.blocks, state.profiles);
+  EXPECT_EQ(rec.strategy, PierStrategy::kIPbs) << rec.rationale;
+  EXPECT_LE(rec.mean_value_length, 12.0);
+}
+
+TEST(StrategySelectorTest, DbpediaMapsToIPes) {
+  DbpediaOptions options;
+  options.source0_count = 800;
+  options.source1_count = 1000;
+  const Dataset d = GenerateDbpedia(options);
+  Ingested state(d);
+  const auto rec = RecommendStrategy(state.blocks, state.profiles);
+  EXPECT_EQ(rec.strategy, PierStrategy::kIPes) << rec.rationale;
+}
+
+TEST(StrategySelectorTest, MoviesMapsToIPes) {
+  MoviesOptions options;
+  options.source0_count = 800;
+  options.source1_count = 700;
+  const Dataset d = GenerateMovies(options);
+  Ingested state(d);
+  const auto rec = RecommendStrategy(state.blocks, state.profiles);
+  EXPECT_EQ(rec.strategy, PierStrategy::kIPes) << rec.rationale;
+}
+
+TEST(StrategySelectorTest, ReportsSignals) {
+  CensusOptions options;
+  options.num_records = 500;
+  const Dataset d = GenerateCensus(options);
+  Ingested state(d);
+  const auto rec = RecommendStrategy(state.blocks, state.profiles);
+  EXPECT_GT(rec.mean_tokens_per_profile, 0.0);
+  EXPECT_GT(rec.mean_value_length, 0.0);
+  EXPECT_GE(rec.small_block_share, 0.0);
+  EXPECT_LE(rec.small_block_share, 1.0);
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+}  // namespace
+}  // namespace pier

@@ -1,0 +1,463 @@
+// Tests for src/util: bounded priority queue (including randomized
+// differential tests against a multiset oracle), Bloom filters,
+// deterministic RNG, moving averages, CSV escaping, and hashing.
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bloom_filter.h"
+#include "util/bounded_priority_queue.h"
+#include "util/csv_writer.h"
+#include "util/hashing.h"
+#include "util/moving_average.h"
+#include "util/rng.h"
+#include "util/scalable_bloom_filter.h"
+#include "util/stopwatch.h"
+
+namespace pier {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BoundedPriorityQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedPriorityQueueTest, EmptyQueueBasics) {
+  BoundedPriorityQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedPriorityQueueTest, SingleElement) {
+  BoundedPriorityQueue<int> q;
+  q.Push(42);
+  EXPECT_EQ(q.PeekMax(), 42);
+  EXPECT_EQ(q.PeekMin(), 42);
+  EXPECT_EQ(q.PopMax(), 42);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedPriorityQueueTest, TwoElementsOrdered) {
+  BoundedPriorityQueue<int> q;
+  q.Push(5);
+  q.Push(9);
+  EXPECT_EQ(q.PeekMin(), 5);
+  EXPECT_EQ(q.PeekMax(), 9);
+}
+
+TEST(BoundedPriorityQueueTest, PopMaxDescendingOrder) {
+  BoundedPriorityQueue<int> q;
+  for (const int x : {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}) q.Push(x);
+  std::vector<int> popped;
+  while (!q.empty()) popped.push_back(q.PopMax());
+  EXPECT_TRUE(std::is_sorted(popped.rbegin(), popped.rend()));
+  EXPECT_EQ(popped.front(), 9);
+  EXPECT_EQ(popped.back(), 1);
+}
+
+TEST(BoundedPriorityQueueTest, PopMinAscendingOrder) {
+  BoundedPriorityQueue<int> q;
+  for (const int x : {3, 1, 4, 1, 5, 9, 2, 6}) q.Push(x);
+  std::vector<int> popped;
+  while (!q.empty()) popped.push_back(q.PopMin());
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+}
+
+TEST(BoundedPriorityQueueTest, PushBoundedEvictsMinimum) {
+  BoundedPriorityQueue<int> q(3);
+  EXPECT_TRUE(q.PushBounded(1));
+  EXPECT_TRUE(q.PushBounded(2));
+  EXPECT_TRUE(q.PushBounded(3));
+  // Full: 4 replaces the minimum (1).
+  EXPECT_TRUE(q.PushBounded(4));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.PeekMin(), 2);
+  EXPECT_EQ(q.PeekMax(), 4);
+}
+
+TEST(BoundedPriorityQueueTest, PushBoundedRejectsWorseThanMin) {
+  BoundedPriorityQueue<int> q(2);
+  q.PushBounded(10);
+  q.PushBounded(20);
+  EXPECT_FALSE(q.PushBounded(5));
+  EXPECT_FALSE(q.PushBounded(10));  // equal to min: rejected
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.PeekMin(), 10);
+}
+
+TEST(BoundedPriorityQueueTest, ZeroCapacityRejectsEverything) {
+  BoundedPriorityQueue<int> q(0);
+  EXPECT_FALSE(q.PushBounded(1));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedPriorityQueueTest, CustomComparator) {
+  // Greater-comparator flips semantics: PopMax yields the smallest.
+  BoundedPriorityQueue<int, std::greater<int>> q;
+  for (const int x : {5, 2, 8, 1}) q.Push(x);
+  EXPECT_EQ(q.PopMax(), 1);
+  EXPECT_EQ(q.PopMax(), 2);
+}
+
+TEST(BoundedPriorityQueueTest, ClearResets) {
+  BoundedPriorityQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  q.Push(7);
+  EXPECT_EQ(q.PeekMax(), 7);
+}
+
+// Differential test: random interleavings of push/pop against a
+// multiset oracle, parameterized over seed and capacity.
+class BoundedPqDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(BoundedPqDifferentialTest, MatchesMultisetOracle) {
+  const auto [seed, capacity] = GetParam();
+  Rng rng(seed);
+  BoundedPriorityQueue<int> q(capacity);
+  std::multiset<int> oracle;
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t op = rng.UniformInt(0, 9);
+    if (op < 6) {
+      const int x = static_cast<int>(rng.UniformInt(0, 999));
+      const bool inserted = q.PushBounded(x);
+      // Oracle semantics: insert; when above capacity evict the min,
+      // unless the new element IS (tied with) the min.
+      if (oracle.size() < capacity) {
+        oracle.insert(x);
+        EXPECT_TRUE(inserted);
+      } else if (!oracle.empty() && *oracle.begin() < x) {
+        oracle.erase(oracle.begin());
+        oracle.insert(x);
+        EXPECT_TRUE(inserted);
+      } else {
+        EXPECT_FALSE(inserted);
+      }
+    } else if (op < 8) {
+      ASSERT_EQ(q.empty(), oracle.empty());
+      if (!oracle.empty()) {
+        EXPECT_EQ(q.PopMax(), *std::prev(oracle.end()));
+        oracle.erase(std::prev(oracle.end()));
+      }
+    } else {
+      ASSERT_EQ(q.empty(), oracle.empty());
+      if (!oracle.empty()) {
+        EXPECT_EQ(q.PopMin(), *oracle.begin());
+        oracle.erase(oracle.begin());
+      }
+    }
+    ASSERT_EQ(q.size(), oracle.size());
+    if (!oracle.empty()) {
+      ASSERT_EQ(q.PeekMax(), *std::prev(oracle.end()));
+      ASSERT_EQ(q.PeekMin(), *oracle.begin());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundedPqDifferentialTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 17u, 99u),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{7},
+                                         size_t{64},
+                                         BoundedPriorityQueue<int>::kUnbounded)));
+
+// ---------------------------------------------------------------------------
+// BloomFilter / ScalableBloomFilter
+// ---------------------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1000, 0.01);
+  for (uint64_t k = 0; k < 1000; ++k) filter.Add(k * 7919);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(filter.MayContain(k * 7919)) << k;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearDesign) {
+  BloomFilter filter(5000, 0.01);
+  for (uint64_t k = 0; k < 5000; ++k) filter.Add(Mix64(k));
+  size_t false_positives = 0;
+  const size_t probes = 20000;
+  for (uint64_t k = 0; k < probes; ++k) {
+    if (filter.MayContain(Mix64(k + 1000000))) ++false_positives;
+  }
+  const double rate =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  EXPECT_LT(rate, 0.03);  // 3x headroom over the 1% design point
+}
+
+TEST(BloomFilterTest, TracksCapacity) {
+  BloomFilter filter(10, 0.1);
+  EXPECT_FALSE(filter.AtCapacity());
+  for (uint64_t k = 0; k < 10; ++k) filter.Add(k);
+  EXPECT_TRUE(filter.AtCapacity());
+}
+
+TEST(ScalableBloomFilterTest, GrowsSlices) {
+  ScalableBloomFilter::Options options;
+  options.initial_capacity = 64;
+  ScalableBloomFilter filter(options);
+  EXPECT_EQ(filter.num_slices(), 1u);
+  for (uint64_t k = 0; k < 1000; ++k) filter.Add(k);
+  EXPECT_GT(filter.num_slices(), 1u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(filter.MayContain(k));
+  }
+}
+
+TEST(ScalableBloomFilterTest, TestAndAddSemantics) {
+  ScalableBloomFilter filter;
+  EXPECT_FALSE(filter.TestAndAdd(123));
+  EXPECT_TRUE(filter.TestAndAdd(123));
+}
+
+TEST(ScalableBloomFilterTest, CompoundFalsePositiveRateBounded) {
+  ScalableBloomFilter::Options options;
+  options.initial_capacity = 256;
+  options.fp_rate = 0.01;
+  ScalableBloomFilter filter(options);
+  for (uint64_t k = 0; k < 20000; ++k) filter.Add(Mix64(k));
+  size_t false_positives = 0;
+  const size_t probes = 20000;
+  for (uint64_t k = 0; k < probes; ++k) {
+    if (filter.MayContain(Mix64(k + (1ULL << 40)))) ++false_positives;
+  }
+  const double rate =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(ScalableBloomFilterTest, MemoryGrowsSubquadratically) {
+  ScalableBloomFilter::Options options;
+  options.initial_capacity = 128;
+  ScalableBloomFilter filter(options);
+  for (uint64_t k = 0; k < 10000; ++k) filter.Add(k);
+  // ~10k keys at 1% should stay far below a megabyte.
+  EXPECT_LT(filter.MemoryBytes(), 1u << 20);
+}
+
+// ---------------------------------------------------------------------------
+// Rng / ZipfDistribution
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t x = rng.UniformInt(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5u);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(ZipfTest, SkewsTowardHead) {
+  Rng rng(3);
+  ZipfDistribution zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[99] * 5);
+  EXPECT_GT(counts[0], 1000);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniformish) {
+  Rng rng(3);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 600.0);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinDomain) {
+  Rng rng(4);
+  ZipfDistribution zipf(7, 1.2);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Moving averages
+// ---------------------------------------------------------------------------
+
+TEST(EmaTest, FirstValueInitializes) {
+  Ema ema(0.5);
+  EXPECT_FALSE(ema.initialized());
+  ema.Add(10.0);
+  EXPECT_TRUE(ema.initialized());
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+}
+
+TEST(EmaTest, ConvergesTowardConstant) {
+  Ema ema(0.3);
+  ema.Add(0.0);
+  for (int i = 0; i < 50; ++i) ema.Add(100.0);
+  EXPECT_NEAR(ema.value(), 100.0, 0.01);
+}
+
+TEST(WindowAverageTest, MeanOfPartialWindow) {
+  WindowAverage avg(4);
+  avg.Add(2.0);
+  avg.Add(4.0);
+  EXPECT_DOUBLE_EQ(avg.Mean(), 3.0);
+  EXPECT_EQ(avg.count(), 2u);
+}
+
+TEST(WindowAverageTest, SlidesOverOldValues) {
+  WindowAverage avg(3);
+  avg.Add(1.0);
+  avg.Add(2.0);
+  avg.Add(3.0);
+  avg.Add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(avg.Mean(), 5.0);
+  EXPECT_EQ(avg.count(), 3u);
+}
+
+TEST(WindowAverageTest, WindowOfOneTracksLast) {
+  WindowAverage avg(1);
+  avg.Add(5.0);
+  avg.Add(9.0);
+  EXPECT_DOUBLE_EQ(avg.Mean(), 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// CsvWriter
+// ---------------------------------------------------------------------------
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvWriter::Escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvWriter::Escape("has\nnewline"), "\"has\nnewline\"");
+}
+
+TEST(CsvWriterTest, CountsRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"x"});
+  csv.WriteRow({"y"});
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+TEST(HashingTest, PairKeyIsSymmetric) {
+  EXPECT_EQ(PairKey(3, 9), PairKey(9, 3));
+  EXPECT_NE(PairKey(3, 9), PairKey(3, 10));
+}
+
+TEST(HashingTest, PairKeyPacksLosslessly) {
+  const uint64_t key = PairKey(123456, 654321);
+  EXPECT_EQ(key >> 32, 123456u);
+  EXPECT_EQ(key & 0xffffffffu, 654321u);
+}
+
+TEST(HashingTest, HashStringDeterministic) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashingTest, Mix64Scrambles) {
+  EXPECT_NE(Mix64(0), 0u);
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  const double a = sw.ElapsedSeconds();
+  const double b = sw.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  sw.Restart();
+  EXPECT_LE(sw.ElapsedSeconds(), a + 1.0);
+}
+
+}  // namespace
+}  // namespace pier
