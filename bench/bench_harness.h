@@ -2,6 +2,7 @@
 // dataset construction, algorithm factory, run driver, and printing.
 //
 // Every bench accepts the environment variable PIER_BENCH_SCALE:
+//   tiny            -- CI-smoke sizes, seconds per bench
 //   small (default) -- laptop-scale datasets, minutes for all benches
 //   paper           -- larger datasets closer to the paper's sizes
 // Figures print their data as CSV series (series,time,comparisons,
@@ -37,9 +38,18 @@ inline bool PaperScale() {
   return scale != nullptr && std::string(scale) == "paper";
 }
 
+inline bool TinyScale() {
+  const char* scale = std::getenv("PIER_BENCH_SCALE");
+  return scale != nullptr && std::string(scale) == "tiny";
+}
+
 // The four evaluation datasets of Table 1, at bench scale.
 inline Dataset MakeDa() {
   BibliographicOptions options;  // paper-size already (2.6k/2.3k)
+  if (TinyScale()) {
+    options.source0_count = 400;
+    options.source1_count = 350;
+  }
   return GenerateBibliographic(options);
 }
 
@@ -48,6 +58,9 @@ inline Dataset MakeMovies() {
   if (PaperScale()) {
     options.source0_count = 27600;
     options.source1_count = 23100;
+  } else if (TinyScale()) {
+    options.source0_count = 700;
+    options.source1_count = 600;
   } else {
     options.source0_count = 4000;
     options.source1_count = 3400;
@@ -57,7 +70,7 @@ inline Dataset MakeMovies() {
 
 inline Dataset MakeCensus() {
   CensusOptions options;
-  options.num_records = PaperScale() ? 200000 : 12000;
+  options.num_records = PaperScale() ? 200000 : TinyScale() ? 2500 : 12000;
   return GenerateCensus(options);
 }
 
@@ -66,6 +79,9 @@ inline Dataset MakeDbpedia() {
   if (PaperScale()) {
     options.source0_count = 40000;
     options.source1_count = 60000;
+  } else if (TinyScale()) {
+    options.source0_count = 900;
+    options.source1_count = 1200;
   } else {
     options.source0_count = 5000;
     options.source1_count = 7000;
@@ -75,8 +91,12 @@ inline Dataset MakeDbpedia() {
 
 // Time budgets mirroring the paper's 5 min (small/medium) and 80 min
 // (large) at bench scale.
-inline double SmallBudget() { return PaperScale() ? 60.0 : 5.0; }
-inline double LargeBudget() { return PaperScale() ? 120.0 : 20.0; }
+inline double SmallBudget() {
+  return PaperScale() ? 60.0 : TinyScale() ? 2.0 : 5.0;
+}
+inline double LargeBudget() {
+  return PaperScale() ? 120.0 : TinyScale() ? 5.0 : 20.0;
+}
 
 inline std::unique_ptr<Matcher> MakeBenchMatcher(const std::string& name) {
   if (name == "JS") return std::make_unique<JaccardMatcher>(0.35);

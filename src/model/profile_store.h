@@ -1,11 +1,30 @@
 // Append-only store of all profiles ingested so far, indexed by their
 // dense ProfileId. Shared by blocking, prioritization, and matching.
+//
+// Storage is chunked so profile addresses are *stable across Add*:
+// once a profile is in the store, `Get(id)` returns the same reference
+// forever. This is what lets the parallel match executor read profiles
+// lock-free while an ingest thread appends new ones (the realtime
+// pipeline's threading model, see stream/realtime_pipeline.h):
+//
+//  * single writer: Add must be called by one thread at a time (the
+//    pipeline serializes ingest under its mutex);
+//  * any number of readers may call Get(id) concurrently with Add,
+//    provided `id` was ingested before the reader learned about it
+//    (comparisons only ever reference already-ingested profiles).
+//
+// The chunk directory is a fixed-capacity array of atomic pointers, so
+// publishing a new chunk never relocates memory a reader may be
+// traversing; the size counter is released after the profile is fully
+// constructed.
 
 #ifndef PIER_MODEL_PROFILE_STORE_H_
 #define PIER_MODEL_PROFILE_STORE_H_
 
+#include <atomic>
+#include <cstddef>
+#include <memory>
 #include <utility>
-#include <vector>
 
 #include "model/entity_profile.h"
 #include "model/types.h"
@@ -15,33 +34,60 @@ namespace pier {
 
 class ProfileStore {
  public:
-  ProfileStore() = default;
+  ProfileStore()
+      : chunks_(new std::atomic<EntityProfile*>[kMaxChunks]()) {}
+
+  ~ProfileStore() {
+    for (size_t i = 0; i < kMaxChunks; ++i) {
+      EntityProfile* chunk = chunks_[i].load(std::memory_order_relaxed);
+      if (chunk == nullptr) break;  // chunks are allocated densely
+      delete[] chunk;
+    }
+  }
 
   ProfileStore(const ProfileStore&) = delete;
   ProfileStore& operator=(const ProfileStore&) = delete;
 
   // Appends a profile; its id must equal the current size (dense ids
-  // in ingestion order).
+  // in ingestion order). Single writer only.
   void Add(EntityProfile profile) {
-    PIER_CHECK(profile.id == profiles_.size());
-    profiles_.push_back(std::move(profile));
+    const size_t n = size_.load(std::memory_order_relaxed);
+    PIER_CHECK(profile.id == n);
+    const size_t chunk_index = n >> kChunkShift;
+    PIER_CHECK(chunk_index < kMaxChunks);
+    EntityProfile* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new EntityProfile[kChunkSize];
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+    chunk[n & kChunkMask] = std::move(profile);
+    size_.store(n + 1, std::memory_order_release);
   }
 
   const EntityProfile& Get(ProfileId id) const {
-    PIER_DCHECK(id < profiles_.size());
-    return profiles_[id];
+    PIER_DCHECK(id < size_.load(std::memory_order_acquire));
+    return chunks_[id >> kChunkShift].load(std::memory_order_acquire)
+        [id & kChunkMask];
   }
 
+  // Writer-side only (derived-field fill during ingest).
   EntityProfile& GetMutable(ProfileId id) {
-    PIER_DCHECK(id < profiles_.size());
-    return profiles_[id];
+    PIER_DCHECK(id < size_.load(std::memory_order_relaxed));
+    return chunks_[id >> kChunkShift].load(std::memory_order_relaxed)
+        [id & kChunkMask];
   }
 
-  size_t size() const { return profiles_.size(); }
-  bool empty() const { return profiles_.empty(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
 
  private:
-  std::vector<EntityProfile> profiles_;
+  static constexpr size_t kChunkShift = 12;  // 4096 profiles per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << 16;  // 268M profiles
+
+  std::unique_ptr<std::atomic<EntityProfile*>[]> chunks_;
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace pier

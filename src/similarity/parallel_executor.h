@@ -1,0 +1,81 @@
+// Parallel match-execution engine: shards a batch of prioritized
+// comparisons across a fixed ThreadPool, runs Matcher::Similarity
+// concurrently, and returns the verdicts **in emission order** — the
+// verdict at index i always corresponds to batch[i], regardless of
+// thread count. Downstream consumers (progressive-curve accounting,
+// match callbacks) therefore see a bit-identical stream to the
+// sequential path, so PC-over-time curves do not depend on the number
+// of execution threads.
+//
+// Profile reads are lock-free: the executor only needs `const
+// EntityProfile&` access, and the chunked ProfileStore guarantees
+// stable addresses under concurrent ingest (see model/profile_store.h).
+//
+// With num_threads <= 1 (or batches too small to be worth sharding)
+// the executor runs inline on the calling thread and spawns nothing.
+
+#ifndef PIER_SIMILARITY_PARALLEL_EXECUTOR_H_
+#define PIER_SIMILARITY_PARALLEL_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "model/comparison.h"
+#include "model/entity_profile.h"
+#include "model/profile_store.h"
+#include "similarity/matcher.h"
+#include "util/thread_pool.h"
+
+namespace pier {
+
+// The outcome of matching one comparison. `cost_units` is the
+// matcher's deterministic work estimate (fed to the modeled cost
+// meter); `similarity` the raw score; `is_match` the thresholded
+// classification.
+struct MatchVerdict {
+  bool is_match = false;
+  double similarity = 0.0;
+  uint64_t cost_units = 0;
+};
+
+class ParallelMatchExecutor {
+ public:
+  using ProfileLookup = std::function<const EntityProfile&(ProfileId)>;
+
+  // `matcher` must outlive this object. `num_threads` <= 1 selects the
+  // inline (sequential) path; otherwise a dedicated pool of
+  // `num_threads` workers is spawned for the executor's lifetime.
+  ParallelMatchExecutor(const Matcher* matcher, size_t num_threads);
+  ~ParallelMatchExecutor();
+
+  ParallelMatchExecutor(const ParallelMatchExecutor&) = delete;
+  ParallelMatchExecutor& operator=(const ParallelMatchExecutor&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+  const Matcher& matcher() const { return *matcher_; }
+
+  // Matches every comparison in `batch`; the result has batch.size()
+  // entries with result[i] the verdict for batch[i] (deterministic
+  // emission order). Profiles are resolved through `profiles` /
+  // `lookup`, which must stay valid and readable for already-ingested
+  // ids for the duration of the call.
+  std::vector<MatchVerdict> Execute(const std::vector<Comparison>& batch,
+                                    const ProfileStore& profiles) const;
+  std::vector<MatchVerdict> Execute(const std::vector<Comparison>& batch,
+                                    const ProfileLookup& lookup) const;
+
+ private:
+  // Batches smaller than kMinShardSize * 2 are matched inline: the
+  // pool handoff costs more than the matching itself.
+  static constexpr size_t kMinShardSize = 32;
+
+  const Matcher* matcher_;
+  size_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ <= 1
+};
+
+}  // namespace pier
+
+#endif  // PIER_SIMILARITY_PARALLEL_EXECUTOR_H_

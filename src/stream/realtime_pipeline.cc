@@ -10,8 +10,9 @@ namespace pier {
 RealtimePipeline::RealtimePipeline(PierOptions options,
                                    const Matcher* matcher,
                                    MatchCallback on_match)
-    : pipeline_(std::move(options)),
+    : pipeline_(options),
       matcher_(matcher),
+      executor_(matcher, options.execution_threads),
       on_match_(std::move(on_match)) {
   PIER_CHECK(matcher_ != nullptr);
   worker_ = std::thread([this] { WorkerLoop(); });
@@ -55,23 +56,26 @@ void RealtimePipeline::WorkerLoop() {
         continue;
       }
     }
-    // Matching holds the lock because the profile store may relocate
-    // on concurrent ingest; the batch size (adaptive K) bounds how
-    // long an Ingest can be blocked.
+    // Matching runs outside the mutex so ingest is never blocked on
+    // matcher work: the batch references only profiles that were fully
+    // ingested before EmitBatch, and the chunked ProfileStore keeps
+    // their addresses stable under concurrent Add. The executor shards
+    // the batch across execution_threads workers, preserving emission
+    // order.
     Stopwatch sw;
-    std::vector<std::pair<ProfileId, ProfileId>> found;
+    const std::vector<MatchVerdict> verdicts =
+        executor_.Execute(batch, pipeline_.profiles());
+    const double seconds = sw.ElapsedSeconds();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      for (const auto& c : batch) {
-        const EntityProfile& a = pipeline_.profiles().Get(c.x);
-        const EntityProfile& b = pipeline_.profiles().Get(c.y);
-        if (matcher_->Matches(a, b)) found.emplace_back(c.x, c.y);
-      }
-      pipeline_.ReportBatchCost(batch.size(), sw.ElapsedSeconds());
+      pipeline_.ReportBatchCost(batch.size(), seconds);
     }
     comparisons_.fetch_add(batch.size());
-    matches_.fetch_add(found.size());
-    for (const auto& [x, y] : found) on_match_(x, y);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!verdicts[i].is_match) continue;
+      matches_.fetch_add(1);
+      on_match_(batch[i].x, batch[i].y);
+    }
   }
 }
 

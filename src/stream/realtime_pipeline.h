@@ -1,14 +1,22 @@
 // Real-time (wall-clock, multi-threaded) deployment wrapper around
 // PierPipeline: a producer thread (your code) feeds increments via
 // Ingest(); a background worker continuously emits the best
-// comparisons, runs the matcher, and invokes a callback for every
-// detected duplicate. This mirrors the paper's asynchronous
-// Akka-Streams deployment, while the discrete-event StreamSimulator
-// remains the tool for reproducible evaluation.
+// comparisons, hands them to the parallel match executor, and invokes
+// a callback for every detected duplicate. This mirrors the paper's
+// asynchronous Akka-Streams deployment, while the discrete-event
+// StreamSimulator remains the tool for reproducible evaluation.
 //
-// Threading model: a single internal mutex guards the pipeline; the
-// worker takes it per batch, so ingest latency is bounded by one
-// batch's processing time (K adapts downward when that grows).
+// Threading model: the internal mutex guards only pipeline state
+// (prioritizer indexes, blocking structures, the adaptive-K
+// controller) — the worker takes it to emit a batch and to report its
+// cost, but *matching runs outside the lock*. Profile reads during
+// matching are lock-free: the chunked ProfileStore guarantees stable
+// addresses under concurrent ingest, and a batch only references
+// profiles ingested before it was emitted. Matching itself is sharded
+// across options.execution_threads workers by ParallelMatchExecutor,
+// which preserves emission order, so the verdict stream (and thus the
+// match-callback order within a batch) is deterministic and identical
+// for every thread count.
 
 #ifndef PIER_STREAM_REALTIME_PIPELINE_H_
 #define PIER_STREAM_REALTIME_PIPELINE_H_
@@ -23,6 +31,7 @@
 
 #include "core/pier_pipeline.h"
 #include "similarity/matcher.h"
+#include "similarity/parallel_executor.h"
 #include "util/stopwatch.h"
 
 namespace pier {
@@ -33,7 +42,8 @@ class RealtimePipeline {
   // classified as a duplicate.
   using MatchCallback = std::function<void(ProfileId, ProfileId)>;
 
-  // `matcher` must outlive this object.
+  // `matcher` must outlive this object. options.execution_threads
+  // sets the match-execution parallelism (1 = sequential).
   RealtimePipeline(PierOptions options, const Matcher* matcher,
                    MatchCallback on_match);
 
@@ -57,11 +67,14 @@ class RealtimePipeline {
   uint64_t comparisons_processed() const { return comparisons_.load(); }
   uint64_t matches_found() const { return matches_.load(); }
 
+  size_t execution_threads() const { return executor_.num_threads(); }
+
  private:
   void WorkerLoop();
 
   PierPipeline pipeline_;
   const Matcher* matcher_;
+  ParallelMatchExecutor executor_;
   MatchCallback on_match_;
   Stopwatch lifetime_;  // arrival timestamps for the K controller
 

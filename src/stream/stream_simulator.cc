@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "similarity/parallel_executor.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -17,6 +18,15 @@ StreamSimulator::StreamSimulator(const Dataset* dataset,
 RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
                                const Matcher& matcher) const {
   const CostMeter meter(options_.cost_mode, options_.cost_model);
+
+  // All matching goes through the executor; with execution_threads=1
+  // it runs inline. Verdicts come back in emission order, so the
+  // accounting below is identical for every thread count.
+  const ParallelMatchExecutor executor(&matcher, options_.execution_threads);
+  const ParallelMatchExecutor::ProfileLookup lookup =
+      [&algorithm](ProfileId id) -> const EntityProfile& {
+    return algorithm.Profile(id);
+  };
 
   RunResult result;
   result.algorithm = algorithm.name();
@@ -81,14 +91,15 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
         vt += meter.StepCost(gen_stats, gen_seconds);
         uint64_t units = 0;
         Stopwatch match_sw;
-        for (const auto& c : batch) {
-          const EntityProfile& a = algorithm.Profile(c.x);
-          const EntityProfile& b = algorithm.Profile(c.y);
-          units += matcher.CostUnits(a, b);
-          const bool positive = matcher.Matches(a, b);
+        const std::vector<MatchVerdict> verdicts =
+            executor.Execute(batch, lookup);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const Comparison& c = batch[i];
+          const MatchVerdict& v = verdicts[i];
+          units += v.cost_units;
           ++executed;
           const bool is_true_match = dataset_->truth.IsMatch(c.x, c.y);
-          if (positive) {
+          if (v.is_match) {
             ++result.matcher_positives;
             if (is_true_match) ++result.matcher_true_positives;
           }

@@ -50,6 +50,12 @@ struct SimulatorOptions {
   // (1 = every batch boundary).
   size_t curve_granularity = 1;
 
+  // Worker threads for match execution (1 = sequential). The verdict
+  // stream is deterministic in emission order, so with the modeled
+  // cost meter the resulting curves are bit-identical for every
+  // value; with the measured meter only wall time changes.
+  size_t execution_threads = 1;
+
   bool IsStatic() const { return increments_per_second <= 0.0; }
 };
 

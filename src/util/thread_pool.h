@@ -1,0 +1,55 @@
+// Fixed-size worker pool for the parallel match-execution engine.
+// Tasks are arbitrary callables submitted from any thread; Submit
+// returns a std::future<void> that completes when the task finishes
+// and rethrows any exception the task escaped with.
+//
+// Shutdown semantics: the destructor stops accepting new work, lets
+// the workers *drain every task already queued*, then joins. Futures
+// obtained before destruction therefore always become ready.
+
+#ifndef PIER_UTIL_THREAD_POOL_H_
+#define PIER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pier {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  // Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  // Enqueues `fn` for execution on some worker. Thread-safe. The
+  // returned future completes when the task has run; if the task
+  // throws, future.get() rethrows the exception.
+  std::future<void> Submit(std::function<void()> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_UTIL_THREAD_POOL_H_

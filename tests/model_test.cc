@@ -57,6 +57,32 @@ TEST(ProfileStoreTest, RejectsNonDenseIds) {
   EXPECT_DEATH(store.Add(EntityProfile(5, 0, {})), "PIER_CHECK");
 }
 
+TEST(ProfileStoreTest, AddressesStableAcrossGrowth) {
+  // The parallel match executor reads profiles lock-free while ingest
+  // appends; that is only sound because Get() references never move.
+  ProfileStore store;
+  store.Add(EntityProfile(0, 0, {{"a", "first"}}));
+  const EntityProfile* first = &store.Get(0);
+  // Cross several chunk boundaries (chunks hold 4096 profiles).
+  for (ProfileId id = 1; id < 10000; ++id) {
+    store.Add(EntityProfile(id, 0, {}));
+  }
+  EXPECT_EQ(&store.Get(0), first);
+  EXPECT_EQ(store.Get(0).attributes[0].value, "first");
+  EXPECT_EQ(store.size(), 10000u);
+  EXPECT_EQ(store.Get(9999).id, 9999u);
+  const EntityProfile* mid = &store.Get(5000);
+  store.Add(EntityProfile(10000, 0, {}));
+  EXPECT_EQ(&store.Get(5000), mid);
+}
+
+TEST(ProfileStoreTest, GetMutableWritesThrough) {
+  ProfileStore store;
+  store.Add(EntityProfile(0, 0, {}));
+  store.GetMutable(0).flat_text = "filled";
+  EXPECT_EQ(store.Get(0).flat_text, "filled");
+}
+
 TEST(GroundTruthTest, SymmetricMembership) {
   GroundTruth truth;
   truth.AddMatch(1, 2);

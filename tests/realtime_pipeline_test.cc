@@ -76,6 +76,65 @@ TEST(RealtimePipelineTest, StreamsGeneratedDataset) {
   EXPECT_EQ(matches.load(), pipeline.matches_found());
 }
 
+TEST(RealtimePipelineTest, ParallelExecutionFindsDuplicates) {
+  // Same workload as StreamsGeneratedDataset, but matched across 4
+  // executor threads: quality must not regress. (Exact matched-set
+  // equality across runs is not asserted here because batch boundaries
+  // depend on wall-clock ingest timing; order determinism is covered
+  // by parallel_executor_test.)
+  BibliographicOptions data_options;
+  data_options.source0_count = 150;
+  data_options.source1_count = 120;
+  const Dataset d = GenerateBibliographic(data_options);
+  const JaccardMatcher matcher(0.35);
+
+  PierOptions options = Options(d.kind);
+  options.execution_threads = 4;
+  std::mutex mu;
+  std::set<uint64_t> found;
+  RealtimePipeline pipeline(options, &matcher,
+                            [&](ProfileId a, ProfileId b) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              found.insert(PairKey(a, b));
+                            });
+  EXPECT_EQ(pipeline.execution_threads(), 4u);
+  const auto increments = SplitIntoIncrements(d, 12);
+  for (const auto& inc : increments) {
+    std::vector<EntityProfile> profiles(
+        d.profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
+        d.profiles.begin() + static_cast<ptrdiff_t>(inc.end));
+    pipeline.Ingest(std::move(profiles));
+  }
+  pipeline.Drain();
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_GT(found.size(), d.truth.size() / 2);
+}
+
+TEST(RealtimePipelineTest, ConcurrentIngestWhileMatchingInParallel) {
+  // Ingest from the producer thread races the executor's lock-free
+  // profile reads; run under TSan this exercises the chunked
+  // ProfileStore's stable-address guarantee.
+  CensusOptions data_options;
+  data_options.num_records = 3000;
+  const Dataset d = GenerateCensus(data_options);
+  const JaccardMatcher matcher(0.35);
+  PierOptions options = Options(d.kind);
+  options.execution_threads = 4;
+  std::atomic<uint64_t> matches{0};
+  RealtimePipeline pipeline(options, &matcher,
+                            [&](ProfileId, ProfileId) { ++matches; });
+  const auto increments = SplitIntoIncrements(d, 60);
+  for (const auto& inc : increments) {
+    std::vector<EntityProfile> profiles(
+        d.profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
+        d.profiles.begin() + static_cast<ptrdiff_t>(inc.end));
+    pipeline.Ingest(std::move(profiles));
+  }
+  pipeline.Drain();
+  EXPECT_EQ(matches.load(), pipeline.matches_found());
+  EXPECT_GT(matches.load(), 0u);
+}
+
 TEST(RealtimePipelineTest, DestructionWhileBusyIsSafe) {
   CensusOptions data_options;
   data_options.num_records = 2000;

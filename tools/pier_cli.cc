@@ -5,7 +5,8 @@
 //            [--kind=dirty|clean-clean] [--strategy=auto|I-PCS|I-PBS|I-PES]
 //            [--matcher=JS|ED|COS] [--threshold=0.5]
 //            [--increments=100] [--rate=0] [--budget=inf]
-//            [--max-block-size=1000] [--beta=0.5] [--print-matches]
+//            [--max-block-size=1000] [--beta=0.5] [--threads=1]
+//            [--print-matches]
 //
 // The profiles file uses the long format of datagen/dataset_io.h
 // (profile_id,source,attribute,value). With --truth, the tool replays
@@ -23,6 +24,7 @@
 #include "datagen/dataset_io.h"
 #include "eval/report.h"
 #include "similarity/matcher.h"
+#include "similarity/parallel_executor.h"
 #include "stream/pier_adapter.h"
 #include "stream/stream_simulator.h"
 #include "text/tokenizer.h"
@@ -63,7 +65,8 @@ int Usage() {
       "COS]\n"
       "                [--threshold=F] [--increments=N] [--rate=F] "
       "[--budget=F]\n"
-      "                [--max-block-size=N] [--beta=F] [--print-matches]\n");
+      "                [--max-block-size=N] [--beta=F] [--threads=N]\n"
+      "                [--print-matches]\n");
   return 2;
 }
 
@@ -110,6 +113,7 @@ int main(int argc, char** argv) {
   options.blocking.max_block_size =
       std::stoul(Get(args, "max-block-size", "1000"));
   options.prioritizer.beta = std::stod(Get(args, "beta", "0.5"));
+  options.execution_threads = std::stoul(Get(args, "threads", "1"));
 
   const std::string strategy = Get(args, "strategy", "auto");
   if (strategy == "I-PCS") {
@@ -151,6 +155,7 @@ int main(int argc, char** argv) {
   const std::string budget = Get(args, "budget", "");
   if (!budget.empty()) sim_options.time_budget_s = std::stod(budget);
   sim_options.cost_mode = CostMeter::Mode::kMeasured;
+  sim_options.execution_threads = options.execution_threads;
 
   if (truth_ptr != nullptr && !args.count("print-matches")) {
     // Evaluation mode: progressive quality against the ground truth.
@@ -166,6 +171,8 @@ int main(int argc, char** argv) {
 
   // Resolution mode: print matched pairs.
   PierPipeline pipeline(options);
+  const ParallelMatchExecutor executor(matcher.get(),
+                                       options.execution_threads);
   const auto increments =
       SplitIntoIncrements(*dataset, sim_options.num_increments);
   uint64_t matches = 0;
@@ -173,10 +180,10 @@ int main(int argc, char** argv) {
     for (;;) {
       const auto batch = pipeline.EmitBatch(1024);
       if (batch.empty()) break;
-      for (const auto& c : batch) {
-        if (matcher->Matches(pipeline.profiles().Get(c.x),
-                             pipeline.profiles().Get(c.y))) {
-          std::printf("%u,%u\n", c.x, c.y);
+      const auto verdicts = executor.Execute(batch, pipeline.profiles());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (verdicts[i].is_match) {
+          std::printf("%u,%u\n", batch[i].x, batch[i].y);
           ++matches;
         }
       }
