@@ -91,6 +91,90 @@ void BM_GhostingPlusWeighting(benchmark::State& state) {
 }
 BENCHMARK(BM_GhostingPlusWeighting);
 
+// ---------------------------------------------------------------------------
+// Weighting kernel: allocation-free epoch-stamped scratch vs. the
+// map-based reference, all four schemes, Clean-Clean (dbpedia-like
+// power-law blocks) and Dirty (census-like). Emits comparisons/sec and
+// raw block-member visits/sec as rate counters; CI's bench-smoke job
+// runs this with --benchmark_format=csv and refreshes the
+// machine-readable baseline in BENCH_weighting.json (see README,
+// "bench/ README").
+// ---------------------------------------------------------------------------
+
+struct WeightingWorkload {
+  ProfileStore store;
+  BlockCollection blocks;
+  std::vector<std::vector<TokenId>> active;  // per-profile active blocks
+
+  explicit WeightingWorkload(Dataset dataset) : blocks(dataset.kind) {
+    Tokenizer tokenizer;
+    TokenDictionary dictionary;
+    for (auto& p : dataset.profiles) {
+      tokenizer.TokenizeProfile(p, dictionary);
+      blocks.AddProfile(p);
+      store.Add(std::move(p));
+    }
+    active.resize(store.size());
+    for (ProfileId id = 0; id < store.size(); ++id) {
+      for (const TokenId t : store.Get(id).tokens) {
+        if (blocks.IsActive(t)) active[id].push_back(t);
+      }
+    }
+  }
+};
+
+WeightingWorkload& SharedWeightingWorkload(DatasetKind kind) {
+  if (kind == DatasetKind::kCleanClean) {
+    static WeightingWorkload& w = *new WeightingWorkload([] {
+      DbpediaOptions options;  // bench-smoke scale of the dbpedia stand-in
+      options.source0_count = 900;
+      options.source1_count = 1200;
+      return GenerateDbpedia(options);
+    }());
+    return w;
+  }
+  static WeightingWorkload& w = *new WeightingWorkload([] {
+    CensusOptions options;
+    options.num_records = 2500;
+    return GenerateCensus(options);
+  }());
+  return w;
+}
+
+void BM_WeightingKernel(benchmark::State& state) {
+  const bool use_scratch = state.range(0) == 1;
+  const auto scheme = static_cast<WeightingScheme>(state.range(1));
+  const DatasetKind kind =
+      state.range(2) == 1 ? DatasetKind::kCleanClean : DatasetKind::kDirty;
+  WeightingWorkload& w = SharedWeightingWorkload(kind);
+  const WeightingContext ctx{&w.blocks, &w.store, scheme};
+  WeightingScratch scratch;
+  uint64_t comparisons = 0;
+  uint64_t visits = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const ProfileId id = static_cast<ProfileId>(i++ % w.store.size());
+    const EntityProfile& p = w.store.Get(id);
+    auto cmps =
+        use_scratch
+            ? GenerateWeightedComparisons(ctx, p, w.active[id],
+                                          /*only_older_neighbors=*/true,
+                                          &visits, &scratch)
+            : GenerateWeightedComparisonsReference(
+                  ctx, p, w.active[id], /*only_older_neighbors=*/true,
+                  &visits);
+    comparisons += cmps.size();
+    benchmark::DoNotOptimize(cmps.data());
+  }
+  state.counters["cmp_per_s"] = benchmark::Counter(
+      static_cast<double>(comparisons), benchmark::Counter::kIsRate);
+  state.counters["visits_per_s"] = benchmark::Counter(
+      static_cast<double>(visits), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WeightingKernel)
+    ->ArgNames({"scratch", "scheme", "clean"})
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3}, {0, 1}});
+
 void BM_BoundedPqPushPop(benchmark::State& state) {
   BoundedPriorityQueue<Comparison, CompareByWeight> queue(
       static_cast<size_t>(state.range(0)));

@@ -17,8 +17,9 @@ WorkStats IBase::OnIncrement(std::vector<EntityProfile> profiles) {
   for (const ProfileId id : delta) {
     const EntityProfile& p = profiles_.Get(id);
     const std::vector<TokenId> retained = GhostBlocks(blocks_, p, beta_);
-    std::vector<Comparison> candidates =
-        GenerateWeightedComparisons(ctx, p, retained);
+    std::vector<Comparison> candidates = GenerateWeightedComparisons(
+        ctx, p, retained, /*only_older_neighbors=*/true, /*visits=*/nullptr,
+        &scratch_);
     stats.comparisons_generated += candidates.size();
     candidates = IWnpPrune(std::move(candidates));
     pending_.insert(pending_.end(), candidates.begin(), candidates.end());

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "baseline/streaming_er_base.h"
+#include "metablocking/weighting.h"
 
 namespace pier {
 
@@ -45,6 +46,7 @@ class IBase : public StreamingErBase {
 
   std::vector<Comparison> pending_;  // FIFO, generation order
   size_t cursor_ = 0;
+  WeightingScratch scratch_;  // reused across increments
 };
 
 }  // namespace pier

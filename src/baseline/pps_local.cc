@@ -27,9 +27,9 @@ WorkStats PpsLocal::OnIncrement(std::vector<EntityProfile> profiles) {
     for (const TokenId token : p.tokens) {
       if (local_blocks.IsActive(token)) active.push_back(token);
     }
-    auto candidates = GenerateWeightedComparisons(ctx, p, active,
-                                                  /*only_older_neighbors=*/
-                                                  true);
+    auto candidates = GenerateWeightedComparisons(
+        ctx, p, active, /*only_older_neighbors=*/true, /*visits=*/nullptr,
+        &scratch_);
     stats.comparisons_generated += candidates.size();
     pending_.insert(pending_.end(), candidates.begin(), candidates.end());
   }

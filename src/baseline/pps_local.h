@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "baseline/streaming_er_base.h"
+#include "metablocking/weighting.h"
 
 namespace pier {
 
@@ -34,6 +35,7 @@ class PpsLocal : public StreamingErBase {
   // The increment's comparisons, weight-sorted worst-first (served
   // from the back); replaced wholesale on the next increment.
   std::vector<Comparison> pending_;
+  WeightingScratch scratch_;  // reused across increments
 };
 
 }  // namespace pier

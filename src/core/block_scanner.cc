@@ -48,6 +48,7 @@ std::vector<Comparison> BlockScanner::NextBlock(WorkStats* stats) {
     if (bsize <= scanned_size_[token]) continue;  // stale order entry
     scanned_size_[token] = bsize;
 
+    out.reserve(static_cast<size_t>(b.NumComparisons(blocks.kind())));
     if (blocks.kind() == DatasetKind::kCleanClean) {
       for (const ProfileId x : b.members[0]) {
         for (const ProfileId y : b.members[1]) {

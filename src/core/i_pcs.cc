@@ -23,8 +23,9 @@ WorkStats IPcs::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
         GhostBlocks(*ctx_.blocks, p, options_.beta);
     // Lines 6-7: candidate generation (only_older_neighbors makes each
     // pair unique per increment); line 8: I-WNP comparison cleaning.
-    std::vector<Comparison> candidates =
-        GenerateWeightedComparisons(wctx, p, retained);
+    std::vector<Comparison> candidates = GenerateWeightedComparisons(
+        wctx, p, retained, /*only_older_neighbors=*/true, /*visits=*/nullptr,
+        &scratch_);
     stats.comparisons_generated += candidates.size();
     candidates = IWnpPrune(std::move(candidates));
     cmp_list.insert(cmp_list.end(), candidates.begin(), candidates.end());

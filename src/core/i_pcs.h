@@ -33,6 +33,7 @@ class IPcs : public IncrementalPrioritizer {
   PrioritizerOptions options_;
   BoundedPriorityQueue<Comparison, CompareByWeight> index_;
   BlockScanner scanner_;
+  WeightingScratch scratch_;  // reused across increments
 };
 
 }  // namespace pier

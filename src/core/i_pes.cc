@@ -29,8 +29,9 @@ WorkStats IPes::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
     const EntityProfile& p = ctx_.profiles->Get(id);
     const std::vector<TokenId> retained =
         GhostBlocks(*ctx_.blocks, p, options_.beta);
-    std::vector<Comparison> candidates =
-        GenerateWeightedComparisons(wctx, p, retained);
+    std::vector<Comparison> candidates = GenerateWeightedComparisons(
+        wctx, p, retained, /*only_older_neighbors=*/true, /*visits=*/nullptr,
+        &scratch_);
     stats.comparisons_generated += candidates.size();
     candidates = IWnpPrune(std::move(candidates));
     cmp_list.insert(cmp_list.end(), candidates.begin(), candidates.end());

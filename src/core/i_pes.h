@@ -102,6 +102,7 @@ class IPes : public IncrementalPrioritizer {
   size_t num_refills_ = 0;
 
   BlockScanner scanner_;
+  WeightingScratch scratch_;  // reused across increments
 };
 
 }  // namespace pier

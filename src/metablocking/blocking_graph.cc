@@ -1,20 +1,27 @@
 #include "metablocking/blocking_graph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <future>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace pier {
 
-size_t BlockingGraph::Build(const WeightingContext& ctx, ProfileId limit,
-                            uint64_t* visits) {
-  PIER_CHECK(ctx.blocks != nullptr && ctx.profiles != nullptr);
-  PIER_CHECK(limit <= ctx.profiles->size());
-  adjacency_.assign(limit, {});
-  num_edges_ = 0;
+namespace {
 
-  std::vector<TokenId> active_blocks;
-  for (ProfileId x = 0; x < limit; ++x) {
+// Profiles per work unit: small enough to balance the (heavily skewed)
+// neighbourhood sizes across workers, large enough to amortize the
+// per-chunk bookkeeping.
+constexpr ProfileId kChunkProfiles = 256;
+
+// Weights the neighbourhoods of profiles [begin, end), appending their
+// edges to `edges` in ascending-profile order.
+void BuildChunk(const WeightingContext& ctx, ProfileId begin, ProfileId end,
+                WeightingScratch& scratch, std::vector<TokenId>& active_blocks,
+                std::vector<Comparison>& edges, uint64_t& visits) {
+  for (ProfileId x = begin; x < end; ++x) {
     const EntityProfile& profile = ctx.profiles->Get(x);
     active_blocks.clear();
     for (const TokenId token : profile.tokens) {
@@ -22,23 +29,109 @@ size_t BlockingGraph::Build(const WeightingContext& ctx, ProfileId limit,
     }
     // only_older_neighbors guarantees each undirected edge is created
     // exactly once (from its larger endpoint).
-    for (auto& edge :
-         GenerateWeightedComparisons(ctx, profile, active_blocks,
-                                     /*only_older_neighbors=*/true,
-                                     visits)) {
+    AppendWeightedComparisons(ctx, profile, active_blocks,
+                              /*only_older_neighbors=*/true, &visits, scratch,
+                              &edges);
+  }
+}
+
+}  // namespace
+
+size_t BlockingGraph::Build(const WeightingContext& ctx, ProfileId limit,
+                            uint64_t* visits, ThreadPool* pool) {
+  PIER_CHECK(ctx.blocks != nullptr && ctx.profiles != nullptr);
+  PIER_CHECK(limit <= ctx.profiles->size());
+  adjacency_.assign(limit, {});
+  num_edges_ = 0;
+
+  const size_t num_chunks =
+      (static_cast<size_t>(limit) + kChunkProfiles - 1) / kChunkProfiles;
+  std::vector<std::vector<Comparison>> chunk_edges(num_chunks);
+  std::vector<uint64_t> chunk_visits(num_chunks, 0);
+  const auto chunk_range = [limit](size_t c, ProfileId* begin,
+                                   ProfileId* end) {
+    *begin = static_cast<ProfileId>(c * kChunkProfiles);
+    *end = static_cast<ProfileId>(
+        std::min<size_t>(limit, (c + 1) * kChunkProfiles));
+  };
+
+  const size_t num_workers =
+      pool == nullptr ? 1 : std::min(pool->size(), num_chunks);
+  if (num_workers <= 1) {
+    WeightingScratch scratch;
+    std::vector<TokenId> active_blocks;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      ProfileId begin, end;
+      chunk_range(c, &begin, &end);
+      BuildChunk(ctx, begin, end, scratch, active_blocks, chunk_edges[c],
+                 chunk_visits[c]);
+    }
+  } else {
+    // Workers pull chunk indices from a shared counter and write into
+    // index-addressed slots: no slot is touched by two workers, and
+    // the merge below reads the chunks in profile order regardless of
+    // which worker built which chunk.
+    std::atomic<size_t> next_chunk{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      futures.push_back(pool->Submit([&] {
+        WeightingScratch scratch;  // per-worker, reused across chunks
+        std::vector<TokenId> active_blocks;
+        for (;;) {
+          const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+          if (c >= num_chunks) return;
+          ProfileId begin, end;
+          chunk_range(c, &begin, &end);
+          BuildChunk(ctx, begin, end, scratch, active_blocks, chunk_edges[c],
+                     chunk_visits[c]);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // Deterministic merge: chunk order is profile order, so the
+  // adjacency lists fill exactly as a sequential pass would.
+  for (size_t c = 0; c < num_chunks; ++c) {
+    for (const auto& edge : chunk_edges[c]) {
       if (edge.y >= limit) continue;
       adjacency_[edge.x].push_back(edge);
       adjacency_[edge.y].push_back(edge);
       ++num_edges_;
     }
+    if (visits != nullptr) *visits += chunk_visits[c];
   }
 
+  // Per-node sort by the total order (weight desc, then pair key):
+  // node lists are independent and the comparator is total, so the
+  // result is identical however the work is split.
   const CompareByWeight less;
-  for (auto& edges : adjacency_) {
+  const auto sort_node = [this, &less](ProfileId id) {
+    auto& edges = adjacency_[id];
     std::sort(edges.begin(), edges.end(),
               [&less](const Comparison& a, const Comparison& b) {
                 return less(b, a);  // weight descending
               });
+  };
+  if (num_workers <= 1) {
+    for (ProfileId id = 0; id < limit; ++id) sort_node(id);
+  } else {
+    std::atomic<size_t> next_chunk{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      futures.push_back(pool->Submit([&] {
+        for (;;) {
+          const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+          if (c >= num_chunks) return;
+          ProfileId begin, end;
+          chunk_range(c, &begin, &end);
+          for (ProfileId id = begin; id < end; ++id) sort_node(id);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
   }
   return num_edges_;
 }

@@ -18,6 +18,8 @@
 
 namespace pier {
 
+class ThreadPool;
+
 class BlockingGraph {
  public:
   BlockingGraph() = default;
@@ -27,8 +29,15 @@ class BlockingGraph {
   // the full graph). Existing content is discarded. Returns the number
   // of undirected edges created. `visits`, when non-null, receives the
   // raw block-member iteration count (the true build cost).
+  //
+  // With a non-null `pool`, profile neighbourhoods are weighted in
+  // parallel across the pool's workers (each with its own
+  // WeightingScratch) and merged chunk-by-chunk in profile order: the
+  // edge set, the adjacency order, and the visit count are identical
+  // to a sequential build at any thread count (the same determinism
+  // contract as the parallel match executor, DESIGN.md §4).
   size_t Build(const WeightingContext& ctx, ProfileId limit,
-               uint64_t* visits = nullptr);
+               uint64_t* visits = nullptr, ThreadPool* pool = nullptr);
 
   size_t num_nodes() const { return adjacency_.size(); }
   size_t num_edges() const { return num_edges_; }

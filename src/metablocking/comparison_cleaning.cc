@@ -13,6 +13,7 @@ namespace {
 // endpoint, mirroring how BlockingGraph creates them).
 std::vector<Comparison> UniqueEdges(const BlockingGraph& graph) {
   std::vector<Comparison> edges;
+  edges.reserve(graph.num_edges());
   for (ProfileId id = 0; id < graph.num_nodes(); ++id) {
     for (const auto& edge : graph.Edges(id)) {
       if (std::max(edge.x, edge.y) == id) edges.push_back(edge);

@@ -10,6 +10,8 @@
 #ifndef PIER_METABLOCKING_WEIGHTING_H_
 #define PIER_METABLOCKING_WEIGHTING_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "blocking/block_collection.h"
@@ -42,6 +44,72 @@ struct WeightingContext {
   WeightingScheme scheme = WeightingScheme::kCbs;
 };
 
+// Reusable allocation-free accumulator for one profile's neighbourhood
+// statistics -- the weighting hot path every prioritizer and baseline
+// funnels through (DESIGN.md, "Weighting kernel"). The counter slots
+// are dense arrays indexed by ProfileId and carry an epoch stamp: a
+// slot is live only while its stamp equals the current pass epoch, so
+// BeginPass clears the whole scratch in O(1) without touching the
+// arrays (the sparse-reset "timestamp trick"). The touched-id list
+// replays the pass's neighbours in deterministic first-touch order.
+// One scratch per owning thread; the class itself is not thread-safe.
+class WeightingScratch {
+ public:
+  // Readies the scratch for one pass over profile ids in
+  // [0, num_profiles). Grows the slot arrays as the store grows;
+  // no allocation once sized (amortized O(1) across a stream).
+  void BeginPass(size_t num_profiles) {
+    if (epoch_.size() < num_profiles) {
+      epoch_.resize(num_profiles, 0);
+      cbs_.resize(num_profiles, 0);
+      arcs_.resize(num_profiles, 0.0);
+    }
+    if (++current_epoch_ == 0) {  // stamp wrapped: one hard reset
+      std::fill(epoch_.begin(), epoch_.end(), 0u);
+      current_epoch_ = 1;
+    }
+    touched_.clear();
+  }
+
+  // Records one block co-occurrence with neighbour y.
+  void Accumulate(ProfileId y) {
+    if (epoch_[y] != current_epoch_) {
+      epoch_[y] = current_epoch_;
+      cbs_[y] = 1;
+      touched_.push_back(y);
+    } else {
+      ++cbs_[y];
+    }
+  }
+
+  // Records one co-occurrence that also carries an ARCS share.
+  void AccumulateArcs(ProfileId y, double arcs_share) {
+    if (epoch_[y] != current_epoch_) {
+      epoch_[y] = current_epoch_;
+      cbs_[y] = 1;
+      arcs_[y] = arcs_share;
+      touched_.push_back(y);
+    } else {
+      ++cbs_[y];
+      arcs_[y] += arcs_share;
+    }
+  }
+
+  // The current pass's neighbours, in first-touch order.
+  const std::vector<ProfileId>& touched() const { return touched_; }
+  uint32_t cbs(ProfileId y) const { return cbs_[y]; }
+  double arcs(ProfileId y) const { return arcs_[y]; }
+
+  size_t capacity() const { return epoch_.size(); }
+
+ private:
+  std::vector<uint32_t> epoch_;
+  std::vector<uint32_t> cbs_;
+  std::vector<double> arcs_;
+  std::vector<ProfileId> touched_;
+  uint32_t current_epoch_ = 0;
+};
+
 // Generates the weighted comparison candidates of profile `x` against
 // every co-blocked neighbour found in `retained_blocks` (typically the
 // ghosted B_x). For Clean-Clean collections only cross-source
@@ -56,7 +124,32 @@ struct WeightingContext {
 // member iterations performed -- the dominant cost on large blocks and
 // the quantity a cost model must charge for (edge counts alone
 // underestimate the work).
+//
+// `scratch` is the caller-owned accumulator; long-lived callers
+// (prioritizers, baselines, the graph builder) pass their own so the
+// kernel performs no per-call allocation beyond the returned vector.
+// When null, a thread-local scratch is used.
 std::vector<Comparison> GenerateWeightedComparisons(
+    const WeightingContext& ctx, const EntityProfile& x,
+    const std::vector<TokenId>& retained_blocks,
+    bool only_older_neighbors = true, uint64_t* visits = nullptr,
+    WeightingScratch* scratch = nullptr);
+
+// Core of the kernel: appends x's weighted comparisons to `*out`
+// instead of returning a fresh vector (what BlockingGraph::Build uses
+// to fill per-chunk edge lists with no per-profile vector).
+void AppendWeightedComparisons(const WeightingContext& ctx,
+                               const EntityProfile& x,
+                               const std::vector<TokenId>& retained_blocks,
+                               bool only_older_neighbors, uint64_t* visits,
+                               WeightingScratch& scratch,
+                               std::vector<Comparison>* out);
+
+// Reference implementation built on a per-call std::unordered_map,
+// retained for the equivalence tests and the weighting-kernel
+// benchmark. Produces the same (x, y, weight) multiset as the scratch
+// kernel, in unspecified order.
+std::vector<Comparison> GenerateWeightedComparisonsReference(
     const WeightingContext& ctx, const EntityProfile& x,
     const std::vector<TokenId>& retained_blocks,
     bool only_older_neighbors = true, uint64_t* visits = nullptr);

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "model/entity_profile.h"
 #include "model/types.h"
@@ -60,6 +61,7 @@ class ProfileStore {
       chunk = new EntityProfile[kChunkSize];
       chunks_[chunk_index].store(chunk, std::memory_order_release);
     }
+    token_counts_.push_back(static_cast<uint32_t>(profile.tokens.size()));
     chunk[n & kChunkMask] = std::move(profile);
     size_.store(n + 1, std::memory_order_release);
   }
@@ -70,11 +72,25 @@ class ProfileStore {
         [id & kChunkMask];
   }
 
-  // Writer-side only (derived-field fill during ingest).
+  // Writer-side only (derived-field fill during ingest). Note the
+  // token-count sidecar snapshots |tokens| at Add time: profiles must
+  // be tokenized before Add (all ingest paths do), not patched here.
   EntityProfile& GetMutable(ProfileId id) {
     PIER_DCHECK(id < size_.load(std::memory_order_relaxed));
     return chunks_[id >> kChunkShift].load(std::memory_order_relaxed)
         [id & kChunkMask];
+  }
+
+  // |tokens| of profile `id`, served from a contiguous sidecar so the
+  // weighting kernel reads one cache-friendly uint32 per neighbour
+  // instead of chasing into the (much larger) EntityProfile record.
+  // Unlike Get, the sidecar's backing array relocates on growth:
+  // callers must run on the ingest thread or be quiesced against Add.
+  // All weighting call sites satisfy this (weighting happens during
+  // ingest or in batch phases); matcher threads never read it.
+  uint32_t TokenCount(ProfileId id) const {
+    PIER_DCHECK(id < token_counts_.size());
+    return token_counts_[id];
   }
 
   size_t size() const { return size_.load(std::memory_order_acquire); }
@@ -87,6 +103,7 @@ class ProfileStore {
   static constexpr size_t kMaxChunks = size_t{1} << 16;  // 268M profiles
 
   std::unique_ptr<std::atomic<EntityProfile*>[]> chunks_;
+  std::vector<uint32_t> token_counts_;  // sidecar, writer-appended
   std::atomic<size_t> size_{0};
 };
 

@@ -1,0 +1,137 @@
+// Determinism contract of the parallel BlockingGraph::Build: at any
+// thread count the edge set, per-node adjacency order, NodeWeights,
+// and visit counts are identical to the sequential build (mirrors the
+// parallel match executor's contract from PR 1). Runs under the TSan
+// CI gate alongside the other threading tests.
+
+#include <gtest/gtest.h>
+
+#include "blocking/block_collection.h"
+#include "datagen/generators.h"
+#include "metablocking/blocking_graph.h"
+#include "model/profile_store.h"
+#include "model/token_dictionary.h"
+#include "text/tokenizer.h"
+#include "util/thread_pool.h"
+
+namespace pier {
+namespace {
+
+struct Workload {
+  ProfileStore store;
+  BlockCollection blocks;
+
+  explicit Workload(Dataset dataset) : blocks(dataset.kind) {
+    Tokenizer tokenizer;
+    TokenDictionary dictionary;
+    for (auto& p : dataset.profiles) {
+      tokenizer.TokenizeProfile(p, dictionary);
+      blocks.AddProfile(p);
+      store.Add(std::move(p));
+    }
+  }
+};
+
+Workload& CleanCleanWorkload() {
+  static Workload& w = *new Workload([] {
+    MoviesOptions options;
+    options.source0_count = 450;
+    options.source1_count = 400;
+    return GenerateMovies(options);
+  }());
+  return w;
+}
+
+Workload& DirtyWorkload() {
+  static Workload& w = *new Workload([] {
+    CensusOptions options;
+    options.num_records = 900;
+    return GenerateCensus(options);
+  }());
+  return w;
+}
+
+void ExpectIdenticalGraphs(const BlockingGraph& expected,
+                           const BlockingGraph& actual) {
+  ASSERT_EQ(actual.num_nodes(), expected.num_nodes());
+  ASSERT_EQ(actual.num_edges(), expected.num_edges());
+  for (ProfileId id = 0; id < expected.num_nodes(); ++id) {
+    const auto& want = expected.Edges(id);
+    const auto& got = actual.Edges(id);
+    ASSERT_EQ(got.size(), want.size()) << "node " << id;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].x, want[i].x);
+      EXPECT_EQ(got[i].y, want[i].y);
+      EXPECT_EQ(got[i].weight, want[i].weight);  // bit-identical
+      EXPECT_EQ(got[i].block_size, want[i].block_size);
+    }
+    EXPECT_EQ(actual.NodeWeight(id), expected.NodeWeight(id));
+  }
+}
+
+void RunDeterminismCheck(const Workload& w, WeightingScheme scheme) {
+  const WeightingContext ctx{&w.blocks, &w.store, scheme};
+  const ProfileId limit = static_cast<ProfileId>(w.store.size());
+
+  BlockingGraph sequential;
+  uint64_t sequential_visits = 0;
+  const size_t edges = sequential.Build(ctx, limit, &sequential_visits);
+  EXPECT_GT(edges, 0u);
+
+  for (const size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    BlockingGraph parallel;
+    uint64_t parallel_visits = 0;
+    EXPECT_EQ(parallel.Build(ctx, limit, &parallel_visits, &pool), edges)
+        << threads << " threads";
+    EXPECT_EQ(parallel_visits, sequential_visits) << threads << " threads";
+    ExpectIdenticalGraphs(sequential, parallel);
+  }
+}
+
+TEST(BlockingGraphParallelTest, CleanCleanCbsDeterministic) {
+  RunDeterminismCheck(CleanCleanWorkload(), WeightingScheme::kCbs);
+}
+
+TEST(BlockingGraphParallelTest, CleanCleanArcsDeterministic) {
+  RunDeterminismCheck(CleanCleanWorkload(), WeightingScheme::kArcs);
+}
+
+TEST(BlockingGraphParallelTest, DirtyEcbsDeterministic) {
+  RunDeterminismCheck(DirtyWorkload(), WeightingScheme::kEcbs);
+}
+
+TEST(BlockingGraphParallelTest, PartialLimitDeterministic) {
+  const Workload& w = DirtyWorkload();
+  const WeightingContext ctx{&w.blocks, &w.store, WeightingScheme::kCbs};
+  const ProfileId limit = static_cast<ProfileId>(w.store.size() / 2);
+  BlockingGraph sequential;
+  sequential.Build(ctx, limit);
+  ThreadPool pool(4);
+  BlockingGraph parallel;
+  parallel.Build(ctx, limit, nullptr, &pool);
+  ExpectIdenticalGraphs(sequential, parallel);
+}
+
+// A pool larger than the chunk count (tiny input) must not deadlock or
+// diverge.
+TEST(BlockingGraphParallelTest, MoreWorkersThanChunks) {
+  BlockCollection blocks(DatasetKind::kDirty);
+  ProfileStore store;
+  for (ProfileId id = 0; id < 8; ++id) {
+    EntityProfile p(id, 0, {});
+    p.tokens = {0, static_cast<TokenId>(1 + id % 3)};
+    blocks.AddProfile(p);
+    store.Add(std::move(p));
+  }
+  const WeightingContext ctx{&blocks, &store, WeightingScheme::kCbs};
+  BlockingGraph sequential;
+  sequential.Build(ctx, 8);
+  ThreadPool pool(8);
+  BlockingGraph parallel;
+  parallel.Build(ctx, 8, nullptr, &pool);
+  ExpectIdenticalGraphs(sequential, parallel);
+}
+
+}  // namespace
+}  // namespace pier

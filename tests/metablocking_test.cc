@@ -132,6 +132,53 @@ TEST(WeightingTest, ToStringNames) {
   EXPECT_STREQ(ToString(WeightingScheme::kArcs), "ARCS");
 }
 
+TEST_F(WeightingFixture, ScratchKernelMatchesReference) {
+  WeightingScratch scratch;
+  for (const auto scheme :
+       {WeightingScheme::kCbs, WeightingScheme::kEcbs, WeightingScheme::kJs,
+        WeightingScheme::kArcs}) {
+    for (ProfileId id = 0; id < profiles_.size(); ++id) {
+      auto ref = GenerateWeightedComparisonsReference(
+          Ctx(scheme), profiles_.Get(id), ActiveBlocksOf(id));
+      auto fast = GenerateWeightedComparisons(Ctx(scheme), profiles_.Get(id),
+                                              ActiveBlocksOf(id),
+                                              /*only_older_neighbors=*/true,
+                                              /*visits=*/nullptr, &scratch);
+      auto by_neighbor = [](const Comparison& a, const Comparison& b) {
+        return a.y < b.y;
+      };
+      std::sort(ref.begin(), ref.end(), by_neighbor);
+      std::sort(fast.begin(), fast.end(), by_neighbor);
+      ASSERT_EQ(fast.size(), ref.size());
+      for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(fast[i].y, ref[i].y);
+        EXPECT_DOUBLE_EQ(fast[i].weight, ref[i].weight);
+      }
+    }
+  }
+}
+
+TEST_F(WeightingFixture, AppendKeepsExistingOutput) {
+  WeightingScratch scratch;
+  std::vector<Comparison> out = {Comparison(7, 8, 42.0)};
+  AppendWeightedComparisons(Ctx(WeightingScheme::kCbs), profiles_.Get(2),
+                            ActiveBlocksOf(2), /*only_older_neighbors=*/true,
+                            /*visits=*/nullptr, scratch, &out);
+  ASSERT_EQ(out.size(), 3u);  // sentinel + p2's two candidates
+  EXPECT_DOUBLE_EQ(out[0].weight, 42.0);
+}
+
+TEST_F(WeightingFixture, VisitsCountRawMemberIterations) {
+  WeightingScratch scratch;
+  uint64_t visits = 0;
+  auto cmps = GenerateWeightedComparisons(
+      Ctx(WeightingScheme::kCbs), profiles_.Get(2), ActiveBlocksOf(2),
+      /*only_older_neighbors=*/true, &visits, &scratch);
+  // Blocks of p2: token 1 (members p0,p1,p2) and token 2 (p2,p3).
+  EXPECT_EQ(visits, 5u);
+  EXPECT_GE(visits, cmps.size());
+}
+
 TEST(PairCbsWeightTest, CountsCommonTokens) {
   EntityProfile a(0, 0, {});
   a.tokens = {1, 2, 3};
