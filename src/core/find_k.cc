@@ -19,6 +19,7 @@ AdaptiveK::AdaptiveK(AdaptiveKOptions options)
 void AdaptiveK::OnArrival(double t) {
   if (last_arrival_ >= 0.0 && t > last_arrival_) {
     interarrival_.Add(t - last_arrival_);
+    obs::GaugeSet(interarrival_gauge_, interarrival_.Mean());
   }
   last_arrival_ = t;
 }
@@ -26,6 +27,19 @@ void AdaptiveK::OnArrival(double t) {
 void AdaptiveK::OnBatchProcessed(size_t comparisons, double seconds) {
   if (comparisons == 0) return;
   cost_per_comparison_.Add(seconds / static_cast<double>(comparisons));
+  obs::GaugeSet(cost_gauge_, cost_per_comparison_.Mean());
+}
+
+void AdaptiveK::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    k_gauge_ = nullptr;
+    interarrival_gauge_ = nullptr;
+    cost_gauge_ = nullptr;
+    return;
+  }
+  k_gauge_ = registry->GetGauge("findk.k");
+  interarrival_gauge_ = registry->GetGauge("findk.mean_interarrival_s");
+  cost_gauge_ = registry->GetGauge("findk.mean_cost_per_comparison_s");
 }
 
 double AdaptiveK::MeanInterarrival() const {
@@ -46,6 +60,7 @@ size_t AdaptiveK::FindK() {
   const double lo = static_cast<double>(options_.min_k);
   const double hi = static_cast<double>(options_.max_k);
   k_ = std::clamp(k_, lo, hi);
+  obs::GaugeSet(k_gauge_, k_);
   return static_cast<size_t>(k_);
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 
+#include "obs/metrics.h"
 #include "util/moving_average.h"
 
 namespace pier {
@@ -45,12 +46,21 @@ class AdaptiveK {
   double MeanInterarrival() const;
   double MeanCostPerComparison() const;
 
+  // Registers the controller's `findk.*` gauges (chosen K and the two
+  // observed rates Algorithm 1 steers on) with `registry`; pass null
+  // to detach. Non-owning.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   AdaptiveKOptions options_;
   WindowAverage interarrival_;
   WindowAverage cost_per_comparison_;
   double last_arrival_ = -1.0;
   double k_ = 0.0;
+
+  obs::Gauge* k_gauge_ = nullptr;
+  obs::Gauge* interarrival_gauge_ = nullptr;
+  obs::Gauge* cost_gauge_ = nullptr;
 };
 
 }  // namespace pier

@@ -3,6 +3,7 @@
 #include "core/i_pbs.h"
 #include "core/i_pcs.h"
 #include "core/i_pes.h"
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 
 namespace pier {
@@ -37,11 +38,29 @@ PierPipeline::PierPipeline(PierOptions options)
       break;
   }
   PIER_CHECK(prioritizer_ != nullptr);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& r = *options_.metrics;
+    metrics_.profiles_ingested = r.GetCounter("pipeline.profiles_ingested");
+    metrics_.tokens_ingested = r.GetCounter("pipeline.tokens_ingested");
+    metrics_.block_updates = r.GetCounter("pipeline.block_updates");
+    metrics_.increments = r.GetCounter("pipeline.increments");
+    metrics_.ticks = r.GetCounter("pipeline.ticks");
+    metrics_.batches = r.GetCounter("pipeline.batches");
+    metrics_.comparisons_emitted =
+        r.GetCounter("pipeline.comparisons_emitted");
+    metrics_.comparisons_suppressed =
+        r.GetCounter("pipeline.comparisons_suppressed");
+    metrics_.ingest_ns = r.GetHistogram("pipeline.ingest_ns");
+    metrics_.emit_ns = r.GetHistogram("pipeline.emit_ns");
+    metrics_.batch_size = r.GetHistogram("pipeline.batch_size");
+    adaptive_k_.AttachMetrics(&r);
+  }
 }
 
 PierPipeline::~PierPipeline() = default;
 
 WorkStats PierPipeline::Ingest(std::vector<EntityProfile> profiles) {
+  const obs::ScopedTimer timer(metrics_.ingest_ns);
   WorkStats stats;
   std::vector<ProfileId> delta;
   delta.reserve(profiles.size());
@@ -58,10 +77,17 @@ WorkStats PierPipeline::Ingest(std::vector<EntityProfile> profiles) {
     profiles_.Add(std::move(profile));
   }
   stats += prioritizer_->UpdateCmpIndex(delta);
+  obs::CounterAdd(metrics_.increments);
+  obs::CounterAdd(metrics_.profiles_ingested, stats.profiles);
+  obs::CounterAdd(metrics_.tokens_ingested, stats.tokens);
+  obs::CounterAdd(metrics_.block_updates, stats.block_updates);
   return stats;
 }
 
-WorkStats PierPipeline::Tick() { return prioritizer_->UpdateCmpIndex({}); }
+WorkStats PierPipeline::Tick() {
+  obs::CounterAdd(metrics_.ticks);
+  return prioritizer_->UpdateCmpIndex({});
+}
 
 bool PierPipeline::AlreadyExecuted(uint64_t key) {
   if (options_.exact_executed_filter) {
@@ -75,6 +101,7 @@ std::vector<Comparison> PierPipeline::EmitBatch() {
 }
 
 std::vector<Comparison> PierPipeline::EmitBatch(size_t k, WorkStats* stats) {
+  const obs::ScopedTimer timer(metrics_.emit_ns);
   std::vector<Comparison> batch;
   batch.reserve(k);
   Comparison c;
@@ -88,10 +115,16 @@ std::vector<Comparison> PierPipeline::EmitBatch(size_t k, WorkStats* stats) {
       if (prioritizer_->Empty()) break;  // genuinely exhausted
       continue;
     }
-    if (AlreadyExecuted(c.Key())) continue;
+    if (AlreadyExecuted(c.Key())) {
+      obs::CounterAdd(metrics_.comparisons_suppressed);
+      continue;
+    }
     batch.push_back(c);
   }
   comparisons_emitted_ += batch.size();
+  obs::CounterAdd(metrics_.batches);
+  obs::CounterAdd(metrics_.comparisons_emitted, batch.size());
+  obs::HistogramRecord(metrics_.batch_size, batch.size());
   return batch;
 }
 

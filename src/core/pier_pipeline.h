@@ -34,6 +34,7 @@
 #include "model/entity_profile.h"
 #include "model/profile_store.h"
 #include "model/token_dictionary.h"
+#include "obs/metrics.h"
 #include "text/tokenizer.h"
 #include "util/scalable_bloom_filter.h"
 
@@ -63,6 +64,10 @@ struct PierOptions {
   // deterministic and identical for every value (see
   // similarity/parallel_executor.h).
   size_t execution_threads = 1;
+  // Optional observability sink (src/obs/): when set, the pipeline and
+  // its adaptive-K controller register `pipeline.*` / `findk.*`
+  // metrics there. Non-owning; must outlive the pipeline.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class PierPipeline {
@@ -114,7 +119,23 @@ class PierPipeline {
  private:
   bool AlreadyExecuted(uint64_t key);
 
+  // `pipeline.*` stage metrics; all null when options.metrics is null.
+  struct Metrics {
+    obs::Counter* profiles_ingested = nullptr;
+    obs::Counter* tokens_ingested = nullptr;
+    obs::Counter* block_updates = nullptr;
+    obs::Counter* increments = nullptr;
+    obs::Counter* ticks = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* comparisons_emitted = nullptr;
+    obs::Counter* comparisons_suppressed = nullptr;
+    obs::Histogram* ingest_ns = nullptr;
+    obs::Histogram* emit_ns = nullptr;
+    obs::Histogram* batch_size = nullptr;
+  };
+
   PierOptions options_;
+  Metrics metrics_;
   TokenDictionary dictionary_;
   ProfileStore profiles_;
   BlockCollection blocks_;

@@ -68,8 +68,16 @@ ProgressiveCurve ProgressiveCurve::Downsample(size_t max_points) const {
     out.points_.push_back(points_[index]);
     last_index = index;
   }
-  if (out.points_.back().comparisons != points_.back().comparisons) {
-    out.points_.push_back(points_.back());
+  // Keep the true final point unless it was already emitted; comparing
+  // every field matters, since a tail point may differ from the last
+  // sampled one only in time (e.g. a run that ends after its final
+  // batch without executing further comparisons).
+  const CurvePoint& last = points_.back();
+  const CurvePoint& sampled = out.points_.back();
+  if (sampled.comparisons != last.comparisons ||
+      sampled.matches_found != last.matches_found ||
+      sampled.time != last.time) {
+    out.points_.push_back(last);
   }
   return out;
 }

@@ -23,6 +23,13 @@ struct RunResult {
   uint64_t comparisons_executed = 0;
   uint64_t matches_found = 0;
 
+  // Ticks spent with a due increment refused and no pending batch
+  // (see SimulatorOptions::stall_limit); 0 for well-behaved
+  // algorithms. `stall_aborted` is set when the run ended because the
+  // consecutive-stall limit was hit rather than by draining the work.
+  uint64_t stalled_ticks = 0;
+  bool stall_aborted = false;
+
   // Matcher-output quality (beyond the paper's PC focus): how many
   // executed comparisons the matcher classified positive, and how many
   // of those are true duplicates.

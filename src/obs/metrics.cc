@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace pier {
+namespace obs {
+
+size_t ThreadShardSlot() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0
+               : static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based; ceil so Quantile(1.0)
+  // needs every sample and Quantile(0.0) only the first.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(n) + 0.999999));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Upper bound of bucket b: 2^b - 1 (bucket 0 holds only v=0).
+      if (b == 0) return 0;
+      if (b >= 64) return UINT64_MAX;
+      return (uint64_t{1} << b) - 1;
+    }
+  }
+  return Max();
+}
+
+void Histogram::AtomicMin(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::AtomicMax(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    return it->second.kind == Kind::kCounter ? it->second.counter : nullptr;
+  }
+  counters_.emplace_back();
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.counter = &counters_.back();
+  by_name_.emplace(std::string(name), entry);
+  return entry.counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    return it->second.kind == Kind::kGauge ? it->second.gauge : nullptr;
+  }
+  gauges_.emplace_back();
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.gauge = &gauges_.back();
+  by_name_.emplace(std::string(name), entry);
+  return entry.gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    return it->second.kind == Kind::kHistogram ? it->second.histogram
+                                               : nullptr;
+  }
+  histograms_.emplace_back();
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.histogram = &histograms_.back();
+  by_name_.emplace(std::string(name), entry);
+  return entry.histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(by_name_.size());
+    for (const auto& [name, entry] : by_name_) {
+      MetricSample sample;
+      sample.name = name;
+      switch (entry.kind) {
+        case Kind::kCounter:
+          sample.type = MetricSample::Type::kCounter;
+          sample.value = static_cast<double>(entry.counter->Value());
+          break;
+        case Kind::kGauge:
+          sample.type = MetricSample::Type::kGauge;
+          sample.value = entry.gauge->Value();
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          sample.type = MetricSample::Type::kHistogram;
+          sample.count = h.Count();
+          sample.sum = h.Sum();
+          sample.min = h.Min();
+          sample.max = h.Max();
+          sample.p50 = h.Quantile(0.50);
+          sample.p90 = h.Quantile(0.90);
+          sample.p99 = h.Quantile(0.99);
+          break;
+        }
+      }
+      out.push_back(std::move(sample));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pier

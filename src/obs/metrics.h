@@ -1,0 +1,199 @@
+// Observability layer (`pier::obs`): thread-safe metric primitives for
+// live runs of the pipeline. The paper's entire evaluation is
+// PC-over-time / PC-per-comparison curves, and findK() (Algorithm 1)
+// steers on measured input/processing rates; this module makes those
+// quantities observable while a run is in flight.
+//
+// Hot-path contract: updating a metric is allocation-free and uses
+// only relaxed atomics -- counters are sharded across cache lines so
+// concurrent writers do not contend. Registration (name lookup) takes
+// a mutex and is meant for construction time; updaters hold the
+// returned pointers, which stay valid for the registry's lifetime.
+//
+// Disabled modes:
+//  * Runtime: every instrumentation site takes a nullable pointer; a
+//    null Counter*/Gauge*/Histogram* costs one predictable branch (use
+//    the CounterAdd / GaugeSet / HistogramRecord helpers below).
+//  * Compile time: building with -DPIER_OBS_DISABLED (CMake option
+//    -DPIER_OBS=OFF) turns every update into an empty inline body, so
+//    observability can ship always-linked at exactly zero cost.
+
+#ifndef PIER_OBS_METRICS_H_
+#define PIER_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pier {
+namespace obs {
+
+// Index of the calling thread into per-metric shard arrays; assigned
+// once per thread, process-wide.
+size_t ThreadShardSlot();
+
+// Monotonic counter, sharded so concurrent Add() calls from different
+// threads land on different cache lines.
+class Counter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Add(uint64_t n = 1) {
+#ifndef PIER_OBS_DISABLED
+    shards_[ThreadShardSlot() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+// Last-write-wins instantaneous value (queue depth, current K,
+// observed rate). Double-valued; stored as a bit pattern so the update
+// is one relaxed store.
+class Gauge {
+ public:
+  void Set(double v) {
+#ifndef PIER_OBS_DISABLED
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+// Exponential-bucket histogram over uint64 samples (latencies in
+// nanoseconds, batch sizes): sample v lands in bucket bit_width(v),
+// i.e. bucket b spans [2^(b-1), 2^b). Quantiles are estimated from the
+// bucket cumulative counts (upper bucket bound -> estimates are
+// conservative within one power of two).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bit_width of a uint64 is 0..64
+
+  void Record(uint64_t v) {
+#ifndef PIER_OBS_DISABLED
+    buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    AtomicMin(min_, v);
+    AtomicMax(max_, v);
+#else
+    (void)v;
+#endif
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Min() const;  // 0 when empty
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  // Upper bound of the bucket containing the q-quantile (q in [0, 1]).
+  uint64_t Quantile(double q) const;
+
+ private:
+  static void AtomicMin(std::atomic<uint64_t>& slot, uint64_t v);
+  static void AtomicMax(std::atomic<uint64_t>& slot, uint64_t v);
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// One exported metric value; what the JSON-lines / CSV writers emit
+// and what the parser reconstructs.
+struct MetricSample {
+  enum class Type : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+  std::string name;
+  Type type = Type::kCounter;
+  // Counter: total. Gauge: current value. Histogram: unused.
+  double value = 0.0;
+  // Histogram-only fields.
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+};
+
+// Owns named metrics; metric objects never move once created (deque
+// storage), so registration returns stable pointers that remain valid
+// for the registry's lifetime. Re-registering a name returns the
+// existing metric (and checks the type matches).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // Point-in-time export of every registered metric, sorted by name so
+  // snapshots are diffable.
+  std::vector<MetricSample> Snapshot() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::unordered_map<std::string, Entry> by_name_;
+};
+
+// Null-safe update helpers: the canonical way to instrument a hot path
+// that may run without a registry attached.
+inline void CounterAdd(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+inline void GaugeSet(Gauge* g, double v) {
+  if (g != nullptr) g->Set(v);
+}
+inline void HistogramRecord(Histogram* h, uint64_t v) {
+  if (h != nullptr) h->Record(v);
+}
+
+}  // namespace obs
+}  // namespace pier
+
+#endif  // PIER_OBS_METRICS_H_

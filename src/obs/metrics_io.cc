@@ -1,0 +1,129 @@
+#include "obs/metrics_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace pier {
+namespace obs {
+
+namespace {
+
+const char* TypeName(MetricSample::Type type) {
+  switch (type) {
+    case MetricSample::Type::kCounter:
+      return "counter";
+    case MetricSample::Type::kGauge:
+      return "gauge";
+    case MetricSample::Type::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// Extracts the raw text of `"key":<value>` from `line` (value ends at
+// ',' or '}'); quoted values are returned without the quotes. Metric
+// names never contain escapes or commas, so this is sufficient for the
+// format WriteJsonLines produces.
+bool FindField(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  size_t begin = at + needle.size();
+  if (begin >= line.size()) return false;
+  if (line[begin] == '"') {
+    const size_t end = line.find('"', begin + 1);
+    if (end == std::string::npos) return false;
+    *out = line.substr(begin + 1, end - begin - 1);
+    return true;
+  }
+  size_t end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(begin, end - begin);
+  return !out->empty();
+}
+
+bool FindU64(const std::string& line, const char* key, uint64_t* out) {
+  std::string raw;
+  if (!FindField(line, key, &raw)) return false;
+  *out = std::strtoull(raw.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+void WriteJsonLines(std::ostream& out, double t_seconds,
+                    const std::vector<MetricSample>& samples) {
+  char buf[512];
+  for (const MetricSample& s : samples) {
+    if (s.type == MetricSample::Type::kHistogram) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"t\":%.6f,\"name\":\"%s\",\"type\":\"histogram\","
+                    "\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                    ",\"min\":%" PRIu64 ",\"max\":%" PRIu64
+                    ",\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+                    ",\"p99\":%" PRIu64 "}\n",
+                    t_seconds, s.name.c_str(), s.count, s.sum, s.min, s.max,
+                    s.p50, s.p90, s.p99);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"t\":%.6f,\"name\":\"%s\",\"type\":\"%s\","
+                    "\"value\":%.17g}\n",
+                    t_seconds, s.name.c_str(), TypeName(s.type), s.value);
+    }
+    out << buf;
+  }
+}
+
+void WriteCsvHeader(std::ostream& out) {
+  out << "t,name,type,value,count,sum,min,max,p50,p90,p99\n";
+}
+
+void WriteCsv(std::ostream& out, double t_seconds,
+              const std::vector<MetricSample>& samples) {
+  char buf[512];
+  for (const MetricSample& s : samples) {
+    if (s.type == MetricSample::Type::kHistogram) {
+      std::snprintf(buf, sizeof(buf),
+                    "%.6f,%s,histogram,,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                    ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+                    t_seconds, s.name.c_str(), s.count, s.sum, s.min, s.max,
+                    s.p50, s.p90, s.p99);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.6f,%s,%s,%.17g,,,,,,,\n", t_seconds,
+                    s.name.c_str(), TypeName(s.type), s.value);
+    }
+    out << buf;
+  }
+}
+
+bool ParseJsonLine(const std::string& line, double* t_seconds,
+                   MetricSample* out) {
+  std::string raw;
+  if (!FindField(line, "t", &raw)) return false;
+  *t_seconds = std::strtod(raw.c_str(), nullptr);
+  if (!FindField(line, "name", &out->name)) return false;
+  if (!FindField(line, "type", &raw)) return false;
+  if (raw == "counter") {
+    out->type = MetricSample::Type::kCounter;
+  } else if (raw == "gauge") {
+    out->type = MetricSample::Type::kGauge;
+  } else if (raw == "histogram") {
+    out->type = MetricSample::Type::kHistogram;
+  } else {
+    return false;
+  }
+  if (out->type == MetricSample::Type::kHistogram) {
+    return FindU64(line, "count", &out->count) &&
+           FindU64(line, "sum", &out->sum) && FindU64(line, "min", &out->min) &&
+           FindU64(line, "max", &out->max) && FindU64(line, "p50", &out->p50) &&
+           FindU64(line, "p90", &out->p90) && FindU64(line, "p99", &out->p99);
+  }
+  if (!FindField(line, "value", &raw)) return false;
+  out->value = std::strtod(raw.c_str(), nullptr);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace pier

@@ -1,0 +1,43 @@
+// Snapshot export: JSON-lines (one metric per line, with the snapshot
+// timestamp) and CSV, plus a minimal parser for the JSON-lines format
+// so tests and downstream tooling can reconcile emitted snapshots
+// against run results without a JSON dependency.
+
+#ifndef PIER_OBS_METRICS_IO_H_
+#define PIER_OBS_METRICS_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pier {
+namespace obs {
+
+// One line per sample:
+//   {"t":1.500000,"name":"sim.batches","type":"counter","value":42}
+//   {"t":1.500000,"name":"x.y","type":"gauge","value":0.25}
+//   {"t":1.5,"name":"sim.batch_ns","type":"histogram","count":9,
+//    "sum":123,"min":2,"max":63,"p50":15,"p90":63,"p99":63}
+// `t` is the caller-supplied snapshot time in seconds (virtual or
+// wall, depending on the producer).
+void WriteJsonLines(std::ostream& out, double t_seconds,
+                    const std::vector<MetricSample>& samples);
+
+// CSV with a fixed header:
+//   t,name,type,value,count,sum,min,max,p50,p90,p99
+// (value empty for histograms; histogram columns empty otherwise).
+void WriteCsvHeader(std::ostream& out);
+void WriteCsv(std::ostream& out, double t_seconds,
+              const std::vector<MetricSample>& samples);
+
+// Parses one JSON line produced by WriteJsonLines. Returns false on
+// lines it does not understand (callers typically skip those).
+bool ParseJsonLine(const std::string& line, double* t_seconds,
+                   MetricSample* out);
+
+}  // namespace obs
+}  // namespace pier
+
+#endif  // PIER_OBS_METRICS_IO_H_

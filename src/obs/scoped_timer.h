@@ -1,0 +1,54 @@
+// RAII span timer: records the enclosed scope's wall time, in
+// nanoseconds, into a Histogram on destruction. A null histogram skips
+// the clock reads entirely, so an un-instrumented scope costs one
+// branch; with PIER_OBS_DISABLED the whole class compiles to nothing.
+
+#ifndef PIER_OBS_SCOPED_TIMER_H_
+#define PIER_OBS_SCOPED_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace pier {
+namespace obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) {
+#ifndef PIER_OBS_DISABLED
+    histogram_ = histogram;
+    if (histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+#else
+    (void)histogram;
+#endif
+  }
+
+  ~ScopedTimer() {
+#ifndef PIER_OBS_DISABLED
+    if (histogram_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      histogram_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+#endif
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+#ifndef PIER_OBS_DISABLED
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+}  // namespace obs
+}  // namespace pier
+
+#endif  // PIER_OBS_SCOPED_TIMER_H_

@@ -4,6 +4,7 @@
 #include <future>
 #include <utility>
 
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 
 namespace pier {
@@ -87,10 +88,17 @@ std::vector<MatchVerdict> ExecuteImpl(const Matcher& matcher, ThreadPool* pool,
 }  // namespace
 
 ParallelMatchExecutor::ParallelMatchExecutor(const Matcher* matcher,
-                                             size_t num_threads)
+                                             size_t num_threads,
+                                             obs::MetricsRegistry* metrics)
     : matcher_(matcher), num_threads_(std::max<size_t>(1, num_threads)) {
   PIER_CHECK(matcher_ != nullptr);
   if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  if (metrics != nullptr) {
+    batches_metric_ = metrics->GetCounter("executor.batches");
+    comparisons_metric_ = metrics->GetCounter("executor.comparisons");
+    sharded_batches_metric_ = metrics->GetCounter("executor.sharded_batches");
+    batch_ns_metric_ = metrics->GetHistogram("executor.batch_ns");
+  }
 }
 
 ParallelMatchExecutor::~ParallelMatchExecutor() = default;
@@ -100,12 +108,24 @@ std::vector<MatchVerdict> ParallelMatchExecutor::Execute(
   const auto resolve = [&profiles](ProfileId id) -> const EntityProfile& {
     return profiles.Get(id);
   };
+  const obs::ScopedTimer timer(batch_ns_metric_);
+  obs::CounterAdd(batches_metric_);
+  obs::CounterAdd(comparisons_metric_, batch.size());
+  if (pool_ != nullptr && batch.size() >= 2 * kMinShardSize) {
+    obs::CounterAdd(sharded_batches_metric_);
+  }
   return ExecuteImpl(*matcher_, pool_.get(), kMinShardSize, batch, resolve);
 }
 
 std::vector<MatchVerdict> ParallelMatchExecutor::Execute(
     const std::vector<Comparison>& batch, const ProfileLookup& lookup) const {
   PIER_CHECK(lookup != nullptr);
+  const obs::ScopedTimer timer(batch_ns_metric_);
+  obs::CounterAdd(batches_metric_);
+  obs::CounterAdd(comparisons_metric_, batch.size());
+  if (pool_ != nullptr && batch.size() >= 2 * kMinShardSize) {
+    obs::CounterAdd(sharded_batches_metric_);
+  }
   return ExecuteImpl(*matcher_, pool_.get(), kMinShardSize, batch, lookup);
 }
 

@@ -25,6 +25,7 @@
 #include "model/comparison.h"
 #include "model/entity_profile.h"
 #include "model/profile_store.h"
+#include "obs/metrics.h"
 #include "similarity/matcher.h"
 #include "util/thread_pool.h"
 
@@ -47,7 +48,10 @@ class ParallelMatchExecutor {
   // `matcher` must outlive this object. `num_threads` <= 1 selects the
   // inline (sequential) path; otherwise a dedicated pool of
   // `num_threads` workers is spawned for the executor's lifetime.
-  ParallelMatchExecutor(const Matcher* matcher, size_t num_threads);
+  // `metrics`, when non-null, receives the executor's `executor.*`
+  // stage metrics (batch counts/latency, sharding decisions).
+  ParallelMatchExecutor(const Matcher* matcher, size_t num_threads,
+                        obs::MetricsRegistry* metrics = nullptr);
   ~ParallelMatchExecutor();
 
   ParallelMatchExecutor(const ParallelMatchExecutor&) = delete;
@@ -74,6 +78,12 @@ class ParallelMatchExecutor {
   const Matcher* matcher_;
   size_t num_threads_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ <= 1
+
+  // `executor.*` metrics; null when un-instrumented.
+  obs::Counter* batches_metric_ = nullptr;
+  obs::Counter* comparisons_metric_ = nullptr;
+  obs::Counter* sharded_batches_metric_ = nullptr;
+  obs::Histogram* batch_ns_metric_ = nullptr;
 };
 
 }  // namespace pier

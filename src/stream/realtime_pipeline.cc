@@ -12,9 +12,17 @@ RealtimePipeline::RealtimePipeline(PierOptions options,
                                    MatchCallback on_match)
     : pipeline_(options),
       matcher_(matcher),
-      executor_(matcher, options.execution_threads),
+      executor_(matcher, options.execution_threads, options.metrics),
       on_match_(std::move(on_match)) {
   PIER_CHECK(matcher_ != nullptr);
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& r = *options.metrics;
+    ingests_metric_ = r.GetCounter("realtime.ingests");
+    batches_metric_ = r.GetCounter("realtime.batches");
+    idle_transitions_metric_ = r.GetCounter("realtime.idle_transitions");
+    worker_idle_metric_ = r.GetGauge("realtime.worker_idle");
+    match_ns_metric_ = r.GetHistogram("realtime.match_ns");
+  }
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -34,6 +42,8 @@ void RealtimePipeline::Ingest(std::vector<EntityProfile> profiles) {
     pipeline_.Ingest(std::move(profiles));
     idle_ = false;
   }
+  obs::CounterAdd(ingests_metric_);
+  obs::GaugeSet(worker_idle_metric_, 0.0);
   work_cv_.notify_all();
 }
 
@@ -52,6 +62,8 @@ void RealtimePipeline::WorkerLoop() {
       batch = pipeline_.EmitBatch();
       if (batch.empty()) {
         idle_ = true;
+        obs::CounterAdd(idle_transitions_metric_);
+        obs::GaugeSet(worker_idle_metric_, 1.0);
         drained_cv_.notify_all();
         continue;
       }
@@ -69,6 +81,10 @@ void RealtimePipeline::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       pipeline_.ReportBatchCost(batch.size(), seconds);
+    }
+    obs::CounterAdd(batches_metric_);
+    if (match_ns_metric_ != nullptr && seconds > 0.0) {
+      match_ns_metric_->Record(static_cast<uint64_t>(seconds * 1e9));
     }
     comparisons_.fetch_add(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {

@@ -78,6 +78,15 @@ class RealtimePipeline {
   MatchCallback on_match_;
   Stopwatch lifetime_;  // arrival timestamps for the K controller
 
+  // `realtime.*` metrics (from PierOptions::metrics); the worker's
+  // idle/drain transitions and the per-batch flow through the
+  // emit -> match -> callback loop. Null when un-instrumented.
+  obs::Counter* ingests_metric_ = nullptr;
+  obs::Counter* batches_metric_ = nullptr;
+  obs::Counter* idle_transitions_metric_ = nullptr;
+  obs::Gauge* worker_idle_metric_ = nullptr;
+  obs::Histogram* match_ns_metric_ = nullptr;
+
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable drained_cv_;

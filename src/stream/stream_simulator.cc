@@ -1,12 +1,64 @@
 #include "stream/stream_simulator.h"
 
+#include <algorithm>
+#include <limits>
+#include <ostream>
 #include <unordered_set>
 
+#include "obs/metrics_io.h"
 #include "similarity/parallel_executor.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace pier {
+
+namespace {
+
+// The simulator's stage metrics (`sim.*` namespace); every pointer is
+// null when the run is not instrumented, making each update one
+// predictable branch (see obs/metrics.h).
+struct SimMetrics {
+  obs::Counter* increments_delivered = nullptr;
+  obs::Counter* batches = nullptr;
+  obs::Counter* comparisons_executed = nullptr;
+  obs::Counter* matches_found = nullptr;
+  obs::Counter* matcher_positives = nullptr;
+  obs::Counter* match_cost_units = nullptr;
+  obs::Counter* idle_ticks = nullptr;
+  obs::Counter* stalled_ticks = nullptr;
+  obs::Histogram* batch_size = nullptr;
+  obs::Histogram* batch_gen_ns = nullptr;
+  obs::Histogram* batch_match_ns = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* virtual_time_s = nullptr;
+  obs::Gauge* comparisons_per_s = nullptr;
+  obs::Gauge* cost_units_per_s = nullptr;
+
+  explicit SimMetrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    increments_delivered = registry->GetCounter("sim.increments_delivered");
+    batches = registry->GetCounter("sim.batches");
+    comparisons_executed = registry->GetCounter("sim.comparisons_executed");
+    matches_found = registry->GetCounter("sim.matches_found");
+    matcher_positives = registry->GetCounter("sim.matcher_positives");
+    match_cost_units = registry->GetCounter("sim.match_cost_units");
+    idle_ticks = registry->GetCounter("sim.idle_ticks");
+    stalled_ticks = registry->GetCounter("sim.stalled_ticks");
+    batch_size = registry->GetHistogram("sim.batch_size");
+    batch_gen_ns = registry->GetHistogram("sim.batch_gen_ns");
+    batch_match_ns = registry->GetHistogram("sim.batch_match_ns");
+    queue_depth = registry->GetGauge("sim.queue_depth");
+    virtual_time_s = registry->GetGauge("sim.virtual_time_s");
+    comparisons_per_s = registry->GetGauge("sim.comparisons_per_s");
+    cost_units_per_s = registry->GetGauge("sim.cost_units_per_s");
+  }
+};
+
+uint64_t SecondsToNs(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
 
 StreamSimulator::StreamSimulator(const Dataset* dataset,
                                  SimulatorOptions options)
@@ -19,13 +71,30 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
                                const Matcher& matcher) const {
   const CostMeter meter(options_.cost_mode, options_.cost_model);
 
+  // Instrumentation: a caller-supplied registry, or a run-local one
+  // when only the snapshot stream was requested.
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry* registry = options_.metrics;
+  if (registry == nullptr && options_.metrics_out != nullptr) {
+    registry = &local_registry;
+  }
+  const SimMetrics m(registry);
+
   // All matching goes through the executor; with execution_threads=1
   // it runs inline. Verdicts come back in emission order, so the
   // accounting below is identical for every thread count.
-  const ParallelMatchExecutor executor(&matcher, options_.execution_threads);
+  const ParallelMatchExecutor executor(&matcher, options_.execution_threads,
+                                       registry);
   const ParallelMatchExecutor::ProfileLookup lookup =
       [&algorithm](ProfileId id) -> const EntityProfile& {
     return algorithm.Profile(id);
+  };
+  double next_snapshot = options_.metrics_interval_s > 0.0
+                             ? options_.metrics_interval_s
+                             : std::numeric_limits<double>::infinity();
+  const auto emit_snapshot = [&](double t) {
+    if (registry == nullptr || options_.metrics_out == nullptr) return;
+    obs::WriteJsonLines(*options_.metrics_out, t, registry->Snapshot());
   };
 
   RunResult result;
@@ -41,6 +110,7 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
   double vt = 0.0;
   size_t next_arrival = 0;
   int fruitless_ticks = 0;
+  size_t consecutive_stalls = 0;
   bool stream_ended_notified = false;
   uint64_t executed = 0;
   uint64_t found = 0;
@@ -59,7 +129,29 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
   };
   record_point();
 
+  // Number of increments whose arrival time has passed but which have
+  // not been delivered yet (the stream backlog of Figures 7-8).
+  const auto backlog = [&]() -> size_t {
+    if (next_arrival >= increments_.size()) return 0;
+    if (options_.IsStatic()) return increments_.size() - next_arrival;
+    const size_t due = interarrival <= 0.0
+                           ? increments_.size()
+                           : static_cast<size_t>(vt / interarrival) + 1;
+    return std::min(due, increments_.size()) - next_arrival;
+  };
+  const auto observe_clock = [&]() {
+    if (registry == nullptr) return;
+    obs::GaugeSet(m.virtual_time_s, vt);
+    obs::GaugeSet(m.queue_depth, static_cast<double>(backlog()));
+    if (vt >= next_snapshot) {
+      emit_snapshot(vt);
+      next_snapshot += options_.metrics_interval_s;
+    }
+  };
+
   while (vt < options_.time_budget_s) {
+    observe_clock();
+
     // 1. Deliver a due increment if the algorithm accepts it.
     if (next_arrival < increments_.size() &&
         vt >= interarrival * static_cast<double>(next_arrival) &&
@@ -77,7 +169,9 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
       if (next_arrival == increments_.size()) {
         result.stream_consumed_at = vt;
       }
+      obs::CounterAdd(m.increments_delivered);
       fruitless_ticks = 0;
+      consecutive_stalls = 0;
       continue;
     }
 
@@ -88,11 +182,14 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
       const std::vector<Comparison> batch = algorithm.NextBatch(&gen_stats);
       const double gen_seconds = sw.ElapsedSeconds();
       if (!batch.empty()) {
-        vt += meter.StepCost(gen_stats, gen_seconds);
+        const double gen_cost = meter.StepCost(gen_stats, gen_seconds);
+        vt += gen_cost;
         uint64_t units = 0;
         Stopwatch match_sw;
         const std::vector<MatchVerdict> verdicts =
             executor.Execute(batch, lookup);
+        uint64_t batch_matches = 0;
+        uint64_t batch_positives = 0;
         for (size_t i = 0; i < batch.size(); ++i) {
           const Comparison& c = batch[i];
           const MatchVerdict& v = verdicts[i];
@@ -100,19 +197,36 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
           ++executed;
           const bool is_true_match = dataset_->truth.IsMatch(c.x, c.y);
           if (v.is_match) {
+            ++batch_positives;
             ++result.matcher_positives;
             if (is_true_match) ++result.matcher_true_positives;
           }
           if (is_true_match && credited.insert(c.Key()).second) {
             ++found;
+            ++batch_matches;
           }
         }
         const double match_cost =
             meter.MatchCost(units, match_sw.ElapsedSeconds());
         vt += match_cost;
         algorithm.OnBatchCost(batch.size(), match_cost);
+        obs::CounterAdd(m.batches);
+        obs::CounterAdd(m.comparisons_executed, batch.size());
+        obs::CounterAdd(m.matches_found, batch_matches);
+        obs::CounterAdd(m.matcher_positives, batch_positives);
+        obs::CounterAdd(m.match_cost_units, units);
+        obs::HistogramRecord(m.batch_size, batch.size());
+        obs::HistogramRecord(m.batch_gen_ns, SecondsToNs(gen_cost));
+        obs::HistogramRecord(m.batch_match_ns, SecondsToNs(match_cost));
+        if (match_cost > 0.0) {
+          obs::GaugeSet(m.comparisons_per_s,
+                        static_cast<double>(batch.size()) / match_cost);
+          obs::GaugeSet(m.cost_units_per_s,
+                        static_cast<double>(units) / match_cost);
+        }
         record_point();
         fruitless_ticks = 0;
+        consecutive_stalls = 0;
         continue;
       }
       vt += meter.StepCost(gen_stats, gen_seconds);
@@ -120,19 +234,36 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
 
     // 3. No work right now.
     if (next_arrival < increments_.size()) {
-      // An algorithm refusing an increment must have pending batches;
-      // otherwise the run could never progress.
-      PIER_CHECK(algorithm.ReadyForIncrement() ||
-                 vt < interarrival * static_cast<double>(next_arrival));
+      const double t_next =
+          interarrival * static_cast<double>(next_arrival);
+      if (!algorithm.ReadyForIncrement() && vt >= t_next) {
+        // An increment is due but the algorithm refuses it while
+        // holding no pending batch (e.g. a windowed baseline between
+        // arrivals). That used to be a hard CHECK; it is a legitimate
+        // -- if unproductive -- state, so diagnose it instead: charge
+        // an idle tick (whose per-call overhead guarantees the clock
+        // advances), count it, and give up only after stall_limit
+        // consecutive stalls.
+        ++result.stalled_ticks;
+        obs::CounterAdd(m.stalled_ticks);
+        Stopwatch sw;
+        const WorkStats stats = algorithm.OnIdleTick();
+        vt += meter.StepCost(stats, sw.ElapsedSeconds());
+        if (++consecutive_stalls >= options_.stall_limit) {
+          result.stall_aborted = true;
+          break;
+        }
+        continue;
+      }
+      consecutive_stalls = 0;
       // Idle before the next arrival: try a tick, then jump the clock.
       if (fruitless_ticks < 2) {
         Stopwatch sw;
         const WorkStats stats = algorithm.OnIdleTick();
         vt += meter.StepCost(stats, sw.ElapsedSeconds());
         ++fruitless_ticks;
+        obs::CounterAdd(m.idle_ticks);
       } else {
-        const double t_next =
-            interarrival * static_cast<double>(next_arrival);
         if (vt < t_next) vt = t_next;
         fruitless_ticks = 0;
       }
@@ -152,6 +283,7 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
       const WorkStats stats = algorithm.OnIdleTick();
       vt += meter.StepCost(stats, sw.ElapsedSeconds());
       ++fruitless_ticks;
+      obs::CounterAdd(m.idle_ticks);
       continue;
     }
     break;  // two fruitless ticks after stream end: done
@@ -160,7 +292,20 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
   result.comparisons_executed = executed;
   result.matches_found = found;
   result.end_time = vt;
-  result.curve.Add(CurvePoint{vt, executed, found});
+  // Terminal curve point: only when it adds information. The curve is
+  // kept strictly monotone in `comparisons` -- an unconditional append
+  // used to duplicate the last point at the same comparison count with
+  // a later timestamp, creating a spurious step for
+  // MatchesAtComparisons / PC-per-comparison plots.
+  if (result.curve.empty() ||
+      result.curve.points().back().comparisons != executed) {
+    result.curve.Add(CurvePoint{vt, executed, found});
+  }
+  if (registry != nullptr) {
+    obs::GaugeSet(m.virtual_time_s, vt);
+    obs::GaugeSet(m.queue_depth, static_cast<double>(backlog()));
+    emit_snapshot(vt);
+  }
   return result;
 }
 

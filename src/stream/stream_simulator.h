@@ -18,12 +18,14 @@
 #ifndef PIER_STREAM_STREAM_SIMULATOR_H_
 #define PIER_STREAM_STREAM_SIMULATOR_H_
 
+#include <iosfwd>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "eval/run_result.h"
 #include "model/dataset.h"
+#include "obs/metrics.h"
 #include "similarity/matcher.h"
 #include "stream/cost_meter.h"
 #include "stream/er_algorithm.h"
@@ -55,6 +57,22 @@ struct SimulatorOptions {
   // cost meter the resulting curves are bit-identical for every
   // value; with the measured meter only wall time changes.
   size_t execution_threads = 1;
+
+  // Observability (see src/obs/): when `metrics` is set, the simulator
+  // registers and updates its `sim.*` stage metrics there; when
+  // `metrics_out` is set, JSON-lines snapshots are written to it --
+  // one per `metrics_interval_s` of virtual time (0 = only the final
+  // snapshot) plus always one at the end of the run. `metrics_out`
+  // without `metrics` uses a run-local registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::ostream* metrics_out = nullptr;
+  double metrics_interval_s = 0.0;
+
+  // An algorithm that refuses a due increment while holding no pending
+  // batch is *stalled* (e.g. a windowed baseline between arrivals):
+  // the simulator charges it idle ticks, counts `stalled_ticks`, and
+  // ends the run gracefully after this many consecutive stalls.
+  size_t stall_limit = 10000;
 
   bool IsStatic() const { return increments_per_second <= 0.0; }
 };

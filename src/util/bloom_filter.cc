@@ -16,7 +16,12 @@ BloomFilter::BloomFilter(size_t expected_items, double fp_rate)
   const double m = std::ceil(-n * std::log(fp_rate) / (kLn2 * kLn2));
   num_bits_ = static_cast<size_t>(m);
   if (num_bits_ < 64) num_bits_ = 64;
-  num_hashes_ = static_cast<int>(std::round(m / n * kLn2));
+  // k must be derived from the *actual* (clamped) bit count: for tiny
+  // capacities (e.g. the first slice of a ScalableBloomFilter with a
+  // small initial_capacity) the clamp to 64 bits would otherwise leave
+  // k sized for the unclamped m and the realized FP rate off-design.
+  num_hashes_ = static_cast<int>(
+      std::round(static_cast<double>(num_bits_) / n * kLn2));
   if (num_hashes_ < 1) num_hashes_ = 1;
   bits_.assign((num_bits_ + 63) / 64, 0);
 }

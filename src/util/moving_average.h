@@ -56,6 +56,17 @@ class WindowAverage {
       buf_[next_] = x;
     }
     next_ = (next_ + 1) % window_;
+    // The running update `sum_ += x - old` accumulates rounding error
+    // without bound on long streams (a large sample passing through
+    // the window leaves an O(ulp(large)) residue behind), which can
+    // destabilize consumers like AdaptiveK::FindK. Resumming the
+    // buffer once per ring wrap caps the error at a single window's
+    // summation error while keeping Add O(1) amortized.
+    if (next_ == 0 && buf_.size() == window_) {
+      double exact = 0.0;
+      for (const double v : buf_) exact += v;
+      sum_ = exact;
+    }
   }
 
   size_t count() const { return buf_.size(); }

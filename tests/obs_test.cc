@@ -1,0 +1,364 @@
+// Tests for the observability layer (src/obs/): metric primitives,
+// registry snapshots, JSON-lines/CSV round trips, the ScopedTimer, and
+// the end-to-end reconciliation contract -- an instrumented simulator
+// run's stage counters must match the RunResult totals exactly.
+//
+// All fixtures are named Obs* so the TSan CI job can gate the
+// concurrency surface with a single -R filter.
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "obs/metrics.h"
+#include "obs/metrics_io.h"
+#include "obs/scoped_timer.h"
+#include "similarity/matcher.h"
+#include "stream/pier_adapter.h"
+#include "stream/stream_simulator.h"
+
+namespace pier {
+namespace {
+
+using obs::MetricSample;
+using obs::MetricsRegistry;
+
+#ifndef PIER_OBS_DISABLED
+
+TEST(ObsMetricsTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("test.counter");
+  ASSERT_NE(c, nullptr);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(ObsMetricsTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("same.name");
+  obs::Counter* b = registry.GetCounter("same.name");
+  EXPECT_EQ(a, b);
+  // Same name, different type: rejected with null instead of aliasing.
+  EXPECT_EQ(registry.GetGauge("same.name"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("same.name"), nullptr);
+}
+
+TEST(ObsMetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  obs::Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_DOUBLE_EQ(g->Value(), -2.25);
+}
+
+TEST(ObsMetricsTest, HistogramStatsAndQuantiles) {
+  MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("test.hist");
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v);
+  EXPECT_EQ(h->Count(), 100u);
+  EXPECT_EQ(h->Sum(), 5050u);
+  EXPECT_EQ(h->Min(), 1u);
+  EXPECT_EQ(h->Max(), 100u);
+  EXPECT_DOUBLE_EQ(h->Mean(), 50.5);
+  // Exponential buckets: quantile estimates are upper bucket bounds,
+  // i.e. within one power of two of the true quantile.
+  EXPECT_GE(h->Quantile(0.5), 50u);
+  EXPECT_LE(h->Quantile(0.5), 127u);
+  EXPECT_GE(h->Quantile(1.0), 100u);
+  EXPECT_EQ(h->Quantile(0.0), 1u);
+}
+
+TEST(ObsMetricsTest, HistogramEmpty) {
+  MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("test.empty");
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(h->Min(), 0u);
+  EXPECT_EQ(h->Max(), 0u);
+  EXPECT_DOUBLE_EQ(h->Mean(), 0.0);
+  EXPECT_EQ(h->Quantile(0.9), 0u);
+}
+
+TEST(ObsMetricsTest, NullSafeHelpers) {
+  obs::CounterAdd(nullptr);
+  obs::GaugeSet(nullptr, 1.0);
+  obs::HistogramRecord(nullptr, 1);
+  { const obs::ScopedTimer timer(nullptr); }
+}
+
+TEST(ObsMetricsTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last")->Add(1);
+  registry.GetGauge("a.first")->Set(2.0);
+  registry.GetHistogram("m.middle")->Record(3);
+  const std::vector<MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "a.first");
+  EXPECT_EQ(snapshot[1].name, "m.middle");
+  EXPECT_EQ(snapshot[2].name, "z.last");
+  EXPECT_EQ(snapshot[0].type, MetricSample::Type::kGauge);
+  EXPECT_DOUBLE_EQ(snapshot[0].value, 2.0);
+  EXPECT_EQ(snapshot[1].count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot[2].value, 1.0);
+}
+
+TEST(ObsMetricsTest, ScopedTimerRecordsElapsed) {
+  MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("span.ns");
+  {
+    const obs::ScopedTimer timer(h);
+    // Any work; the span is >= 0 ns by construction.
+  }
+  EXPECT_EQ(h->Count(), 1u);
+}
+
+// The TSan-gated surface: concurrent writers on every primitive.
+TEST(ObsConcurrencyTest, ConcurrentUpdatesAreExact) {
+  MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("hammer.counter");
+  obs::Gauge* gauge = registry.GetGauge("hammer.gauge");
+  obs::Histogram* hist = registry.GetHistogram("hammer.hist");
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        gauge->Set(static_cast<double>(t));
+        hist->Record(i & 1023);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  EXPECT_EQ(hist->Count(), kThreads * kPerThread);
+  EXPECT_EQ(hist->Max(), 1023u);
+  const double g = gauge->Value();
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, kThreads);
+}
+
+TEST(ObsConcurrencyTest, ConcurrentRegistrationYieldsOneMetric) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("contended.name")->Add();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("contended.name")->Value(), 4000u);
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+}
+
+TEST(ObsIoTest, JsonLinesRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("rt.counter")->Add(123);
+  registry.GetGauge("rt.gauge")->Set(0.125);
+  obs::Histogram* h = registry.GetHistogram("rt.hist");
+  for (uint64_t v : {3u, 9u, 200u}) h->Record(v);
+
+  std::ostringstream out;
+  obs::WriteJsonLines(out, 2.5, registry.Snapshot());
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<MetricSample> parsed;
+  double t = 0.0;
+  while (std::getline(in, line)) {
+    MetricSample sample;
+    ASSERT_TRUE(obs::ParseJsonLine(line, &t, &sample)) << line;
+    EXPECT_DOUBLE_EQ(t, 2.5);
+    parsed.push_back(sample);
+  }
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0].name, "rt.counter");
+  EXPECT_EQ(parsed[0].type, MetricSample::Type::kCounter);
+  EXPECT_DOUBLE_EQ(parsed[0].value, 123.0);
+  EXPECT_EQ(parsed[1].name, "rt.gauge");
+  EXPECT_DOUBLE_EQ(parsed[1].value, 0.125);
+  EXPECT_EQ(parsed[2].name, "rt.hist");
+  EXPECT_EQ(parsed[2].type, MetricSample::Type::kHistogram);
+  EXPECT_EQ(parsed[2].count, 3u);
+  EXPECT_EQ(parsed[2].sum, 212u);
+  EXPECT_EQ(parsed[2].min, 3u);
+  EXPECT_EQ(parsed[2].max, 200u);
+}
+
+TEST(ObsIoTest, ParseRejectsGarbage) {
+  MetricSample sample;
+  double t = 0.0;
+  EXPECT_FALSE(obs::ParseJsonLine("", &t, &sample));
+  EXPECT_FALSE(obs::ParseJsonLine("not json", &t, &sample));
+  EXPECT_FALSE(obs::ParseJsonLine("{\"t\":1.0,\"name\":\"x\"}", &t, &sample));
+  EXPECT_FALSE(obs::ParseJsonLine(
+      "{\"t\":1.0,\"name\":\"x\",\"type\":\"mystery\",\"value\":1}", &t,
+      &sample));
+}
+
+TEST(ObsIoTest, CsvHasHeaderAndRows) {
+  MetricsRegistry registry;
+  registry.GetCounter("csv.counter")->Add(7);
+  registry.GetHistogram("csv.hist")->Record(8);
+  std::ostringstream out;
+  obs::WriteCsvHeader(out);
+  obs::WriteCsv(out, 1.0, registry.Snapshot());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("t,name,type,value,count,sum,min,max,p50,p90,p99"),
+            std::string::npos);
+  EXPECT_NE(text.find("csv.counter,counter,7"), std::string::npos);
+  EXPECT_NE(text.find("csv.hist,histogram"), std::string::npos);
+}
+
+// End-to-end reconciliation: the `sim.*` counters of an instrumented
+// run, as read back from the emitted JSON-lines snapshots, must match
+// the RunResult totals exactly (the acceptance contract for shipping
+// observability always-on).
+TEST(ObsSimulatorTest, SnapshotCountersReconcileWithRunResult) {
+  BibliographicOptions data_options;
+  data_options.source0_count = 120;
+  data_options.source1_count = 100;
+  data_options.seed = 11;
+  const Dataset dataset = GenerateBibliographic(data_options);
+
+  MetricsRegistry registry;
+  std::ostringstream snapshots;
+  SimulatorOptions sim_options;
+  sim_options.num_increments = 10;
+  sim_options.increments_per_second = 0.0;
+  sim_options.cost_mode = CostMeter::Mode::kModeled;
+  sim_options.metrics = &registry;
+  sim_options.metrics_out = &snapshots;
+  // Modeled virtual time is tiny; a microsecond interval guarantees
+  // several periodic snapshots before the final one.
+  sim_options.metrics_interval_s = 1e-6;
+
+  PierOptions options;
+  options.kind = dataset.kind;
+  options.strategy = PierStrategy::kIPes;
+  options.metrics = &registry;
+
+  const StreamSimulator simulator(&dataset, sim_options);
+  PierAdapter algorithm(options);
+  const JaccardMatcher matcher(0.5);
+  const RunResult result = simulator.Run(algorithm, matcher);
+  ASSERT_GT(result.comparisons_executed, 0u);
+
+  // Parse every line; keep the last value per metric (the final
+  // snapshot supersedes the periodic ones).
+  std::istringstream in(snapshots.str());
+  std::string line;
+  size_t lines = 0;
+  double t = 0.0;
+  std::map<std::string, MetricSample> last;
+  while (std::getline(in, line)) {
+    MetricSample sample;
+    ASSERT_TRUE(obs::ParseJsonLine(line, &t, &sample)) << line;
+    last[sample.name] = sample;
+    ++lines;
+  }
+  // At least one periodic and one final snapshot.
+  ASSERT_GT(lines, last.size());
+
+  ASSERT_TRUE(last.count("sim.comparisons_executed"));
+  EXPECT_EQ(static_cast<uint64_t>(last["sim.comparisons_executed"].value),
+            result.comparisons_executed);
+  ASSERT_TRUE(last.count("sim.matches_found"));
+  EXPECT_EQ(static_cast<uint64_t>(last["sim.matches_found"].value),
+            result.matches_found);
+  ASSERT_TRUE(last.count("sim.matcher_positives"));
+  EXPECT_EQ(static_cast<uint64_t>(last["sim.matcher_positives"].value),
+            result.matcher_positives);
+  ASSERT_TRUE(last.count("sim.increments_delivered"));
+  EXPECT_EQ(static_cast<uint64_t>(last["sim.increments_delivered"].value),
+            sim_options.num_increments);
+  ASSERT_TRUE(last.count("sim.stalled_ticks"));
+  EXPECT_EQ(static_cast<uint64_t>(last["sim.stalled_ticks"].value),
+            result.stalled_ticks);
+
+  // The executor saw exactly the comparisons the simulator accounted.
+  ASSERT_TRUE(last.count("executor.comparisons"));
+  EXPECT_EQ(static_cast<uint64_t>(last["executor.comparisons"].value),
+            result.comparisons_executed);
+
+  // Pipeline-side flow: everything the simulator executed was emitted
+  // by the pipeline (the pipeline may emit trailing comparisons the
+  // budgeted simulator never matched, so >=).
+  ASSERT_TRUE(last.count("pipeline.comparisons_emitted"));
+  EXPECT_GE(static_cast<uint64_t>(last["pipeline.comparisons_emitted"].value),
+            result.comparisons_executed);
+  ASSERT_TRUE(last.count("pipeline.profiles_ingested"));
+  EXPECT_EQ(static_cast<uint64_t>(last["pipeline.profiles_ingested"].value),
+            dataset.profiles.size());
+
+  // findK() telemetry is live.
+  ASSERT_TRUE(last.count("findk.k"));
+  EXPECT_GT(last["findk.k"].value, 0.0);
+}
+
+// metrics_out alone (no caller registry) must still stream snapshots,
+// via the run-local registry.
+TEST(ObsSimulatorTest, MetricsOutWithoutRegistryUsesLocalOne) {
+  BibliographicOptions data_options;
+  data_options.source0_count = 60;
+  data_options.source1_count = 50;
+  data_options.seed = 3;
+  const Dataset dataset = GenerateBibliographic(data_options);
+
+  std::ostringstream snapshots;
+  SimulatorOptions sim_options;
+  sim_options.num_increments = 5;
+  sim_options.cost_mode = CostMeter::Mode::kModeled;
+  sim_options.metrics_out = &snapshots;
+
+  PierOptions options;
+  options.kind = dataset.kind;
+  const StreamSimulator simulator(&dataset, sim_options);
+  PierAdapter algorithm(options);
+  const JaccardMatcher matcher(0.5);
+  const RunResult result = simulator.Run(algorithm, matcher);
+
+  std::istringstream in(snapshots.str());
+  std::string line;
+  bool found_comparisons = false;
+  double t = 0.0;
+  while (std::getline(in, line)) {
+    MetricSample sample;
+    ASSERT_TRUE(obs::ParseJsonLine(line, &t, &sample)) << line;
+    if (sample.name == "sim.comparisons_executed") {
+      found_comparisons = true;
+      EXPECT_EQ(static_cast<uint64_t>(sample.value),
+                result.comparisons_executed);
+    }
+  }
+  EXPECT_TRUE(found_comparisons);
+}
+
+#else  // PIER_OBS_DISABLED
+
+TEST(ObsMetricsTest, DisabledBuildCompilesToNoOps) {
+  MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("test.counter");
+  c->Add(42);
+  EXPECT_EQ(c->Value(), 0u);
+  obs::Histogram* h = registry.GetHistogram("test.hist");
+  h->Record(7);
+  EXPECT_EQ(h->Count(), 0u);
+}
+
+#endif  // PIER_OBS_DISABLED
+
+}  // namespace
+}  // namespace pier

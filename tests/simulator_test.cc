@@ -94,6 +94,25 @@ TEST(ProgressiveCurveTest, DownsampleKeepsEndpoints) {
   EXPECT_EQ(small.points().back().comparisons, 99u);
 }
 
+TEST(ProgressiveCurveTest, DownsampleKeepsTimeOnlyTailPoint) {
+  // Regression: the tail guard used to compare only `.comparisons`, so
+  // a final point that differs from the last sampled one only in time
+  // (a run ending after its last batch without further comparisons)
+  // was silently dropped, truncating the curve's time extent.
+  ProgressiveCurve curve;
+  for (int i = 0; i < 99; ++i) {
+    curve.Add({static_cast<double>(i), static_cast<uint64_t>(i),
+               static_cast<uint64_t>(i / 2)});
+  }
+  curve.Add({1000.0, 98, 49});  // same counts as point 98, later time
+  // Downsample(8): stride 99/7 lands the last sample on index 98, so
+  // preserving the true final point is entirely up to the tail guard.
+  const auto small = curve.Downsample(8);
+  EXPECT_DOUBLE_EQ(small.points().back().time, 1000.0);
+  EXPECT_EQ(small.points().back().comparisons, 98u);
+  EXPECT_EQ(small.points().back().matches_found, 49u);
+}
+
 TEST(CostMeterTest, ModeledDeterministicAndAdditive) {
   const CostMeter meter(CostMeter::Mode::kModeled);
   WorkStats stats;
@@ -203,6 +222,130 @@ TEST(SimulatorTest, IBaseEventualQualityOnSlowStream) {
   IBase ibase(d.kind, BlockingOptions{});
   const RunResult result = sim.Run(ibase, matcher);
   EXPECT_GT(result.FinalPc(), 0.5);
+}
+
+void ExpectStrictlyMonotoneCurve(const RunResult& result) {
+  const auto& points = result.curve.points();
+  ASSERT_FALSE(points.empty());
+  for (size_t i = 1; i < points.size(); ++i) {
+    // Strictly increasing comparisons (in particular: no duplicate
+    // comparison counts, which the old unconditional terminal point
+    // used to produce), monotone matches and time.
+    EXPECT_GT(points[i].comparisons, points[i - 1].comparisons)
+        << "at point " << i;
+    EXPECT_GE(points[i].matches_found, points[i - 1].matches_found)
+        << "at point " << i;
+    EXPECT_GE(points[i].time, points[i - 1].time) << "at point " << i;
+  }
+  EXPECT_EQ(points.back().comparisons, result.comparisons_executed);
+  EXPECT_EQ(points.back().matches_found, result.matches_found);
+}
+
+TEST(SimulatorTest, CurveStrictlyMonotoneInComparisons) {
+  const Dataset d = TinyDataset();
+  const JaccardMatcher matcher(0.4);
+  for (const PierStrategy strategy :
+       {PierStrategy::kIPcs, PierStrategy::kIPbs, PierStrategy::kIPes}) {
+    StreamSimulator sim(&d, ModeledOptions(10, 0.0));
+    PierAdapter alg(PierFor(d, strategy));
+    ExpectStrictlyMonotoneCurve(sim.Run(alg, matcher));
+  }
+}
+
+TEST(SimulatorTest, CurveStrictlyMonotoneWhenBudgetTruncates) {
+  // A budget-truncated run ends mid-stream; the terminal point must
+  // still not duplicate the comparison count of the last batch point.
+  const Dataset d = TinyDataset();
+  const JaccardMatcher matcher(0.4);
+  SimulatorOptions options = ModeledOptions(10, 0.0);
+  options.time_budget_s = 1e-4;
+  StreamSimulator sim(&d, options);
+  PierAdapter alg(PierFor(d, PierStrategy::kIPes));
+  ExpectStrictlyMonotoneCurve(sim.Run(alg, matcher));
+}
+
+// An algorithm that refuses increments for a fixed number of idle
+// ticks after each delivery while holding no emittable work: the
+// shape that used to trip the simulator's hard CHECK and now takes
+// the diagnosed stall path.
+class WindowedStaller : public ErAlgorithm {
+ public:
+  explicit WindowedStaller(int ticks_needed) : needed_(ticks_needed) {}
+
+  WorkStats OnIncrement(std::vector<EntityProfile> profiles) override {
+    (void)profiles;
+    ready_ = false;
+    ticks_ = 0;
+    WorkStats stats;
+    stats.profiles = 1;
+    return stats;
+  }
+
+  std::vector<Comparison> NextBatch(WorkStats* stats) override {
+    (void)stats;
+    return {};
+  }
+
+  WorkStats OnIdleTick() override {
+    if (++ticks_ >= needed_) ready_ = true;
+    return {};
+  }
+
+  bool ReadyForIncrement() const override { return ready_; }
+
+  const EntityProfile& Profile(ProfileId id) const override {
+    (void)id;
+    static const EntityProfile kEmpty;
+    return kEmpty;
+  }
+
+  const char* name() const override { return "windowed-staller"; }
+
+ private:
+  int needed_;
+  int ticks_ = 0;
+  bool ready_ = true;
+};
+
+TEST(SimulatorTest, StallingAlgorithmIsDiagnosedNotCrashed) {
+  const Dataset d = TinyDataset();
+  const JaccardMatcher matcher(0.4);
+  // Fast stream (all increments due immediately) + an algorithm that
+  // needs 3 idle ticks between deliveries: every delivery is followed
+  // by refused-but-due ticks.
+  StreamSimulator sim(&d, ModeledOptions(8, 1000.0));
+  WindowedStaller alg(/*ticks_needed=*/3);
+  const RunResult result = sim.Run(alg, matcher);
+  EXPECT_GT(result.stalled_ticks, 0u);
+  EXPECT_FALSE(result.stall_aborted);
+  // The stream is still fully consumed: stalls cost virtual time but
+  // do not wedge the run.
+  EXPECT_GE(result.stream_consumed_at, 0.0);
+}
+
+TEST(SimulatorTest, PermanentStallHitsLimitAndAborts) {
+  const Dataset d = TinyDataset();
+  const JaccardMatcher matcher(0.4);
+  SimulatorOptions options = ModeledOptions(8, 1000.0);
+  options.stall_limit = 50;
+  StreamSimulator sim(&d, options);
+  // Never becomes ready again after the first increment.
+  WindowedStaller alg(/*ticks_needed=*/1 << 30);
+  const RunResult result = sim.Run(alg, matcher);
+  EXPECT_TRUE(result.stall_aborted);
+  EXPECT_GE(result.stalled_ticks, 50u);
+  // Terminated without consuming the stream (and without crashing).
+  EXPECT_LT(result.stream_consumed_at, 0.0);
+}
+
+TEST(SimulatorTest, WellBehavedRunHasNoStalls) {
+  const Dataset d = TinyDataset();
+  const JaccardMatcher matcher(0.4);
+  StreamSimulator sim(&d, ModeledOptions(10, 0.0));
+  PierAdapter alg(PierFor(d, PierStrategy::kIPes));
+  const RunResult result = sim.Run(alg, matcher);
+  EXPECT_EQ(result.stalled_ticks, 0u);
+  EXPECT_FALSE(result.stall_aborted);
 }
 
 TEST(SimulatorTest, SplitCoversWholeDataset) {

@@ -3,6 +3,7 @@
 // deterministic RNG, moving averages, CSV escaping, and hashing.
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <sstream>
 #include <string>
@@ -169,6 +170,70 @@ INSTANTIATE_TEST_SUITE_P(
                                          size_t{64},
                                          BoundedPriorityQueue<int>::kUnbounded)));
 
+// Interleaved property test mixing *unconditional* Push with
+// PushBounded and both pop ends against a multiset oracle. Push may
+// legally grow the queue past its capacity (PushBounded then evicts
+// without shrinking below the actual size), and the tiny capacities
+// exercise the size<=2 special cases of the interval heap.
+TEST(BoundedPriorityQueueTest, InterleavedPushPushBoundedPopsMatchOracle) {
+  Rng rng(20240806);
+  for (size_t capacity = 1; capacity <= 10; ++capacity) {
+    BoundedPriorityQueue<int> q(capacity);
+    std::multiset<int> oracle;
+    for (int step = 0; step < 4000; ++step) {
+      const uint64_t op = rng.UniformInt(0, 9);
+      // Small value range so ties are common.
+      const int x = static_cast<int>(rng.UniformInt(0, 31));
+      if (op < 3) {
+        q.Push(x);
+        oracle.insert(x);
+      } else if (op < 6) {
+        const bool inserted = q.PushBounded(x);
+        if (oracle.size() < capacity) {
+          oracle.insert(x);
+          ASSERT_TRUE(inserted);
+        } else if (*oracle.begin() < x) {
+          oracle.erase(oracle.begin());
+          oracle.insert(x);
+          ASSERT_TRUE(inserted);
+        } else {
+          ASSERT_FALSE(inserted);
+        }
+      } else if (op < 8) {
+        ASSERT_EQ(q.empty(), oracle.empty());
+        if (!oracle.empty()) {
+          ASSERT_EQ(q.PopMax(), *std::prev(oracle.end()));
+          oracle.erase(std::prev(oracle.end()));
+        }
+      } else {
+        ASSERT_EQ(q.empty(), oracle.empty());
+        if (!oracle.empty()) {
+          ASSERT_EQ(q.PopMin(), *oracle.begin());
+          oracle.erase(oracle.begin());
+        }
+      }
+      ASSERT_EQ(q.size(), oracle.size());
+      if (!oracle.empty()) {
+        ASSERT_EQ(q.PeekMax(), *std::prev(oracle.end()));
+        ASSERT_EQ(q.PeekMin(), *oracle.begin());
+      }
+    }
+    // Drain alternating ends; the remaining contents must match too.
+    bool from_max = true;
+    while (!oracle.empty()) {
+      if (from_max) {
+        ASSERT_EQ(q.PopMax(), *std::prev(oracle.end()));
+        oracle.erase(std::prev(oracle.end()));
+      } else {
+        ASSERT_EQ(q.PopMin(), *oracle.begin());
+        oracle.erase(oracle.begin());
+      }
+      from_max = !from_max;
+    }
+    ASSERT_TRUE(q.empty());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // BloomFilter / ScalableBloomFilter
 // ---------------------------------------------------------------------------
@@ -199,6 +264,44 @@ TEST(BloomFilterTest, TracksCapacity) {
   EXPECT_FALSE(filter.AtCapacity());
   for (uint64_t k = 0; k < 10; ++k) filter.Add(k);
   EXPECT_TRUE(filter.AtCapacity());
+}
+
+TEST(BloomFilterTest, HashCountDerivedFromClampedBits) {
+  // Regression: for tiny capacities m = ceil(-n ln p / ln^2 2) clamps
+  // up to 64 bits, and k must follow the clamped bit count -- k =
+  // round(num_bits / n * ln 2) -- not the unclamped m. Deriving k from
+  // the pre-clamp m under-hashes the (larger) actual array and pushes
+  // the realized FP rate off-design.
+  constexpr double kLn2 = 0.6931471805599453;
+  for (size_t n = 1; n <= 8; ++n) {
+    const BloomFilter filter(n, 0.01);
+    EXPECT_GE(filter.num_bits(), 64u);
+    const int expected = std::max(
+        1, static_cast<int>(std::round(
+               static_cast<double>(filter.num_bits()) /
+               static_cast<double>(n) * kLn2)));
+    EXPECT_EQ(filter.num_hashes(), expected) << "n=" << n;
+  }
+}
+
+TEST(BloomFilterTest, SmallCapacityFalsePositiveRateNearDesign) {
+  // At the clamp boundary the filter must still meet (or beat) its
+  // design FP rate: with k sized for the clamped 64-bit array the rate
+  // is far below 1%; with k sized for the unclamped m it is not.
+  for (const size_t n : {2u, 4u, 8u}) {
+    BloomFilter filter(n, 0.01);
+    for (uint64_t k = 0; k < n; ++k) filter.Add(Mix64(k));
+    size_t false_positives = 0;
+    const size_t probes = 20000;
+    for (uint64_t k = 0; k < probes; ++k) {
+      if (filter.MayContain(Mix64(k + 500000))) ++false_positives;
+    }
+    const double rate =
+        static_cast<double>(false_positives) / static_cast<double>(probes);
+    EXPECT_LT(rate, 0.02) << "n=" << n;
+    // No false negatives, as always.
+    for (uint64_t k = 0; k < n; ++k) EXPECT_TRUE(filter.MayContain(Mix64(k)));
+  }
 }
 
 TEST(ScalableBloomFilterTest, GrowsSlices) {
@@ -395,6 +498,34 @@ TEST(WindowAverageTest, WindowOfOneTracksLast) {
   avg.Add(5.0);
   avg.Add(9.0);
   EXPECT_DOUBLE_EQ(avg.Mean(), 9.0);
+}
+
+TEST(WindowAverageTest, NoDriftOverMillionUpdates) {
+  // Regression for running-sum FP drift: a huge sample (1e16, where
+  // ulp is 2) periodically passing through the window makes the
+  // incremental `sum += x - old` update lose the small samples added
+  // alongside it; each passage leaves an O(ulp) residue. Over ~10k
+  // passages the old code drifted the mean by O(1) -- the exact
+  // resummation on ring wrap keeps it exact.
+  WindowAverage avg(8);
+  constexpr int kUpdates = 1000000;
+  for (int i = 0; i < kUpdates; ++i) {
+    const bool spike = i % 97 == 0 && i < kUpdates - 1000;
+    avg.Add(spike ? 1e16 : 1.0);
+  }
+  // The final window holds eight 1.0s; any departure is pure drift.
+  EXPECT_NEAR(avg.Mean(), 1.0, 1e-9);
+}
+
+TEST(WindowAverageTest, ScaledDriftStaysBounded) {
+  // Same pattern at a smaller magnitude ratio: the mean of the clean
+  // tail must be exact after the spikes leave the window.
+  WindowAverage avg(4);
+  for (int i = 0; i < 100000; ++i) {
+    avg.Add(i % 13 == 0 ? 1e12 : 0.5);
+  }
+  for (int i = 0; i < 8; ++i) avg.Add(0.5);
+  EXPECT_NEAR(avg.Mean(), 0.5, 1e-12);
 }
 
 // ---------------------------------------------------------------------------

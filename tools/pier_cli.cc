@@ -6,12 +6,19 @@
 //            [--matcher=JS|ED|COS] [--threshold=0.5]
 //            [--increments=100] [--rate=0] [--budget=inf]
 //            [--max-block-size=1000] [--beta=0.5] [--threads=1]
+//            [--metrics-out=FILE] [--metrics-interval=F]
 //            [--print-matches]
 //
 // The profiles file uses the long format of datagen/dataset_io.h
 // (profile_id,source,attribute,value). With --truth, the tool replays
 // the data through the stream simulator and reports progressive
 // quality; without it, it runs the pipeline and prints matched pairs.
+//
+// --metrics-out streams JSON-lines metric snapshots (see src/obs/) to
+// FILE: one snapshot per --metrics-interval seconds of (virtual) run
+// time, plus a final one. Stage counters cover ingest/blocking/
+// prioritization (pipeline.*), match execution (executor.*), the
+// adaptive-K controller (findk.*), and the simulator (sim.*).
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +30,8 @@
 #include "core/strategy_selector.h"
 #include "datagen/dataset_io.h"
 #include "eval/report.h"
+#include "obs/metrics.h"
+#include "obs/metrics_io.h"
 #include "similarity/matcher.h"
 #include "similarity/parallel_executor.h"
 #include "stream/pier_adapter.h"
@@ -66,6 +75,7 @@ int Usage() {
       "                [--threshold=F] [--increments=N] [--rate=F] "
       "[--budget=F]\n"
       "                [--max-block-size=N] [--beta=F] [--threads=N]\n"
+      "                [--metrics-out=FILE] [--metrics-interval=F]\n"
       "                [--print-matches]\n");
   return 2;
 }
@@ -157,6 +167,23 @@ int main(int argc, char** argv) {
   sim_options.cost_mode = CostMeter::Mode::kMeasured;
   sim_options.execution_threads = options.execution_threads;
 
+  // Observability: stream JSON-lines snapshots of every stage metric.
+  obs::MetricsRegistry metrics;
+  std::ofstream metrics_out;
+  const std::string metrics_path = Get(args, "metrics-out", "");
+  if (!metrics_path.empty()) {
+    metrics_out.open(metrics_path);
+    if (!metrics_out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 1;
+    }
+    options.metrics = &metrics;
+    sim_options.metrics = &metrics;
+    sim_options.metrics_out = &metrics_out;
+    sim_options.metrics_interval_s =
+        std::stod(Get(args, "metrics-interval", "1"));
+  }
+
   if (truth_ptr != nullptr && !args.count("print-matches")) {
     // Evaluation mode: progressive quality against the ground truth.
     const StreamSimulator simulator(&*dataset, sim_options);
@@ -172,7 +199,8 @@ int main(int argc, char** argv) {
   // Resolution mode: print matched pairs.
   PierPipeline pipeline(options);
   const ParallelMatchExecutor executor(matcher.get(),
-                                       options.execution_threads);
+                                       options.execution_threads,
+                                       options.metrics);
   const auto increments =
       SplitIntoIncrements(*dataset, sim_options.num_increments);
   uint64_t matches = 0;
@@ -198,6 +226,10 @@ int main(int argc, char** argv) {
     drain(/*full=*/false);
   }
   drain(/*full=*/true);
+  if (options.metrics != nullptr) {
+    // No virtual clock in resolution mode: stamp the final snapshot 0.
+    obs::WriteJsonLines(metrics_out, 0.0, metrics.Snapshot());
+  }
   std::fprintf(stderr, "emitted %llu comparisons, %llu matched pairs\n",
                static_cast<unsigned long long>(
                    pipeline.comparisons_emitted()),
