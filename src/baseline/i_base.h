@@ -37,6 +37,11 @@ class IBase : public StreamingErBase {
     return cursor_ >= pending_.size();
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  void Snapshot(persist::SnapshotBuilder& builder) const override;
+  bool Restore(const persist::SnapshotReader& reader,
+               std::string* error) override;
+
   const char* name() const override { return "I-BASE"; }
 
  private:

@@ -1,8 +1,11 @@
 #include "baseline/pbs.h"
 
 #include <algorithm>
+#include <sstream>
+#include <utility>
 
 #include "metablocking/weighting.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -78,6 +81,58 @@ std::vector<Comparison> Pbs::NextBatch(WorkStats* stats) {
   std::reverse(out.begin(), out.end());  // best (back of buffer) first
   buffer_.resize(buffer_.size() - n);
   return out;
+}
+
+void Pbs::Snapshot(persist::SnapshotBuilder& builder) const {
+  SnapshotBase(builder);
+  std::ostream& out = builder.AddSection("pbs.state");
+  serial::WriteU8(out, static_cast<uint8_t>(mode_));
+  serial::WriteU64(out, batch_size_);
+  serial::WriteBool(out, initialized_);
+  serial::WriteVec(out, block_order_,
+                   [](std::ostream& o, const std::pair<uint64_t, TokenId>& e) {
+                     serial::WriteU64(o, e.first);
+                     serial::WriteU32(o, e.second);
+                   });
+  serial::WriteVec(out, buffer_, SnapshotComparison);
+  executed_.Snapshot(out);
+}
+
+bool Pbs::Restore(const persist::SnapshotReader& reader, std::string* error) {
+  if (!profiles_.empty()) {
+    if (error != nullptr) *error = "restore requires a fresh PBS";
+    return false;
+  }
+  if (!RestoreBase(reader, error)) return false;
+  std::istringstream in;
+  if (!reader.Open("pbs.state", &in, error)) return false;
+  uint8_t mode = 0;
+  uint64_t batch_size = 0;
+  bool initialized = false;
+  std::vector<std::pair<uint64_t, TokenId>> block_order;
+  std::vector<Comparison> buffer;
+  if (!serial::ReadU8(in, &mode) || !serial::ReadU64(in, &batch_size) ||
+      !serial::ReadBool(in, &initialized) ||
+      !serial::ReadVec(in, &block_order,
+                       [](std::istream& s, std::pair<uint64_t, TokenId>* e) {
+                         return serial::ReadU64(s, &e->first) &&
+                                serial::ReadU32(s, &e->second);
+                       }) ||
+      !serial::ReadVec(in, &buffer, RestoreComparison) ||
+      !executed_.Restore(in)) {
+    if (error != nullptr) *error = "section 'pbs.state' failed to decode";
+    return false;
+  }
+  if (mode != static_cast<uint8_t>(mode_) || batch_size != batch_size_) {
+    if (error != nullptr) {
+      *error = "snapshot parameters do not match this PBS configuration";
+    }
+    return false;
+  }
+  initialized_ = initialized;
+  block_order_ = std::move(block_order);
+  buffer_ = std::move(buffer);
+  return true;
 }
 
 }  // namespace pier

@@ -39,6 +39,11 @@ class Pbs : public StreamingErBase {
   WorkStats OnStreamEnd() override;
   std::vector<Comparison> NextBatch(WorkStats* stats) override;
 
+  bool SupportsSnapshot() const override { return true; }
+  void Snapshot(persist::SnapshotBuilder& builder) const override;
+  bool Restore(const persist::SnapshotReader& reader,
+               std::string* error) override;
+
   const char* name() const override {
     return mode_ == BaselineMode::kStatic ? "PBS" : "PBS-GLOBAL";
   }

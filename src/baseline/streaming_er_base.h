@@ -6,11 +6,14 @@
 #ifndef PIER_BASELINE_STREAMING_ER_BASE_H_
 #define PIER_BASELINE_STREAMING_ER_BASE_H_
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "blocking/block_collection.h"
 #include "model/profile_store.h"
 #include "model/token_dictionary.h"
+#include "persist/snapshot.h"
 #include "stream/er_algorithm.h"
 #include "text/tokenizer.h"
 
@@ -44,6 +47,38 @@ class StreamingErBase : public ErAlgorithm {
       profiles_.Add(std::move(profile));
     }
     return delta;
+  }
+
+  // Checkpoint support for the shared ingest state: writes the
+  // `base.dictionary` / `base.profiles` / `base.blocks` sections.
+  // Subclasses call this from Snapshot() and add their own section.
+  void SnapshotBase(persist::SnapshotBuilder& builder) const {
+    dictionary_.Snapshot(builder.AddSection("base.dictionary"));
+    profiles_.Snapshot(builder.AddSection("base.profiles"));
+    blocks_.Snapshot(builder.AddSection("base.blocks"));
+  }
+
+  // Restores the base.* sections into this freshly constructed
+  // baseline; false with *error set on any decode failure.
+  bool RestoreBase(const persist::SnapshotReader& reader,
+                   std::string* error) {
+    std::istringstream section;
+    if (!reader.Open("base.dictionary", &section, error)) return false;
+    if (!dictionary_.Restore(section)) {
+      if (error != nullptr) *error = "section 'base.dictionary' failed to decode";
+      return false;
+    }
+    if (!reader.Open("base.profiles", &section, error)) return false;
+    if (!profiles_.Restore(section)) {
+      if (error != nullptr) *error = "section 'base.profiles' failed to decode";
+      return false;
+    }
+    if (!reader.Open("base.blocks", &section, error)) return false;
+    if (!blocks_.Restore(section)) {
+      if (error != nullptr) *error = "section 'base.blocks' failed to decode";
+      return false;
+    }
+    return true;
   }
 
   TokenDictionary dictionary_;

@@ -1,5 +1,11 @@
 #include "blocking/block_collection.h"
 
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "util/serial.h"
+
 namespace pier {
 
 size_t BlockCollection::AddProfile(const EntityProfile& profile) {
@@ -10,6 +16,7 @@ size_t BlockCollection::AddProfile(const EntityProfile& profile) {
     if (b.empty()) ++num_nonempty_;
     b.members[profile.source].push_back(profile.id);
   }
+  total_members_ += profile.tokens.size();
   return profile.tokens.size();
 }
 
@@ -31,6 +38,55 @@ uint64_t BlockCollection::TotalComparisons() const {
     if (IsActive(id)) total += blocks_[id].NumComparisons(kind_);
   }
   return total;
+}
+
+size_t BlockCollection::ApproxMemoryBytes() const {
+  return blocks_.capacity() * sizeof(Block) +
+         total_members_ * sizeof(ProfileId);
+}
+
+void BlockCollection::Snapshot(std::ostream& out) const {
+  serial::WriteU8(out, static_cast<uint8_t>(kind_));
+  serial::WriteU64(out, options_.max_block_size);
+  serial::WriteU64(out, blocks_.size());
+  for (const Block& b : blocks_) {
+    serial::WriteVec(out, b.members[0], serial::WriteU32);
+    serial::WriteVec(out, b.members[1], serial::WriteU32);
+  }
+}
+
+bool BlockCollection::Restore(std::istream& in) {
+  if (!blocks_.empty()) return false;
+  uint8_t kind = 0;
+  uint64_t max_block_size = 0;
+  uint64_t num_slots = 0;
+  if (!serial::ReadU8(in, &kind) || !serial::ReadU64(in, &max_block_size) ||
+      !serial::ReadU64(in, &num_slots)) {
+    return false;
+  }
+  if (kind != static_cast<uint8_t>(kind_) ||
+      max_block_size != options_.max_block_size) {
+    return false;
+  }
+  std::vector<Block> blocks;
+  size_t nonempty = 0;
+  size_t members = 0;
+  for (uint64_t i = 0; i < num_slots; ++i) {
+    // Grow incrementally so a corrupt slot count fails on stream
+    // exhaustion instead of one huge allocation.
+    Block b;
+    if (!serial::ReadVec(in, &b.members[0], serial::ReadU32) ||
+        !serial::ReadVec(in, &b.members[1], serial::ReadU32)) {
+      return false;
+    }
+    if (!b.empty()) ++nonempty;
+    members += b.size();
+    blocks.push_back(std::move(b));
+  }
+  blocks_ = std::move(blocks);
+  num_nonempty_ = nonempty;
+  total_members_ = members;
+  return true;
 }
 
 }  // namespace pier

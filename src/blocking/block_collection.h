@@ -12,6 +12,7 @@
 #define PIER_BLOCKING_BLOCK_COLLECTION_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "blocking/block.h"
@@ -72,11 +73,26 @@ class BlockCollection {
   // blocks; the "BC" blocking cardinality).
   uint64_t TotalComparisons() const;
 
+  // Heap footprint estimate: the block vector plus every member list
+  // (member total maintained incrementally in AddProfile).
+  size_t ApproxMemoryBytes() const;
+
+  // Serializes kind, purging threshold, and every block slot in token
+  // order.
+  void Snapshot(std::ostream& out) const;
+
+  // Restores a Snapshot payload into this collection, which must be
+  // empty and configured with the same kind and options (the snapshot
+  // carries both as a fingerprint). Returns false on decode failure or
+  // fingerprint mismatch.
+  bool Restore(std::istream& in);
+
  private:
   DatasetKind kind_;
   BlockingOptions options_;
   std::vector<Block> blocks_;
   size_t num_nonempty_ = 0;
+  size_t total_members_ = 0;  // sum of block sizes, for ApproxMemoryBytes
 };
 
 }  // namespace pier

@@ -1,8 +1,11 @@
 #include "core/block_scanner.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
 #include "metablocking/weighting.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -72,6 +75,38 @@ std::vector<Comparison> BlockScanner::NextBlock(WorkStats* stats) {
     stats->comparisons_generated += out.size();
   }
   return out;
+}
+
+void BlockScanner::Snapshot(std::ostream& out) const {
+  serial::WriteVec(out, scanned_size_, serial::WriteU32);
+  serial::WriteVec(out, order_,
+                   [](std::ostream& o, const std::pair<uint32_t, TokenId>& e) {
+                     serial::WriteU32(o, e.first);
+                     serial::WriteU32(o, e.second);
+                   });
+  serial::WriteBool(out, exhausted_);
+  serial::WriteBool(out, full_rescan_);
+}
+
+bool BlockScanner::Restore(std::istream& in) {
+  std::vector<uint32_t> scanned_size;
+  std::vector<std::pair<uint32_t, TokenId>> order;
+  bool exhausted = false;
+  bool full_rescan = false;
+  if (!serial::ReadVec(in, &scanned_size, serial::ReadU32) ||
+      !serial::ReadVec(in, &order,
+                       [](std::istream& s, std::pair<uint32_t, TokenId>* e) {
+                         return serial::ReadU32(s, &e->first) &&
+                                serial::ReadU32(s, &e->second);
+                       }) ||
+      !serial::ReadBool(in, &exhausted) || !serial::ReadBool(in, &full_rescan)) {
+    return false;
+  }
+  scanned_size_ = std::move(scanned_size);
+  order_ = std::move(order);
+  exhausted_ = exhausted;
+  full_rescan_ = full_rescan;
+  return true;
 }
 
 }  // namespace pier

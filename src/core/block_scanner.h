@@ -15,6 +15,7 @@
 #ifndef PIER_CORE_BLOCK_SCANNER_H_
 #define PIER_CORE_BLOCK_SCANNER_H_
 
+#include <iosfwd>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,12 @@ class BlockScanner {
   // work near-linear. Once the stream has ended, call this to lift the
   // throttle so one final pass covers every grown block.
   void AllowFullRescan() { full_rescan_ = true; }
+
+  // Serializes scan progress (scanned sizes, pending order, flags).
+  void Snapshot(std::ostream& out) const;
+
+  // Restores a Snapshot payload. Returns false on decode failure.
+  bool Restore(std::istream& in);
 
  private:
   void Rebuild();

@@ -1,8 +1,11 @@
 #include "core/find_k.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
 #include "util/check.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -48,6 +51,25 @@ double AdaptiveK::MeanInterarrival() const {
 
 double AdaptiveK::MeanCostPerComparison() const {
   return cost_per_comparison_.empty() ? 0.0 : cost_per_comparison_.Mean();
+}
+
+void AdaptiveK::Snapshot(std::ostream& out) const {
+  interarrival_.Snapshot(out);
+  cost_per_comparison_.Snapshot(out);
+  serial::WriteF64(out, last_arrival_);
+  serial::WriteF64(out, k_);
+}
+
+bool AdaptiveK::Restore(std::istream& in) {
+  double last_arrival = 0.0;
+  double k = 0.0;
+  if (!interarrival_.Restore(in) || !cost_per_comparison_.Restore(in) ||
+      !serial::ReadF64(in, &last_arrival) || !serial::ReadF64(in, &k)) {
+    return false;
+  }
+  last_arrival_ = last_arrival;
+  k_ = k;
+  return true;
 }
 
 size_t AdaptiveK::FindK() {

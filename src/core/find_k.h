@@ -11,6 +11,7 @@
 #define PIER_CORE_FIND_K_H_
 
 #include <cstddef>
+#include <iosfwd>
 
 #include "obs/metrics.h"
 #include "util/moving_average.h"
@@ -50,6 +51,15 @@ class AdaptiveK {
   // observed rates Algorithm 1 steers on) with `registry`; pass null
   // to detach. Non-owning.
   void AttachMetrics(obs::MetricsRegistry* registry);
+
+  // Serializes the estimator windows, last arrival time, and smoothed
+  // K (raw double bits, so a restored controller emits the same K
+  // sequence the uninterrupted one would).
+  void Snapshot(std::ostream& out) const;
+
+  // Restores a Snapshot payload; the recorded window size must match
+  // this controller's options. Returns false on decode failure.
+  bool Restore(std::istream& in);
 
  private:
   AdaptiveKOptions options_;

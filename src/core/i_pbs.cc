@@ -1,6 +1,12 @@
 #include "core/i_pbs.h"
 
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <utility>
+
 #include "metablocking/weighting.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -114,6 +120,73 @@ void IPbs::ScheduleBlock(TokenId token, WorkStats* stats) {
 bool IPbs::Dequeue(Comparison* out) {
   if (index_.empty()) return false;
   *out = index_.PopMax();
+  return true;
+}
+
+void IPbs::Snapshot(std::ostream& out) const {
+  // CI and PI are serialized sorted by token so identical state always
+  // produces identical bytes regardless of hash-map iteration order.
+  std::vector<std::pair<TokenId, uint64_t>> ci(cardinality_index_.begin(),
+                                               cardinality_index_.end());
+  std::sort(ci.begin(), ci.end());
+  serial::WriteVec(out, ci,
+                   [](std::ostream& o, const std::pair<TokenId, uint64_t>& e) {
+                     serial::WriteU32(o, e.first);
+                     serial::WriteU64(o, e.second);
+                   });
+
+  std::vector<TokenId> pi_tokens;
+  pi_tokens.reserve(profile_index_.size());
+  for (const auto& [token, unused] : profile_index_) pi_tokens.push_back(token);
+  std::sort(pi_tokens.begin(), pi_tokens.end());
+  serial::WriteU64(out, pi_tokens.size());
+  for (const TokenId token : pi_tokens) {
+    serial::WriteU32(out, token);
+    serial::WriteVec(out, profile_index_.at(token), serial::WriteU32);
+  }
+
+  comparison_filter_.Snapshot(out);
+  serial::WriteVec(out, index_.data(), SnapshotComparison);
+}
+
+bool IPbs::Restore(std::istream& in) {
+  std::vector<std::pair<TokenId, uint64_t>> ci;
+  if (!serial::ReadVec(in, &ci,
+                       [](std::istream& s, std::pair<TokenId, uint64_t>* e) {
+                         return serial::ReadU32(s, &e->first) &&
+                                serial::ReadU64(s, &e->second);
+                       })) {
+    return false;
+  }
+
+  uint64_t pi_count = 0;
+  if (!serial::ReadU64(in, &pi_count)) return false;
+  std::unordered_map<TokenId, std::vector<ProfileId>> pi;
+  pi.reserve(std::min<uint64_t>(pi_count, 1u << 20));
+  for (uint64_t i = 0; i < pi_count; ++i) {
+    TokenId token = 0;
+    std::vector<ProfileId> members;
+    if (!serial::ReadU32(in, &token) ||
+        !serial::ReadVec(in, &members, serial::ReadU32)) {
+      return false;
+    }
+    if (!pi.emplace(token, std::move(members)).second) return false;
+  }
+
+  if (!comparison_filter_.Restore(in)) return false;
+  std::vector<Comparison> data;
+  if (!serial::ReadVec(in, &data, RestoreComparison)) return false;
+  if (!index_.RestoreData(std::move(data))) return false;
+
+  cardinality_index_.clear();
+  min_index_.clear();
+  for (const auto& [token, count] : ci) {
+    if (!cardinality_index_.emplace(token, count).second) return false;
+    // min_index_ mirrors CI entries with count > 0 -- rebuild the
+    // invariant instead of serializing the set redundantly.
+    if (count > 0) min_index_.insert({count, token});
+  }
+  profile_index_ = std::move(pi);
   return true;
 }
 

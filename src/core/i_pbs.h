@@ -12,6 +12,7 @@
 #define PIER_CORE_I_PBS_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -31,6 +32,8 @@ class IPbs : public IncrementalPrioritizer {
   WorkStats UpdateCmpIndex(const std::vector<ProfileId>& delta) override;
   bool Dequeue(Comparison* out) override;
   bool Empty() const override { return index_.empty(); }
+  void Snapshot(std::ostream& out) const override;
+  bool Restore(std::istream& in) override;
   const char* name() const override { return "I-PBS"; }
 
   // Exposed for tests: the number of blocks currently carrying

@@ -1,7 +1,12 @@
 #include "core/i_pcs.h"
 
+#include <istream>
+#include <ostream>
+#include <utility>
+
 #include "blocking/block_ghosting.h"
 #include "metablocking/i_wnp.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -49,6 +54,20 @@ bool IPcs::Dequeue(Comparison* out) {
   if (index_.empty()) return false;
   *out = index_.PopMax();
   return true;
+}
+
+void IPcs::Snapshot(std::ostream& out) const {
+  // The heap's backing vector verbatim: restoring it reproduces the
+  // exact interval-heap layout, hence the exact dequeue order.
+  serial::WriteVec(out, index_.data(), SnapshotComparison);
+  scanner_.Snapshot(out);
+}
+
+bool IPcs::Restore(std::istream& in) {
+  std::vector<Comparison> data;
+  if (!serial::ReadVec(in, &data, RestoreComparison)) return false;
+  if (!index_.RestoreData(std::move(data))) return false;
+  return scanner_.Restore(in);
 }
 
 }  // namespace pier

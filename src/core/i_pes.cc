@@ -1,9 +1,14 @@
 #include "core/i_pes.h"
 
+#include <algorithm>
+#include <istream>
 #include <limits>
+#include <ostream>
+#include <utility>
 
 #include "blocking/block_ghosting.h"
 #include "metablocking/i_wnp.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -156,6 +161,89 @@ bool IPes::Dequeue(Comparison* out) {
     return true;
   }
   return false;
+}
+
+void IPes::Snapshot(std::ostream& out) const {
+  // Entity entries sorted by id for canonical bytes; each per-entity
+  // queue's heap vector is stored verbatim. The EntityQueue itself
+  // ranks by (weight, id) under a strict total order, so hash-map
+  // iteration order never influences dequeue results -- sorting here
+  // is purely for byte-identical re-snapshots.
+  std::vector<ProfileId> ids;
+  ids.reserve(entity_index_.size());
+  for (const auto& [id, unused] : entity_index_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  serial::WriteU64(out, ids.size());
+  for (const ProfileId id : ids) {
+    const EntityEntry& entry = entity_index_.at(id);
+    serial::WriteU32(out, id);
+    serial::WriteF64(out, entry.inserted_total);
+    serial::WriteU64(out, entry.inserted_count);
+    serial::WriteVec(out, entry.pq.data(), SnapshotComparison);
+  }
+
+  const auto write_ref = [](std::ostream& o, const EntityRef& r) {
+    serial::WriteU32(o, r.id);
+    serial::WriteF64(o, r.weight);
+  };
+  serial::WriteVec(out, entity_queue_.data(), write_ref);
+  serial::WriteVec(out, low_queue_.data(), SnapshotComparison);
+
+  serial::WriteF64(out, total_);
+  serial::WriteU64(out, count_);
+  serial::WriteU64(out, nonempty_entities_);
+  serial::WriteU64(out, num_refills_);
+  scanner_.Snapshot(out);
+}
+
+bool IPes::Restore(std::istream& in) {
+  uint64_t num_entities = 0;
+  if (!serial::ReadU64(in, &num_entities)) return false;
+  std::unordered_map<ProfileId, EntityEntry> entity_index;
+  entity_index.reserve(std::min<uint64_t>(num_entities, 1u << 20));
+  for (uint64_t i = 0; i < num_entities; ++i) {
+    uint32_t id = 0;
+    double inserted_total = 0.0;
+    uint64_t inserted_count = 0;
+    std::vector<Comparison> pq_data;
+    if (!serial::ReadU32(in, &id) || !serial::ReadF64(in, &inserted_total) ||
+        !serial::ReadU64(in, &inserted_count) ||
+        !serial::ReadVec(in, &pq_data, RestoreComparison)) {
+      return false;
+    }
+    auto [it, inserted] =
+        entity_index.try_emplace(id, options_.per_entity_capacity);
+    if (!inserted) return false;
+    it->second.inserted_total = inserted_total;
+    it->second.inserted_count = inserted_count;
+    if (!it->second.pq.RestoreData(std::move(pq_data))) return false;
+  }
+
+  const auto read_ref = [](std::istream& s, EntityRef* r) {
+    return serial::ReadU32(s, &r->id) && serial::ReadF64(s, &r->weight);
+  };
+  std::vector<EntityRef> eq_data;
+  std::vector<Comparison> lq_data;
+  double total = 0.0;
+  uint64_t count = 0;
+  uint64_t nonempty = 0;
+  uint64_t refills = 0;
+  if (!serial::ReadVec(in, &eq_data, read_ref) ||
+      !serial::ReadVec(in, &lq_data, RestoreComparison) ||
+      !serial::ReadF64(in, &total) || !serial::ReadU64(in, &count) ||
+      !serial::ReadU64(in, &nonempty) || !serial::ReadU64(in, &refills)) {
+    return false;
+  }
+  if (!entity_queue_.RestoreData(std::move(eq_data))) return false;
+  if (!low_queue_.RestoreData(std::move(lq_data))) return false;
+  if (!scanner_.Restore(in)) return false;
+
+  entity_index_ = std::move(entity_index);
+  total_ = total;
+  count_ = count;
+  nonempty_entities_ = nonempty;
+  num_refills_ = refills;
+  return true;
 }
 
 }  // namespace pier

@@ -20,6 +20,7 @@
 #define PIER_CORE_I_PES_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +41,8 @@ class IPes : public IncrementalPrioritizer {
     return nonempty_entities_ == 0 && low_queue_.empty();
   }
   void OnStreamEnd() override { scanner_.AllowFullRescan(); }
+  void Snapshot(std::ostream& out) const override;
+  bool Restore(std::istream& in) override;
   const char* name() const override { return "I-PES"; }
 
   // Exposed for tests / diagnostics.

@@ -1,10 +1,15 @@
 #include "core/pier_pipeline.h"
 
+#include <algorithm>
+#include <sstream>
+
 #include "core/i_pbs.h"
 #include "core/i_pcs.h"
 #include "core/i_pes.h"
 #include "obs/scoped_timer.h"
+#include "persist/snapshot.h"
 #include "util/check.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -53,6 +58,11 @@ PierPipeline::PierPipeline(PierOptions options)
     metrics_.ingest_ns = r.GetHistogram("pipeline.ingest_ns");
     metrics_.emit_ns = r.GetHistogram("pipeline.emit_ns");
     metrics_.batch_size = r.GetHistogram("pipeline.batch_size");
+    metrics_.state_bytes_profiles = r.GetGauge("persist.state_bytes.profiles");
+    metrics_.state_bytes_blocks = r.GetGauge("persist.state_bytes.blocks");
+    metrics_.state_bytes_dictionary =
+        r.GetGauge("persist.state_bytes.dictionary");
+    metrics_.state_bytes_filter = r.GetGauge("persist.state_bytes.filter");
     adaptive_k_.AttachMetrics(&r);
   }
 }
@@ -126,6 +136,146 @@ std::vector<Comparison> PierPipeline::EmitBatch(size_t k, WorkStats* stats) {
   obs::CounterAdd(metrics_.comparisons_emitted, batch.size());
   obs::HistogramRecord(metrics_.batch_size, batch.size());
   return batch;
+}
+
+namespace {
+
+// The options fingerprint stored in `pier.meta`: every knob that
+// shapes serialized state or future behaviour. Written by Snapshot and
+// compared byte-for-byte by Restore, so a snapshot can never be loaded
+// into a differently-configured pipeline.
+void WriteOptionsFingerprint(std::ostream& out, const PierOptions& o) {
+  serial::WriteU8(out, static_cast<uint8_t>(o.kind));
+  serial::WriteU8(out, static_cast<uint8_t>(o.strategy));
+  serial::WriteU64(out, o.blocking.max_block_size);
+  serial::WriteF64(out, o.prioritizer.beta);
+  serial::WriteU64(out, o.prioritizer.cmp_index_capacity);
+  serial::WriteU64(out, o.prioritizer.per_entity_capacity);
+  serial::WriteU64(out, o.prioritizer.entity_queue_capacity);
+  serial::WriteU64(out, o.prioritizer.low_weight_queue_capacity);
+  serial::WriteU8(out, static_cast<uint8_t>(o.prioritizer.scheme));
+  serial::WriteBool(out, o.exact_executed_filter);
+  serial::WriteU64(out, o.tokenizer.min_token_length);
+  serial::WriteU64(out, o.tokenizer.max_token_length);
+  serial::WriteU64(out, o.adaptive_k.initial_k);
+  serial::WriteU64(out, o.adaptive_k.min_k);
+  serial::WriteU64(out, o.adaptive_k.max_k);
+  serial::WriteU64(out, o.adaptive_k.window);
+  serial::WriteF64(out, o.adaptive_k.target_utilization);
+  serial::WriteF64(out, o.adaptive_k.gain);
+}
+
+void SetRestoreError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+void PierPipeline::Snapshot(persist::SnapshotBuilder& builder) const {
+  std::ostream& meta = builder.AddSection("pier.meta");
+  WriteOptionsFingerprint(meta, options_);
+  serial::WriteU64(meta, comparisons_emitted_);
+
+  dictionary_.Snapshot(builder.AddSection("pier.dictionary"));
+  profiles_.Snapshot(builder.AddSection("pier.profiles"));
+  blocks_.Snapshot(builder.AddSection("pier.blocks"));
+  prioritizer_->Snapshot(builder.AddSection("pier.prioritizer"));
+
+  std::ostream& filter = builder.AddSection("pier.filter");
+  if (options_.exact_executed_filter) {
+    // Sorted for canonical bytes (hash-set iteration order varies).
+    std::vector<uint64_t> keys(executed_exact_.begin(),
+                               executed_exact_.end());
+    std::sort(keys.begin(), keys.end());
+    serial::WriteVec(filter, keys, serial::WriteU64);
+  } else {
+    executed_filter_.Snapshot(filter);
+  }
+
+  adaptive_k_.Snapshot(builder.AddSection("pier.findk"));
+
+  obs::GaugeSet(metrics_.state_bytes_profiles,
+                static_cast<double>(profiles_.ApproxMemoryBytes()));
+  obs::GaugeSet(metrics_.state_bytes_blocks,
+                static_cast<double>(blocks_.ApproxMemoryBytes()));
+  obs::GaugeSet(metrics_.state_bytes_dictionary,
+                static_cast<double>(dictionary_.ApproxMemoryBytes()));
+  obs::GaugeSet(metrics_.state_bytes_filter,
+                static_cast<double>(executed_filter_.ApproxMemoryBytes()));
+}
+
+bool PierPipeline::Restore(const persist::SnapshotReader& reader,
+                           std::string* error) {
+  if (!profiles_.empty()) {
+    SetRestoreError(error, "pipeline restore requires a fresh pipeline");
+    return false;
+  }
+
+  std::istringstream meta;
+  if (!reader.Open("pier.meta", &meta, error)) return false;
+  std::ostringstream expected;
+  WriteOptionsFingerprint(expected, options_);
+  const std::string expected_bytes = std::move(expected).str();
+  std::string actual_bytes(expected_bytes.size(), '\0');
+  uint64_t comparisons_emitted = 0;
+  if (!meta.read(actual_bytes.data(),
+                 static_cast<std::streamsize>(actual_bytes.size())) ||
+      !serial::ReadU64(meta, &comparisons_emitted)) {
+    SetRestoreError(error, "section 'pier.meta' truncated");
+    return false;
+  }
+  if (actual_bytes != expected_bytes) {
+    SetRestoreError(error,
+                    "snapshot options fingerprint does not match this "
+                    "pipeline's configuration (kind/strategy/capacities/"
+                    "tokenizer must be identical to the checkpointed run)");
+    return false;
+  }
+
+  std::istringstream section;
+  if (!reader.Open("pier.dictionary", &section, error)) return false;
+  if (!dictionary_.Restore(section)) {
+    SetRestoreError(error, "section 'pier.dictionary' failed to decode");
+    return false;
+  }
+  if (!reader.Open("pier.profiles", &section, error)) return false;
+  if (!profiles_.Restore(section)) {
+    SetRestoreError(error, "section 'pier.profiles' failed to decode");
+    return false;
+  }
+  if (!reader.Open("pier.blocks", &section, error)) return false;
+  if (!blocks_.Restore(section)) {
+    SetRestoreError(error, "section 'pier.blocks' failed to decode");
+    return false;
+  }
+  if (!reader.Open("pier.prioritizer", &section, error)) return false;
+  if (!prioritizer_->Restore(section)) {
+    SetRestoreError(error, "section 'pier.prioritizer' failed to decode");
+    return false;
+  }
+
+  if (!reader.Open("pier.filter", &section, error)) return false;
+  if (options_.exact_executed_filter) {
+    std::vector<uint64_t> keys;
+    if (!serial::ReadVec(section, &keys, serial::ReadU64)) {
+      SetRestoreError(error, "section 'pier.filter' failed to decode");
+      return false;
+    }
+    executed_exact_.clear();
+    executed_exact_.insert(keys.begin(), keys.end());
+  } else if (!executed_filter_.Restore(section)) {
+    SetRestoreError(error, "section 'pier.filter' failed to decode");
+    return false;
+  }
+
+  if (!reader.Open("pier.findk", &section, error)) return false;
+  if (!adaptive_k_.Restore(section)) {
+    SetRestoreError(error, "section 'pier.findk' failed to decode");
+    return false;
+  }
+
+  comparisons_emitted_ = comparisons_emitted;
+  return true;
 }
 
 }  // namespace pier

@@ -24,6 +24,7 @@
 #define PIER_CORE_PIER_PIPELINE_H_
 
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -39,6 +40,11 @@
 #include "util/scalable_bloom_filter.h"
 
 namespace pier {
+
+namespace persist {
+class SnapshotBuilder;
+class SnapshotReader;
+}  // namespace persist
 
 enum class PierStrategy : uint8_t {
   kIPcs = 0,
@@ -116,6 +122,20 @@ class PierPipeline {
   AdaptiveK& adaptive_k() { return adaptive_k_; }
   uint64_t comparisons_emitted() const { return comparisons_emitted_; }
 
+  // Checkpoint support (see src/persist/snapshot.h): serializes every
+  // stateful component -- dictionary, profile store, block collection,
+  // prioritizer internals, executed-comparison filter, findK
+  // controller -- into `pier.*` sections, plus a `pier.meta` options
+  // fingerprint. Also refreshes the `persist.state_bytes.*` gauges.
+  void Snapshot(persist::SnapshotBuilder& builder) const;
+
+  // Restores from a validated snapshot into this *freshly constructed*
+  // pipeline. The snapshot's options fingerprint must match this
+  // pipeline's options (strategy, kind, capacities, tokenizer...);
+  // mismatches and decode failures return false with a diagnostic in
+  // *error and must be treated as fatal for the restore attempt.
+  bool Restore(const persist::SnapshotReader& reader, std::string* error);
+
  private:
   bool AlreadyExecuted(uint64_t key);
 
@@ -132,6 +152,11 @@ class PierPipeline {
     obs::Histogram* ingest_ns = nullptr;
     obs::Histogram* emit_ns = nullptr;
     obs::Histogram* batch_size = nullptr;
+    // `persist.state_bytes.*` gauges, refreshed on every Snapshot.
+    obs::Gauge* state_bytes_profiles = nullptr;
+    obs::Gauge* state_bytes_blocks = nullptr;
+    obs::Gauge* state_bytes_dictionary = nullptr;
+    obs::Gauge* state_bytes_filter = nullptr;
   };
 
   PierOptions options_;

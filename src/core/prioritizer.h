@@ -13,6 +13,7 @@
 #define PIER_CORE_PRIORITIZER_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "blocking/block_collection.h"
@@ -88,6 +89,18 @@ class IncrementalPrioritizer {
   // strategies with a block scanner lift its rescan throttle so the
   // tail pass covers every block at its final size.
   virtual void OnStreamEnd() {}
+
+  // Checkpoint support (see src/persist/): serializes the strategy's
+  // complete internal state (queues, per-token indexes, filters,
+  // scanner progress) so a restored prioritizer emits the exact
+  // dequeue sequence the uninterrupted one would. The base
+  // implementations are no-ops so lightweight test doubles keep
+  // working; all three shipped strategies override both.
+  virtual void Snapshot(std::ostream& out) const { (void)out; }
+  virtual bool Restore(std::istream& in) {
+    (void)in;
+    return false;
+  }
 
   virtual const char* name() const = 0;
 };

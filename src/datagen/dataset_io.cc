@@ -18,6 +18,33 @@ std::optional<uint64_t> ParseU64(const std::string& field) {
   return value;
 }
 
+// Reads one *logical* CSV record: physical lines are joined while a
+// quoted field left an odd number of quotes open (RFC-4180 embedded
+// newlines), and a trailing CR from CRLF input is stripped from every
+// physical line. Returns false at end of stream. An unterminated
+// quote runs to EOF and is then rejected by ParseCsvLine.
+bool ReadCsvRecord(std::istream& in, std::string* record) {
+  record->clear();
+  std::string line;
+  bool open_quote = false;
+  bool any = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (any) record->push_back('\n');
+    any = true;
+    record->append(line);
+    for (const char c : line) open_quote ^= (c == '"');
+    if (!open_quote) return true;
+  }
+  return any;
+}
+
+// Excel and friends prepend a UTF-8 byte-order mark; strip it from the
+// first record so the header row still matches.
+void StripUtf8Bom(std::string* record) {
+  if (record->rfind("\xEF\xBB\xBF", 0) == 0) record->erase(0, 3);
+}
+
 }  // namespace
 
 std::optional<std::vector<std::string>> ParseCsvLine(
@@ -81,15 +108,20 @@ std::optional<Dataset> ReadDatasetCsv(std::istream& profiles_in,
   dataset.name = std::move(name);
   dataset.kind = kind;
 
-  std::string line;
-  bool first = true;
-  while (std::getline(profiles_in, line)) {
-    if (line.empty()) continue;
-    if (first) {
-      first = false;
+  std::string record;
+  bool first_record = true;
+  bool header_skipped = false;
+  while (ReadCsvRecord(profiles_in, &record)) {
+    if (first_record) {
+      StripUtf8Bom(&record);
+      first_record = false;
+    }
+    if (record.empty()) continue;
+    if (!header_skipped) {
+      header_skipped = true;
       continue;  // header
     }
-    const auto fields = ParseCsvLine(line);
+    const auto fields = ParseCsvLine(record);
     if (!fields || fields->size() != 4) return std::nullopt;
     const auto id = ParseU64((*fields)[0]);
     const auto source = ParseU64((*fields)[1]);
@@ -112,14 +144,19 @@ std::optional<Dataset> ReadDatasetCsv(std::istream& profiles_in,
   }
 
   if (truth_in != nullptr) {
-    first = true;
-    while (std::getline(*truth_in, line)) {
-      if (line.empty()) continue;
-      if (first) {
-        first = false;
+    first_record = true;
+    header_skipped = false;
+    while (ReadCsvRecord(*truth_in, &record)) {
+      if (first_record) {
+        StripUtf8Bom(&record);
+        first_record = false;
+      }
+      if (record.empty()) continue;
+      if (!header_skipped) {
+        header_skipped = true;
         continue;
       }
-      const auto fields = ParseCsvLine(line);
+      const auto fields = ParseCsvLine(record);
       if (!fields || fields->size() != 2) return std::nullopt;
       const auto a = ParseU64((*fields)[0]);
       const auto b = ParseU64((*fields)[1]);

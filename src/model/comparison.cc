@@ -1,0 +1,22 @@
+#include "model/comparison.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/serial.h"
+
+namespace pier {
+
+void SnapshotComparison(std::ostream& out, const Comparison& c) {
+  serial::WriteU32(out, c.x);
+  serial::WriteU32(out, c.y);
+  serial::WriteF64(out, c.weight);
+  serial::WriteU32(out, c.block_size);
+}
+
+bool RestoreComparison(std::istream& in, Comparison* c) {
+  return serial::ReadU32(in, &c->x) && serial::ReadU32(in, &c->y) &&
+         serial::ReadF64(in, &c->weight) && serial::ReadU32(in, &c->block_size);
+}
+
+}  // namespace pier

@@ -5,6 +5,7 @@
 #define PIER_MODEL_COMPARISON_H_
 
 #include <cstdint>
+#include <iosfwd>
 
 #include "model/types.h"
 #include "util/hashing.h"
@@ -52,6 +53,12 @@ struct CompareByBlockThenWeight {
     return a.Key() > b.Key();
   }
 };
+
+// Snapshot helpers (defined in comparison.cc to keep this hot header
+// lean): fixed-width little-endian encoding of all four fields, the
+// weight as raw double bits.
+void SnapshotComparison(std::ostream& out, const Comparison& c);
+bool RestoreComparison(std::istream& in, Comparison* c);
 
 }  // namespace pier
 

@@ -1,0 +1,74 @@
+#include "model/profile_store.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/serial.h"
+
+namespace pier {
+
+size_t ProfileStore::HeapBytes(const EntityProfile& profile) {
+  size_t total = profile.flat_text.capacity() +
+                 profile.tokens.capacity() * sizeof(TokenId) +
+                 profile.attributes.capacity() * sizeof(Attribute);
+  for (const Attribute& a : profile.attributes) {
+    total += a.name.capacity() + a.value.capacity();
+  }
+  return total;
+}
+
+size_t ProfileStore::ApproxMemoryBytes() const {
+  const size_t n = size();
+  const size_t num_chunks = (n + kChunkSize - 1) >> kChunkShift;
+  return kMaxChunks * sizeof(std::atomic<EntityProfile*>) +
+         num_chunks * kChunkSize * sizeof(EntityProfile) +
+         token_counts_.capacity() * sizeof(uint32_t) + heap_bytes_;
+}
+
+void ProfileStore::Snapshot(std::ostream& out) const {
+  const size_t n = size();
+  serial::WriteU64(out, n);
+  for (size_t i = 0; i < n; ++i) {
+    const EntityProfile& p = Get(static_cast<ProfileId>(i));
+    serial::WriteU32(out, p.id);
+    serial::WriteU8(out, p.source);
+    serial::WriteVec(out, p.attributes,
+                     [](std::ostream& o, const Attribute& a) {
+                       serial::WriteString(o, a.name);
+                       serial::WriteString(o, a.value);
+                     });
+    serial::WriteVec(out, p.tokens, serial::WriteU32);
+    serial::WriteString(out, p.flat_text);
+  }
+}
+
+bool ProfileStore::Restore(std::istream& in) {
+  if (!empty()) return false;
+  uint64_t count = 0;
+  if (!serial::ReadU64(in, &count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    EntityProfile p;
+    uint32_t id = 0;
+    uint8_t source = 0;
+    if (!serial::ReadU32(in, &id) || !serial::ReadU8(in, &source) ||
+        !serial::ReadVec(in, &p.attributes,
+                         [](std::istream& s, Attribute* a) {
+                           return serial::ReadString(s, &a->name) &&
+                                  serial::ReadString(s, &a->value);
+                         }) ||
+        !serial::ReadVec(in, &p.tokens, serial::ReadU32) ||
+        !serial::ReadString(in, &p.flat_text)) {
+      return false;
+    }
+    // Add() PIER_CHECKs density; validate here so a corrupt id field
+    // is a rejected restore, not a process abort.
+    if (id != i) return false;
+    p.id = static_cast<ProfileId>(id);
+    p.source = source;
+    Add(std::move(p));
+  }
+  return true;
+}
+
+}  // namespace pier

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -62,6 +63,7 @@ class ProfileStore {
       chunks_[chunk_index].store(chunk, std::memory_order_release);
     }
     token_counts_.push_back(static_cast<uint32_t>(profile.tokens.size()));
+    heap_bytes_ += HeapBytes(profile);
     chunk[n & kChunkMask] = std::move(profile);
     size_.store(n + 1, std::memory_order_release);
   }
@@ -96,7 +98,25 @@ class ProfileStore {
   size_t size() const { return size_.load(std::memory_order_acquire); }
   bool empty() const { return size() == 0; }
 
+  // Heap footprint estimate: chunk directory, allocated chunks, the
+  // token-count sidecar, and every profile's owned heap memory
+  // (accumulated incrementally in Add; writer thread only).
+  size_t ApproxMemoryBytes() const;
+
+  // Serializes all profiles in id order (little-endian; see
+  // util/serial.h). Writer thread only.
+  void Snapshot(std::ostream& out) const;
+
+  // Restores a Snapshot payload into this store, which must be empty.
+  // Returns false on decode failure or non-dense ids, never aborts.
+  bool Restore(std::istream& in);
+
  private:
+  // Heap bytes owned by one profile (strings, token and attribute
+  // vectors), excluding sizeof(EntityProfile) itself, which lives in a
+  // chunk already counted by ApproxMemoryBytes.
+  static size_t HeapBytes(const EntityProfile& profile);
+
   static constexpr size_t kChunkShift = 12;  // 4096 profiles per chunk
   static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
   static constexpr size_t kChunkMask = kChunkSize - 1;
@@ -105,6 +125,7 @@ class ProfileStore {
   std::unique_ptr<std::atomic<EntityProfile*>[]> chunks_;
   std::vector<uint32_t> token_counts_;  // sidecar, writer-appended
   std::atomic<size_t> size_{0};
+  size_t heap_bytes_ = 0;  // writer-side running total (see Add)
 };
 
 }  // namespace pier

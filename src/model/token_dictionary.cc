@@ -1,6 +1,10 @@
 #include "model/token_dictionary.h"
 
+#include <istream>
+#include <ostream>
+
 #include "util/check.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -32,6 +36,44 @@ uint32_t TokenDictionary::DocFrequency(TokenId id) const {
 void TokenDictionary::IncrementDocFrequency(TokenId id) {
   PIER_DCHECK(id < doc_frequency_.size());
   ++doc_frequency_[id];
+}
+
+void TokenDictionary::Snapshot(std::ostream& out) const {
+  serial::WriteU64(out, spellings_.size());
+  for (size_t i = 0; i < spellings_.size(); ++i) {
+    serial::WriteString(out, spellings_[i]);
+    serial::WriteU32(out, doc_frequency_[i]);
+  }
+}
+
+bool TokenDictionary::Restore(std::istream& in) {
+  if (!spellings_.empty()) return false;
+  uint64_t count = 0;
+  if (!serial::ReadU64(in, &count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string spelling;
+    uint32_t doc_frequency = 0;
+    if (!serial::ReadString(in, &spelling) ||
+        !serial::ReadU32(in, &doc_frequency)) {
+      return false;
+    }
+    // Duplicate spellings would break the id == index invariant.
+    if (Intern(spelling) != static_cast<TokenId>(i)) return false;
+    doc_frequency_[i] = doc_frequency;
+  }
+  return true;
+}
+
+size_t TokenDictionary::ApproxMemoryBytes() const {
+  size_t total = spellings_.capacity() * sizeof(std::string) +
+                 doc_frequency_.capacity() * sizeof(uint32_t) +
+                 ids_.bucket_count() * sizeof(void*);
+  for (const std::string& s : spellings_) {
+    total += s.capacity();
+    // Each ids_ entry copies the spelling as its key.
+    total += sizeof(std::pair<const std::string, TokenId>) + s.capacity();
+  }
+  return total;
 }
 
 }  // namespace pier

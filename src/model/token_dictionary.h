@@ -7,6 +7,7 @@
 #ifndef PIER_MODEL_TOKEN_DICTIONARY_H_
 #define PIER_MODEL_TOKEN_DICTIONARY_H_
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -38,6 +39,17 @@ class TokenDictionary {
   void IncrementDocFrequency(TokenId id);
 
   size_t size() const { return spellings_.size(); }
+
+  // Serializes every interned token in id order together with its
+  // document frequency (canonical: same dictionary, same bytes).
+  void Snapshot(std::ostream& out) const;
+
+  // Restores a Snapshot payload into this dictionary, which must be
+  // empty. Returns false on decode failure.
+  bool Restore(std::istream& in);
+
+  // Heap footprint estimate: spellings, ids map, and frequency vector.
+  size_t ApproxMemoryBytes() const;
 
  private:
   std::unordered_map<std::string, TokenId> ids_;

@@ -1,0 +1,181 @@
+#include "persist/checkpoint_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace pier {
+namespace persist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".piersnap";
+
+// Zero-padded to 8 digits so lexicographic filename order equals
+// numeric sequence order for any realistic run length.
+std::string CheckpointName(uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%08llu%s", kCheckpointPrefix,
+                static_cast<unsigned long long>(seq), kCheckpointSuffix);
+  return buf;
+}
+
+bool IsCheckpointName(const std::string& name) {
+  const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+  const size_t suffix_len = sizeof(kCheckpointSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kCheckpointSuffix) !=
+      0) {
+    return false;
+  }
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  return true;
+}
+
+void SetError(std::string* error, const std::string& context) {
+  if (error != nullptr) *error = context + ": " + std::strerror(errno);
+}
+
+// Writes `bytes` to `path` via a sibling tmp file: write + fsync +
+// rename, then fsync the directory so the rename itself is durable. A
+// crash at any point leaves either no file or the complete file.
+bool AtomicWriteFile(const std::string& path, const std::string& bytes,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, "open " + tmp);
+    return false;
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, "write " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    SetError(error, "fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    SetError(error, "close " + tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  const std::string dir = fs::path(path).parent_path().string();
+  const int dir_fd = ::open(dir.empty() ? "." : dir.c_str(),
+                            O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best effort; the rename already landed
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointOptions options)
+    : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    checkpoints_metric_ =
+        options_.metrics->GetCounter("persist.checkpoints_written");
+    failures_metric_ =
+        options_.metrics->GetCounter("persist.checkpoint_failures");
+    rotations_metric_ = options_.metrics->GetCounter("persist.rotations");
+    sections_metric_ = options_.metrics->GetCounter("persist.sections_written");
+    bytes_metric_ = options_.metrics->GetHistogram("persist.snapshot_bytes");
+    write_ns_metric_ = options_.metrics->GetHistogram("persist.write_ns");
+  }
+}
+
+std::string CheckpointManager::Write(uint64_t seq,
+                                     const SnapshotBuilder& snapshot,
+                                     std::string* error) {
+  Stopwatch timer;
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "create checkpoint dir " + options_.dir + ": " + ec.message();
+    }
+    obs::CounterAdd(failures_metric_, 1);
+    return "";
+  }
+
+  const std::string path =
+      (fs::path(options_.dir) / CheckpointName(seq)).string();
+  const std::string bytes = snapshot.Bytes();
+  if (!AtomicWriteFile(path, bytes, error)) {
+    obs::CounterAdd(failures_metric_, 1);
+    return "";
+  }
+
+  obs::CounterAdd(checkpoints_metric_, 1);
+  obs::CounterAdd(sections_metric_, snapshot.num_sections());
+  obs::HistogramRecord(bytes_metric_, static_cast<double>(bytes.size()));
+  obs::HistogramRecord(write_ns_metric_, timer.ElapsedSeconds() * 1e9);
+  Rotate();
+  return path;
+}
+
+void CheckpointManager::Rotate() {
+  if (options_.keep == 0) return;
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (IsCheckpointName(name)) names.push_back(name);
+  }
+  if (ec || names.size() <= options_.keep) return;
+  std::sort(names.begin(), names.end());
+  const size_t excess = names.size() - options_.keep;
+  for (size_t i = 0; i < excess; ++i) {
+    fs::remove(fs::path(options_.dir) / names[i], ec);
+    if (!ec) obs::CounterAdd(rotations_metric_, 1);
+  }
+}
+
+std::optional<std::string> CheckpointManager::FindLatest(
+    const std::string& dir) {
+  std::error_code ec;
+  std::string best;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (IsCheckpointName(name) && name > best) best = name;
+  }
+  if (ec || best.empty()) return std::nullopt;
+  return (fs::path(dir) / best).string();
+}
+
+}  // namespace persist
+}  // namespace pier

@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78):
+// the checksum guarding every snapshot section against corruption
+// (bit rot, torn writes, truncation). Software table implementation --
+// snapshot I/O is far from the hot path, so no SSE4.2 dispatch.
+
+#ifndef PIER_PERSIST_CRC32C_H_
+#define PIER_PERSIST_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pier {
+namespace persist {
+
+// CRC32C of `size` bytes at `data`. Pass a previous result as `seed`
+// to checksum a byte sequence incrementally:
+//   Crc32c(b, nb, Crc32c(a, na)) == Crc32c(concat(a, b)).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+}  // namespace persist
+}  // namespace pier
+
+#endif  // PIER_PERSIST_CRC32C_H_

@@ -9,6 +9,7 @@
 #ifndef PIER_STREAM_ER_ALGORITHM_H_
 #define PIER_STREAM_ER_ALGORITHM_H_
 
+#include <string>
 #include <vector>
 
 #include "core/prioritizer.h"
@@ -16,6 +17,11 @@
 #include "model/entity_profile.h"
 
 namespace pier {
+
+namespace persist {
+class SnapshotBuilder;
+class SnapshotReader;
+}  // namespace persist
 
 class ErAlgorithm {
  public:
@@ -57,6 +63,24 @@ class ErAlgorithm {
   // Profile access for the matcher (every algorithm owns a store of
   // the profiles it has ingested).
   virtual const EntityProfile& Profile(ProfileId id) const = 0;
+
+  // Checkpoint support (see src/persist/). Algorithms that can be
+  // snapshotted and restored with recovery equivalence override all
+  // three; the defaults keep lightweight test doubles compiling and
+  // make the simulator reject checkpointing for unsupported
+  // algorithms instead of writing unusable files.
+  virtual bool SupportsSnapshot() const { return false; }
+  virtual void Snapshot(persist::SnapshotBuilder& builder) const {
+    (void)builder;
+  }
+  virtual bool Restore(const persist::SnapshotReader& reader,
+                       std::string* error) {
+    (void)reader;
+    if (error != nullptr) {
+      *error = std::string(name()) + " does not support snapshots";
+    }
+    return false;
+  }
 
   virtual const char* name() const = 0;
 };

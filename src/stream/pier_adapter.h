@@ -45,6 +45,15 @@ class PierAdapter : public ErAlgorithm {
     return pipeline_.profiles().Get(id);
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  void Snapshot(persist::SnapshotBuilder& builder) const override {
+    pipeline_.Snapshot(builder);
+  }
+  bool Restore(const persist::SnapshotReader& reader,
+               std::string* error) override {
+    return pipeline_.Restore(reader, error);
+  }
+
   const char* name() const override { return ToString(strategy_); }
 
   PierPipeline& pipeline() { return pipeline_; }

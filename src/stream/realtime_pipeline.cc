@@ -1,8 +1,14 @@
 #include "stream/realtime_pipeline.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
 #include <utility>
 
+#include "persist/checkpoint_manager.h"
+#include "persist/snapshot.h"
 #include "util/check.h"
+#include "util/serial.h"
 #include "util/stopwatch.h"
 
 namespace pier {
@@ -13,7 +19,8 @@ RealtimePipeline::RealtimePipeline(PierOptions options,
     : pipeline_(options),
       matcher_(matcher),
       executor_(matcher, options.execution_threads, options.metrics),
-      on_match_(std::move(on_match)) {
+      on_match_(std::move(on_match)),
+      metrics_(options.metrics) {
   PIER_CHECK(matcher_ != nullptr);
   if (options.metrics != nullptr) {
     obs::MetricsRegistry& r = *options.metrics;
@@ -41,10 +48,75 @@ void RealtimePipeline::Ingest(std::vector<EntityProfile> profiles) {
     pipeline_.ReportArrival(lifetime_.ElapsedSeconds());
     pipeline_.Ingest(std::move(profiles));
     idle_ = false;
+    ++ingest_count_;
+    if (checkpointer_ != nullptr && checkpointer_->Due(ingest_count_)) {
+      MaybeCheckpoint();
+    }
   }
   obs::CounterAdd(ingests_metric_);
   obs::GaugeSet(worker_idle_metric_, 0.0);
   work_cv_.notify_all();
+}
+
+void RealtimePipeline::MaybeCheckpoint() {
+  persist::SnapshotBuilder builder;
+  pipeline_.Snapshot(builder);
+  std::ostream& out = builder.AddSection("realtime.state");
+  serial::WriteU64(out, ingest_count_);
+  serial::WriteU64(out, comparisons_.load());
+  serial::WriteU64(out, matches_.load());
+  std::string error;
+  if (checkpointer_->Write(ingest_count_, builder, &error).empty()) {
+    std::fprintf(stderr, "pier: realtime checkpoint %" PRIu64 " failed: %s\n",
+                 ingest_count_, error.c_str());
+  }
+}
+
+void RealtimePipeline::EnableCheckpoints(const std::string& dir, size_t every,
+                                         size_t keep) {
+  persist::CheckpointOptions options;
+  options.dir = dir;
+  options.every = every;
+  options.keep = keep;
+  options.metrics = metrics_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  checkpointer_ =
+      std::make_unique<persist::CheckpointManager>(std::move(options));
+}
+
+bool RealtimePipeline::RestoreFromSnapshot(std::istream& snapshot,
+                                           std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ingest_count_ != 0 || !pipeline_.profiles().empty()) {
+    if (error != nullptr) {
+      *error = "RestoreFromSnapshot requires a pipeline that has not "
+               "ingested anything";
+    }
+    return false;
+  }
+  persist::SnapshotReader reader;
+  if (!reader.Parse(snapshot, error)) return false;
+  std::istringstream st;
+  if (!reader.Open("realtime.state", &st, error)) return false;
+  uint64_t ingests = 0;
+  uint64_t comparisons = 0;
+  uint64_t matches = 0;
+  if (!serial::ReadU64(st, &ingests) || !serial::ReadU64(st, &comparisons) ||
+      !serial::ReadU64(st, &matches)) {
+    if (error != nullptr) {
+      *error = "section 'realtime.state' failed to decode";
+    }
+    return false;
+  }
+  if (!pipeline_.Restore(reader, error)) return false;
+  ingest_count_ = ingests;
+  comparisons_.store(comparisons);
+  matches_.store(matches);
+  // The restored prioritizer may hold pending comparisons; wake the
+  // worker to resume emitting them.
+  idle_ = false;
+  work_cv_.notify_all();
+  return true;
 }
 
 void RealtimePipeline::Drain() {

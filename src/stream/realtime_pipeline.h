@@ -25,7 +25,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,6 +36,12 @@
 #include "similarity/matcher.h"
 #include "similarity/parallel_executor.h"
 #include "util/stopwatch.h"
+
+namespace pier {
+namespace persist {
+class CheckpointManager;
+}  // namespace persist
+}  // namespace pier
 
 namespace pier {
 
@@ -63,6 +72,22 @@ class RealtimePipeline {
   // get eventual quality.
   void Drain();
 
+  // Best-effort durability: after every `every`-th Ingest a snapshot
+  // of the pipeline is written atomically to `dir` (rotated down to
+  // the newest `keep`; see persist/checkpoint_manager.h). The snapshot
+  // is taken under the state mutex, so it captures the pipeline at a
+  // consistent instant; a batch in flight through the matcher at crash
+  // time is lost (its pairs were already marked executed at emission),
+  // which is the wrapper's inherent at-most-once callback contract.
+  void EnableCheckpoints(const std::string& dir, size_t every = 10,
+                         size_t keep = 3);
+
+  // Restores state from a snapshot written by a checkpointing
+  // RealtimePipeline constructed with the same PierOptions. Must be
+  // called before the first Ingest; returns false with a diagnostic in
+  // *error on a corrupt or mismatched snapshot (state is untouched).
+  bool RestoreFromSnapshot(std::istream& snapshot, std::string* error);
+
   // Statistics (thread-safe, approximate while running).
   uint64_t comparisons_processed() const { return comparisons_.load(); }
   uint64_t matches_found() const { return matches_.load(); }
@@ -71,12 +96,18 @@ class RealtimePipeline {
 
  private:
   void WorkerLoop();
+  void MaybeCheckpoint();  // caller holds mutex_
 
   PierPipeline pipeline_;
   const Matcher* matcher_;
   ParallelMatchExecutor executor_;
   MatchCallback on_match_;
   Stopwatch lifetime_;  // arrival timestamps for the K controller
+  obs::MetricsRegistry* metrics_ = nullptr;
+
+  // Checkpointing (EnableCheckpoints); guarded by mutex_.
+  std::unique_ptr<persist::CheckpointManager> checkpointer_;
+  uint64_t ingest_count_ = 0;
 
   // `realtime.*` metrics (from PierOptions::metrics); the worker's
   // idle/drain transitions and the per-batch flow through the

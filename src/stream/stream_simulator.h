@@ -20,6 +20,7 @@
 
 #include <iosfwd>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,13 @@
 #include "similarity/matcher.h"
 #include "stream/cost_meter.h"
 #include "stream/er_algorithm.h"
+
+namespace pier {
+namespace persist {
+class SnapshotBuilder;
+class SnapshotReader;
+}  // namespace persist
+}  // namespace pier
 
 namespace pier {
 
@@ -74,6 +82,21 @@ struct SimulatorOptions {
   // ends the run gracefully after this many consecutive stalls.
   size_t stall_limit = 10000;
 
+  // Checkpointing (see src/persist/): when `checkpoint_dir` is
+  // non-empty, the simulator writes a durable snapshot of the
+  // algorithm and its own loop state before the first increment and
+  // after every `checkpoint_every`-th delivered increment (plus always
+  // after the final one). The algorithm must support snapshots
+  // (ErAlgorithm::SupportsSnapshot). Checkpoint writes never touch the
+  // virtual clock or the algorithm, so a checkpointing run produces
+  // exactly the curve an unchecked run would. With the modeled cost
+  // meter, Resume() from any checkpoint then reproduces the
+  // uninterrupted run's verdict stream and curve bit-for-bit (recovery
+  // equivalence); the measured meter has inherently noisy timings.
+  std::string checkpoint_dir;
+  size_t checkpoint_every = 10;
+  size_t checkpoint_keep = 3;
+
   bool IsStatic() const { return increments_per_second <= 0.0; }
 };
 
@@ -85,9 +108,32 @@ class StreamSimulator {
   // emitted comparisons. The algorithm must be freshly constructed.
   RunResult Run(ErAlgorithm& algorithm, const Matcher& matcher) const;
 
+  // Resumes a run from a checkpoint previously written by Run() with
+  // `checkpoint_dir` set. `algorithm` must be freshly constructed with
+  // the configuration used for the original run, and the simulator's
+  // dataset/options must match the ones recorded in the snapshot
+  // (diagnosed through `error` otherwise). On success the run plays
+  // forward from the checkpointed increment to completion; corrupted
+  // or mismatched snapshots return nullopt without mutating anything.
+  std::optional<RunResult> Resume(ErAlgorithm& algorithm,
+                                  const Matcher& matcher,
+                                  std::istream& snapshot,
+                                  std::string* error) const;
+
   const std::vector<Increment>& increments() const { return increments_; }
 
  private:
+  struct LoopState;
+
+  RunResult RunLoop(ErAlgorithm& algorithm, const Matcher& matcher,
+                    LoopState& state) const;
+  void SnapshotLoopState(persist::SnapshotBuilder& builder,
+                         const ErAlgorithm& algorithm, const Matcher& matcher,
+                         const LoopState& state) const;
+  bool RestoreLoopState(const persist::SnapshotReader& reader,
+                        const ErAlgorithm& algorithm, const Matcher& matcher,
+                        LoopState* state, std::string* error) const;
+
   const Dataset* dataset_;
   SimulatorOptions options_;
   std::vector<Increment> increments_;

@@ -1,6 +1,10 @@
 #include "util/bloom_filter.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/serial.h"
 
 namespace pier {
 
@@ -34,6 +38,37 @@ void BloomFilter::Add(uint64_t key) {
     bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
   }
   ++num_insertions_;
+}
+
+void BloomFilter::Snapshot(std::ostream& out) const {
+  serial::WriteU64(out, expected_items_);
+  serial::WriteU64(out, num_bits_);
+  serial::WriteU32(out, static_cast<uint32_t>(num_hashes_));
+  serial::WriteU64(out, num_insertions_);
+  serial::WriteVec(out, bits_, serial::WriteU64);
+}
+
+std::unique_ptr<BloomFilter> BloomFilter::FromSnapshot(std::istream& in) {
+  auto filter = std::unique_ptr<BloomFilter>(new BloomFilter());
+  uint64_t expected_items = 0;
+  uint64_t num_bits = 0;
+  uint32_t num_hashes = 0;
+  uint64_t num_insertions = 0;
+  if (!serial::ReadU64(in, &expected_items) ||
+      !serial::ReadU64(in, &num_bits) || !serial::ReadU32(in, &num_hashes) ||
+      !serial::ReadU64(in, &num_insertions) ||
+      !serial::ReadVec(in, &filter->bits_, serial::ReadU64)) {
+    return nullptr;
+  }
+  if (expected_items == 0 || num_bits < 64 || num_hashes < 1 ||
+      num_hashes > 255 || filter->bits_.size() != (num_bits + 63) / 64) {
+    return nullptr;
+  }
+  filter->expected_items_ = expected_items;
+  filter->num_bits_ = num_bits;
+  filter->num_hashes_ = static_cast<int>(num_hashes);
+  filter->num_insertions_ = num_insertions;
+  return filter;
 }
 
 bool BloomFilter::MayContain(uint64_t key) const {

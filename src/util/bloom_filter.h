@@ -9,6 +9,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "util/check.h"
@@ -40,15 +42,26 @@ class BloomFilter {
   // Estimated memory footprint in bytes.
   size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
 
+  // Serializes sizing parameters, insertion count, and the bit array
+  // (little-endian; see util/serial.h).
+  void Snapshot(std::ostream& out) const;
+
+  // Reconstructs a filter from a Snapshot payload; null on any decode
+  // failure or inconsistent field (e.g. word count not matching the
+  // recorded bit count).
+  static std::unique_ptr<BloomFilter> FromSnapshot(std::istream& in);
+
  private:
+  BloomFilter() = default;  // for FromSnapshot
+
   size_t BitIndex(uint64_t h1, uint64_t h2, int i) const {
     // Double hashing: g_i(x) = h1 + i * h2 (Kirsch & Mitzenmacher).
     return (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
   }
 
-  size_t expected_items_;
-  size_t num_bits_;
-  int num_hashes_;
+  size_t expected_items_ = 0;
+  size_t num_bits_ = 0;
+  int num_hashes_ = 0;
   size_t num_insertions_ = 0;
   std::vector<uint64_t> bits_;
 };

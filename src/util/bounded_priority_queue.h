@@ -102,6 +102,15 @@ class BoundedPriorityQueue {
   // Used by tests and by I-PES when it re-seeds its EntityQueue.
   const std::vector<T>& data() const { return v_; }
 
+  // Replaces the storage with `data`, which must be a verbatim copy of
+  // a previous data() from a queue with the same capacity and order
+  // (snapshot restore). Returns false when `data` exceeds capacity.
+  bool RestoreData(std::vector<T> data) {
+    if (data.size() > capacity_) return false;
+    v_ = std::move(data);
+    return true;
+  }
+
  private:
   // Slot i belongs to node i/2; node j spans slots {2j, 2j+1}.
   static size_t NodeOf(size_t slot) { return slot / 2; }

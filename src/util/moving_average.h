@@ -8,9 +8,14 @@
 #define PIER_UTIL_MOVING_AVERAGE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -75,6 +80,40 @@ class WindowAverage {
   double Mean() const {
     PIER_DCHECK(!buf_.empty());
     return sum_ / static_cast<double>(buf_.size());
+  }
+
+  // Serializes the ring buffer and the running sum. The sum is stored
+  // as raw bits rather than recomputed on restore: the incremental
+  // `sum_ += x - old` drifts from an exact resum, and recovery
+  // equivalence needs the restored estimator to produce bit-identical
+  // means.
+  void Snapshot(std::ostream& out) const {
+    serial::WriteU64(out, window_);
+    serial::WriteU64(out, next_);
+    serial::WriteF64(out, sum_);
+    serial::WriteVec(out, buf_, serial::WriteF64);
+  }
+
+  // Restores a Snapshot payload; the recorded window must match this
+  // estimator's window. Returns false on decode failure or
+  // inconsistent fields.
+  bool Restore(std::istream& in) {
+    uint64_t window = 0;
+    uint64_t next = 0;
+    double sum = 0.0;
+    std::vector<double> buf;
+    if (!serial::ReadU64(in, &window) || !serial::ReadU64(in, &next) ||
+        !serial::ReadF64(in, &sum) ||
+        !serial::ReadVec(in, &buf, serial::ReadF64)) {
+      return false;
+    }
+    if (window != window_ || buf.size() > window_ || next >= window_) {
+      return false;
+    }
+    buf_ = std::move(buf);
+    next_ = next;
+    sum_ = sum;
+    return true;
   }
 
  private:

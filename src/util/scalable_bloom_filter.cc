@@ -1,8 +1,12 @@
 #include "util/scalable_bloom_filter.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <utility>
 
 #include "util/check.h"
+#include "util/serial.h"
 
 namespace pier {
 
@@ -49,6 +53,57 @@ size_t ScalableBloomFilter::MemoryBytes() const {
   size_t total = 0;
   for (const auto& slice : slices_) total += slice->MemoryBytes();
   return total;
+}
+
+size_t ScalableBloomFilter::ApproxMemoryBytes() const {
+  return MemoryBytes() +
+         slices_.capacity() * sizeof(std::unique_ptr<BloomFilter>) +
+         slices_.size() * sizeof(BloomFilter);
+}
+
+void ScalableBloomFilter::Snapshot(std::ostream& out) const {
+  serial::WriteU64(out, options_.initial_capacity);
+  serial::WriteF64(out, options_.fp_rate);
+  serial::WriteF64(out, options_.growth);
+  serial::WriteF64(out, options_.tightening);
+  serial::WriteU64(out, num_insertions_);
+  serial::WriteU64(out, slices_.size());
+  for (const auto& slice : slices_) slice->Snapshot(out);
+}
+
+bool ScalableBloomFilter::Restore(std::istream& in) {
+  Options options;
+  uint64_t initial_capacity = 0;
+  uint64_t num_insertions = 0;
+  uint64_t num_slices = 0;
+  if (!serial::ReadU64(in, &initial_capacity) ||
+      !serial::ReadF64(in, &options.fp_rate) ||
+      !serial::ReadF64(in, &options.growth) ||
+      !serial::ReadF64(in, &options.tightening) ||
+      !serial::ReadU64(in, &num_insertions) ||
+      !serial::ReadU64(in, &num_slices)) {
+    return false;
+  }
+  options.initial_capacity = initial_capacity;
+  // Mirror the constructor's PIER_CHECKs, but reject instead of abort:
+  // a corrupt snapshot must never take the process down.
+  if (options.initial_capacity == 0 || !(options.fp_rate > 0.0) ||
+      !(options.fp_rate < 1.0) || !(options.growth > 1.0) ||
+      !(options.tightening > 0.0) || !(options.tightening < 1.0) ||
+      num_slices == 0 || num_slices > 64) {
+    return false;
+  }
+  std::vector<std::unique_ptr<BloomFilter>> slices;
+  slices.reserve(num_slices);
+  for (uint64_t i = 0; i < num_slices; ++i) {
+    auto slice = BloomFilter::FromSnapshot(in);
+    if (slice == nullptr) return false;
+    slices.push_back(std::move(slice));
+  }
+  options_ = options;
+  num_insertions_ = num_insertions;
+  slices_ = std::move(slices);
+  return true;
 }
 
 }  // namespace pier

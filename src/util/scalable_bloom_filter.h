@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -56,6 +57,19 @@ class ScalableBloomFilter {
   size_t num_slices() const { return slices_.size(); }
   size_t num_insertions() const { return num_insertions_; }
   size_t MemoryBytes() const;
+
+  // Heap footprint estimate: slice bit arrays plus the slice vector
+  // itself (exported as a persist.state_bytes gauge).
+  size_t ApproxMemoryBytes() const;
+
+  // Serializes options, insertion count, and every slice.
+  void Snapshot(std::ostream& out) const;
+
+  // Replaces this filter's entire state from a Snapshot payload
+  // (including the options, which are validated against the
+  // constructor's ranges). Returns false on any decode failure,
+  // leaving the filter in an unspecified-but-valid state.
+  bool Restore(std::istream& in);
 
  private:
   void AddSlice();

@@ -181,5 +181,67 @@ TEST(DatasetIoTest, TruthOutOfRangeRejected) {
                    .has_value());
 }
 
+TEST(DatasetIoTest, UnterminatedQuoteRejected) {
+  // The open quote swallows the rest of the stream into one record,
+  // which ParseCsvLine then rejects.
+  std::stringstream csv("header\n0,0,a,\"unterminated\n0,0,b,c\n");
+  EXPECT_FALSE(
+      ReadDatasetCsv(csv, nullptr, "x", DatasetKind::kDirty).has_value());
+}
+
+TEST(DatasetIoTest, CrlfLineEndingsAccepted) {
+  std::stringstream profiles_csv(
+      "profile_id,source,attribute,value\r\n0,0,title,progressive er\r\n");
+  std::stringstream truth_csv("a,b\r\n0,0\r\n");
+  const auto loaded =
+      ReadDatasetCsv(profiles_csv, &truth_csv, "x", DatasetKind::kDirty);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->profiles.size(), 1u);
+  // The carriage return must not leak into the last field.
+  EXPECT_EQ(loaded->profiles[0].attributes[0].value, "progressive er");
+  EXPECT_EQ(loaded->truth.size(), 1u);
+}
+
+TEST(DatasetIoTest, Utf8BomStripped) {
+  std::stringstream profiles_csv(
+      "\xEF\xBB\xBFprofile_id,source,attribute,value\n0,0,a,b\n");
+  std::stringstream truth_csv("\xEF\xBB\xBFpa,pb\n0,0\n");
+  const auto loaded =
+      ReadDatasetCsv(profiles_csv, &truth_csv, "x", DatasetKind::kDirty);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->profiles.size(), 1u);
+  EXPECT_EQ(loaded->truth.size(), 1u);
+}
+
+TEST(DatasetIoTest, NonDenseIdsRejected) {
+  std::stringstream gap("header\n0,0,a,b\n2,0,a,b\n");
+  EXPECT_FALSE(
+      ReadDatasetCsv(gap, nullptr, "x", DatasetKind::kDirty).has_value());
+}
+
+TEST(DatasetIoTest, EmbeddedNewlinesRoundTrip) {
+  // CsvWriter::Escape quotes fields with newlines; the reader must
+  // join the physical lines back into one logical record.
+  Dataset d;
+  d.name = "multiline";
+  d.kind = DatasetKind::kDirty;
+  d.profiles.emplace_back(
+      0, 0,
+      std::vector<Attribute>{
+          {"address", "12 Main St\nSpringfield, \"IL\""},
+          {"note", "a,b\n\"c\"\nd"},
+      });
+  std::stringstream out;
+  WriteProfilesCsv(d, out);
+  const auto loaded =
+      ReadDatasetCsv(out, nullptr, "multiline", DatasetKind::kDirty);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->profiles.size(), 1u);
+  ASSERT_EQ(loaded->profiles[0].attributes.size(), 2u);
+  EXPECT_EQ(loaded->profiles[0].attributes[0].value,
+            "12 Main St\nSpringfield, \"IL\"");
+  EXPECT_EQ(loaded->profiles[0].attributes[1].value, "a,b\n\"c\"\nd");
+}
+
 }  // namespace
 }  // namespace pier

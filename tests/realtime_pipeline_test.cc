@@ -3,12 +3,16 @@
 // ingest is safe.
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "datagen/generators.h"
+#include "persist/checkpoint_manager.h"
 #include "stream/realtime_pipeline.h"
 
 namespace pier {
@@ -148,6 +152,81 @@ TEST(RealtimePipelineTest, DestructionWhileBusyIsSafe) {
     // Destructor runs while the worker may still be mid-stream.
   }
   SUCCEED();
+}
+
+TEST(RealtimePipelineTest, CheckpointAndRestoreAcrossInstances) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pier_realtime_ckpt_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  BibliographicOptions data_options;
+  data_options.source0_count = 80;
+  data_options.source1_count = 70;
+  const Dataset d = GenerateBibliographic(data_options);
+  const JaccardMatcher matcher(0.35);
+  const auto increments = SplitIntoIncrements(d, 10);
+  const auto slice = [&](const Increment& inc) {
+    return std::vector<EntityProfile>(
+        d.profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
+        d.profiles.begin() + static_cast<ptrdiff_t>(inc.end));
+  };
+
+  // First instance: ingest half the stream with checkpointing on,
+  // drain so the checkpointed state is quiescent (no in-flight batch
+  // to lose), then checkpoint the 5th ingest and shut down.
+  {
+    RealtimePipeline pipeline(Options(d.kind), &matcher,
+                              [](ProfileId, ProfileId) {});
+    pipeline.EnableCheckpoints(dir.string(), /*every=*/5, /*keep=*/2);
+    for (size_t i = 0; i + 1 < 5; ++i) pipeline.Ingest(slice(increments[i]));
+    pipeline.Drain();
+    pipeline.Ingest(slice(increments[4]));  // 5th ingest -> checkpoint
+    pipeline.Drain();
+  }
+  const auto latest = persist::CheckpointManager::FindLatest(dir.string());
+  ASSERT_TRUE(latest.has_value());
+
+  // Second instance: restore, feed the rest, and find duplicates that
+  // pair a pre-checkpoint profile with a post-checkpoint one -- the
+  // restored blocking/prioritizer state is what makes them reachable.
+  std::mutex mu;
+  std::set<uint64_t> found;
+  RealtimePipeline restored(Options(d.kind), &matcher,
+                            [&](ProfileId a, ProfileId b) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              found.insert(PairKey(a, b));
+                            });
+  {
+    std::ifstream snapshot(*latest, std::ios::binary);
+    std::string error;
+    ASSERT_TRUE(restored.RestoreFromSnapshot(snapshot, &error)) << error;
+  }
+  const ProfileId boundary = static_cast<ProfileId>(increments[5].begin);
+  for (size_t i = 5; i < increments.size(); ++i) {
+    restored.Ingest(slice(increments[i]));
+  }
+  restored.Drain();
+  size_t cross_matches = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const uint64_t key : found) {
+      const auto a = static_cast<ProfileId>(key >> 32);
+      const auto b = static_cast<ProfileId>(key);
+      if ((a < boundary) != (b < boundary)) ++cross_matches;
+    }
+  }
+  EXPECT_GT(cross_matches, 0u);
+
+  // A pipeline that already ingested refuses to restore.
+  {
+    std::ifstream snapshot(*latest, std::ios::binary);
+    std::string error;
+    EXPECT_FALSE(restored.RestoreFromSnapshot(snapshot, &error));
+    EXPECT_FALSE(error.empty());
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

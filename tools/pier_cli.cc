@@ -6,7 +6,10 @@
 //            [--matcher=JS|ED|COS] [--threshold=0.5]
 //            [--increments=100] [--rate=0] [--budget=inf]
 //            [--max-block-size=1000] [--beta=0.5] [--threads=1]
+//            [--cost-model=measured|modeled]
 //            [--metrics-out=FILE] [--metrics-interval=F]
+//            [--checkpoint-dir=DIR] [--checkpoint-every=N]
+//            [--checkpoint-keep=N] [--resume-from=FILE|DIR]
 //            [--print-matches]
 //
 // The profiles file uses the long format of datagen/dataset_io.h
@@ -18,10 +21,19 @@
 // FILE: one snapshot per --metrics-interval seconds of (virtual) run
 // time, plus a final one. Stage counters cover ingest/blocking/
 // prioritization (pipeline.*), match execution (executor.*), the
-// adaptive-K controller (findk.*), and the simulator (sim.*).
+// adaptive-K controller (findk.*), the simulator (sim.*), and
+// checkpointing (persist.*).
+//
+// --checkpoint-dir makes the evaluation run durable: a snapshot of the
+// full ER state lands in DIR every --checkpoint-every increments
+// (rotated to the newest --checkpoint-keep). After a crash,
+// --resume-from=DIR (or a specific .piersnap file) continues the run
+// from the latest checkpoint; with --cost-model=modeled the resumed
+// curve is bit-identical to an uninterrupted run.
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -32,11 +44,13 @@
 #include "eval/report.h"
 #include "obs/metrics.h"
 #include "obs/metrics_io.h"
+#include "persist/checkpoint_manager.h"
 #include "similarity/matcher.h"
 #include "similarity/parallel_executor.h"
 #include "stream/pier_adapter.h"
 #include "stream/stream_simulator.h"
 #include "text/tokenizer.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -75,7 +89,10 @@ int Usage() {
       "                [--threshold=F] [--increments=N] [--rate=F] "
       "[--budget=F]\n"
       "                [--max-block-size=N] [--beta=F] [--threads=N]\n"
+      "                [--cost-model=measured|modeled]\n"
       "                [--metrics-out=FILE] [--metrics-interval=F]\n"
+      "                [--checkpoint-dir=DIR] [--checkpoint-every=N]\n"
+      "                [--checkpoint-keep=N] [--resume-from=FILE|DIR]\n"
       "                [--print-matches]\n");
   return 2;
 }
@@ -164,8 +181,20 @@ int main(int argc, char** argv) {
   sim_options.increments_per_second = std::stod(Get(args, "rate", "0"));
   const std::string budget = Get(args, "budget", "");
   if (!budget.empty()) sim_options.time_budget_s = std::stod(budget);
-  sim_options.cost_mode = CostMeter::Mode::kMeasured;
+  const std::string cost_model = Get(args, "cost-model", "measured");
+  if (cost_model == "modeled") {
+    sim_options.cost_mode = CostMeter::Mode::kModeled;
+  } else if (cost_model == "measured") {
+    sim_options.cost_mode = CostMeter::Mode::kMeasured;
+  } else {
+    std::fprintf(stderr, "unknown --cost-model: %s\n", cost_model.c_str());
+    return Usage();
+  }
   sim_options.execution_threads = options.execution_threads;
+  sim_options.checkpoint_dir = Get(args, "checkpoint-dir", "");
+  sim_options.checkpoint_every =
+      std::stoul(Get(args, "checkpoint-every", "10"));
+  sim_options.checkpoint_keep = std::stoul(Get(args, "checkpoint-keep", "3"));
 
   // Observability: stream JSON-lines snapshots of every stage metric.
   obs::MetricsRegistry metrics;
@@ -184,11 +213,53 @@ int main(int argc, char** argv) {
         std::stod(Get(args, "metrics-interval", "1"));
   }
 
+  const std::string resume_from = Get(args, "resume-from", "");
+  if (!resume_from.empty() &&
+      (truth_ptr == nullptr || args.count("print-matches"))) {
+    std::fprintf(stderr,
+                 "--resume-from requires evaluation mode (--truth, no "
+                 "--print-matches)\n");
+    return Usage();
+  }
+
   if (truth_ptr != nullptr && !args.count("print-matches")) {
     // Evaluation mode: progressive quality against the ground truth.
     const StreamSimulator simulator(&*dataset, sim_options);
     PierAdapter algorithm(options);
-    const RunResult result = simulator.Run(algorithm, *matcher);
+    RunResult result;
+    if (!resume_from.empty()) {
+      // Resume from a checkpoint file, or from the newest checkpoint
+      // when given a directory.
+      std::string snapshot_path = resume_from;
+      std::error_code ec;
+      if (std::filesystem::is_directory(snapshot_path, ec)) {
+        const auto latest =
+            persist::CheckpointManager::FindLatest(snapshot_path);
+        if (!latest) {
+          std::fprintf(stderr, "no checkpoints found in %s\n",
+                       snapshot_path.c_str());
+          return 1;
+        }
+        snapshot_path = *latest;
+      }
+      std::ifstream snapshot(snapshot_path, std::ios::binary);
+      if (!snapshot) {
+        std::fprintf(stderr, "cannot open %s\n", snapshot_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "resuming from %s\n", snapshot_path.c_str());
+      std::string resume_error;
+      auto resumed =
+          simulator.Resume(algorithm, *matcher, snapshot, &resume_error);
+      if (!resumed) {
+        std::fprintf(stderr, "cannot resume from %s: %s\n",
+                     snapshot_path.c_str(), resume_error.c_str());
+        return 1;
+      }
+      result = std::move(*resumed);
+    } else {
+      result = simulator.Run(algorithm, *matcher);
+    }
     PrintCurveCsv(std::cout, {result});
     std::printf("\n");
     PrintSummaryTable(std::cout, {result}, result.end_time);
@@ -197,6 +268,7 @@ int main(int argc, char** argv) {
   }
 
   // Resolution mode: print matched pairs.
+  const Stopwatch run_timer;
   PierPipeline pipeline(options);
   const ParallelMatchExecutor executor(matcher.get(),
                                        options.execution_threads,
@@ -227,8 +299,11 @@ int main(int argc, char** argv) {
   }
   drain(/*full=*/true);
   if (options.metrics != nullptr) {
-    // No virtual clock in resolution mode: stamp the final snapshot 0.
-    obs::WriteJsonLines(metrics_out, 0.0, metrics.Snapshot());
+    // No virtual clock in resolution mode: stamp the final snapshot
+    // with the run's wall-clock time so it orders after any earlier
+    // snapshots instead of the old constant 0.
+    obs::WriteJsonLines(metrics_out, run_timer.ElapsedSeconds(),
+                        metrics.Snapshot());
   }
   std::fprintf(stderr, "emitted %llu comparisons, %llu matched pairs\n",
                static_cast<unsigned long long>(
