@@ -16,6 +16,11 @@
 //   }
 //   pipeline.Tick();  // when idle, pulls older pairs forward
 //
+// Batched deployments should hand EmitBatch() output to
+// ParallelMatchExecutor::ExecuteVerdicts (the threshold-only kernel
+// path) instead of calling Matches() per pair; the verdict stream is
+// identical either way (see similarity/parallel_executor.h).
+//
 // The pipeline owns all shared state; it is single-threaded by design
 // (the paper's asynchronous stages are reproduced by the stream
 // simulator's virtual-time interleaving).

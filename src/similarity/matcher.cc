@@ -2,6 +2,7 @@
 
 #include <string_view>
 
+#include "similarity/similarity_kernels.h"
 #include "similarity/string_distance.h"
 
 namespace pier {
@@ -9,6 +10,11 @@ namespace pier {
 double JaccardMatcher::Similarity(const EntityProfile& a,
                                   const EntityProfile& b) const {
   return JaccardSimilarity(a.tokens, b.tokens);
+}
+
+bool JaccardMatcher::Verdict(const EntityProfile& a, const EntityProfile& b,
+                             SimilarityScratch*) const {
+  return JaccardVerdict(a.tokens, b.tokens, threshold());
 }
 
 double EditDistanceMatcher::Similarity(const EntityProfile& a,
@@ -20,9 +26,48 @@ double EditDistanceMatcher::Similarity(const EntityProfile& a,
   return NormalizedEditSimilarity(ta, tb);
 }
 
+double EditDistanceMatcher::SimilarityKernel(const EntityProfile& a,
+                                             const EntityProfile& b,
+                                             SimilarityScratch* scratch) const {
+  const std::string_view ta =
+      std::string_view(a.flat_text).substr(0, max_text_length_);
+  const std::string_view tb =
+      std::string_view(b.flat_text).substr(0, max_text_length_);
+  if (ta == tb) return 1.0;  // covers the both-empty case
+  const size_t max_len = std::max(ta.size(), tb.size());
+  const size_t dist = MyersEditDistance(ta, tb, scratch);
+  // Exactly the expression NormalizedEditSimilarity() evaluates.
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(max_len);
+}
+
+bool EditDistanceMatcher::Verdict(const EntityProfile& a,
+                                  const EntityProfile& b,
+                                  SimilarityScratch* scratch) const {
+  const std::string_view ta =
+      std::string_view(a.flat_text).substr(0, max_text_length_);
+  const std::string_view tb =
+      std::string_view(b.flat_text).substr(0, max_text_length_);
+  if (ta == tb) return 1.0 >= threshold();
+  const size_t max_len = std::max(ta.size(), tb.size());
+  const ptrdiff_t k = MaxEditDistanceForThreshold(threshold(), max_len);
+  if (k < 0) return false;  // threshold > 1: nothing can match
+  const size_t max_dist = static_cast<size_t>(k);
+  if (max_dist >= max_len) return true;  // even the worst distance passes
+  // Length-difference lower bound: dist >= |len(a) - len(b)|.
+  const size_t diff =
+      ta.size() >= tb.size() ? ta.size() - tb.size() : tb.size() - ta.size();
+  if (diff > max_dist) return false;
+  return MyersEditDistanceBounded(ta, tb, max_dist, scratch) <= max_dist;
+}
+
 double CosineMatcher::Similarity(const EntityProfile& a,
                                  const EntityProfile& b) const {
   return CosineSimilarity(a.tokens, b.tokens);
+}
+
+bool CosineMatcher::Verdict(const EntityProfile& a, const EntityProfile& b,
+                            SimilarityScratch*) const {
+  return CosineVerdict(a.tokens, b.tokens, threshold());
 }
 
 std::unique_ptr<Matcher> MakeMatcher(const std::string& name,
@@ -32,5 +77,7 @@ std::unique_ptr<Matcher> MakeMatcher(const std::string& name,
   if (name == "COS") return std::make_unique<CosineMatcher>(threshold);
   return nullptr;
 }
+
+const char* KnownMatcherNames() { return "JS, ED, COS"; }
 
 }  // namespace pier

@@ -5,9 +5,21 @@
 // (edit distance over the flat profile text, "ED"); the PIER
 // algorithms adapt K to whichever is plugged in.
 //
+// Two execution tiers per matcher (see similarity_kernels.h):
+//  - SimilarityKernel(): the exact score via the kernel layer (Myers
+//    bit-parallel edit distance for ED); bit-identical doubles to
+//    Similarity(), which stays the naive reference.
+//  - Verdict(): answers only "Similarity(a, b) >= threshold()?". For
+//    ED the threshold is converted into a maximum edit distance and a
+//    bounded kernel runs with early abandon; for JS/COS size filters
+//    reject most pairs before any token is touched. Guaranteed to
+//    agree with Matches(a, b) on every input.
+//
 // CostUnits() reports a deterministic, input-dependent work estimate
 // used by the ModeledCostMeter so simulations are reproducible; the
-// MeasuredCostMeter ignores it and uses wall time.
+// MeasuredCostMeter ignores it and uses wall time. It deliberately
+// models the naive cost even on the kernel paths, so modeled-cost
+// simulations stay comparable across executor configurations.
 
 #ifndef PIER_SIMILARITY_MATCHER_H_
 #define PIER_SIMILARITY_MATCHER_H_
@@ -20,13 +32,35 @@
 
 namespace pier {
 
+struct SimilarityScratch;
+
 class Matcher {
  public:
   virtual ~Matcher() = default;
 
-  // Similarity in [0, 1]; higher means more similar.
+  // Similarity in [0, 1]; higher means more similar. This is the
+  // naive reference implementation, kept as the equivalence oracle
+  // for the kernel paths below.
   virtual double Similarity(const EntityProfile& a,
                             const EntityProfile& b) const = 0;
+
+  // Kernel-accelerated exact score: returns the same double as
+  // Similarity(a, b), using `scratch` to avoid per-call allocation.
+  // Defaults to the reference implementation.
+  virtual double SimilarityKernel(const EntityProfile& a,
+                                  const EntityProfile& b,
+                                  SimilarityScratch* scratch) const {
+    (void)scratch;
+    return Similarity(a, b);
+  }
+
+  // Threshold-aware verdict: exactly Matches(a, b), but free to skip
+  // the score computation (bounded kernels, size filters, early
+  // abandon). Defaults to thresholding SimilarityKernel().
+  virtual bool Verdict(const EntityProfile& a, const EntityProfile& b,
+                       SimilarityScratch* scratch) const {
+    return SimilarityKernel(a, b, scratch) >= threshold_;
+  }
 
   // Deterministic work estimate for computing Similarity(a, b).
   virtual uint64_t CostUnits(const EntityProfile& a,
@@ -55,6 +89,8 @@ class JaccardMatcher : public Matcher {
 
   double Similarity(const EntityProfile& a,
                     const EntityProfile& b) const override;
+  bool Verdict(const EntityProfile& a, const EntityProfile& b,
+               SimilarityScratch* scratch) const override;
   uint64_t CostUnits(const EntityProfile& a,
                      const EntityProfile& b) const override {
     return a.tokens.size() + b.tokens.size() + 1;
@@ -73,6 +109,10 @@ class EditDistanceMatcher : public Matcher {
 
   double Similarity(const EntityProfile& a,
                     const EntityProfile& b) const override;
+  double SimilarityKernel(const EntityProfile& a, const EntityProfile& b,
+                          SimilarityScratch* scratch) const override;
+  bool Verdict(const EntityProfile& a, const EntityProfile& b,
+               SimilarityScratch* scratch) const override;
   uint64_t CostUnits(const EntityProfile& a,
                      const EntityProfile& b) const override {
     const uint64_t la = std::min(a.flat_text.size(), max_text_length_);
@@ -93,6 +133,8 @@ class CosineMatcher : public Matcher {
 
   double Similarity(const EntityProfile& a,
                     const EntityProfile& b) const override;
+  bool Verdict(const EntityProfile& a, const EntityProfile& b,
+               SimilarityScratch* scratch) const override;
   uint64_t CostUnits(const EntityProfile& a,
                      const EntityProfile& b) const override {
     return a.tokens.size() + b.tokens.size() + 1;
@@ -104,6 +146,10 @@ class CosineMatcher : public Matcher {
 // for unknown names.
 std::unique_ptr<Matcher> MakeMatcher(const std::string& name,
                                      double threshold);
+
+// Comma-separated list of the names MakeMatcher accepts, for
+// diagnostics ("JS, ED, COS").
+const char* KnownMatcherNames();
 
 }  // namespace pier
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/scoped_timer.h"
+#include "similarity/similarity_kernels.h"
 #include "util/check.h"
 
 namespace pier {
@@ -13,17 +14,23 @@ namespace {
 
 // Matches batch[begin, end) into verdicts[begin, end). `resolve` maps
 // a ProfileId to its profile; it is called from worker threads and
-// must be safe for concurrent reads.
+// must be safe for concurrent reads. One SimilarityScratch per range
+// (= per worker shard): the kernels allocate only while it warms up.
 template <typename Resolve>
 void MatchRange(const Matcher& matcher, const std::vector<Comparison>& batch,
                 size_t begin, size_t end, const Resolve& resolve,
-                MatchVerdict* verdicts) {
+                MatchVerdict* verdicts, bool verdict_only) {
+  SimilarityScratch scratch;
   for (size_t i = begin; i < end; ++i) {
     const EntityProfile& a = resolve(batch[i].x);
     const EntityProfile& b = resolve(batch[i].y);
     MatchVerdict& v = verdicts[i];
-    v.similarity = matcher.Similarity(a, b);
-    v.is_match = v.similarity >= matcher.threshold();
+    if (verdict_only) {
+      v.is_match = matcher.Verdict(a, b, &scratch);
+    } else {
+      v.similarity = matcher.SimilarityKernel(a, b, &scratch);
+      v.is_match = v.similarity >= matcher.threshold();
+    }
     v.cost_units = matcher.CostUnits(a, b);
   }
 }
@@ -32,7 +39,8 @@ template <typename Resolve>
 std::vector<MatchVerdict> ExecuteImpl(const Matcher& matcher, ThreadPool* pool,
                                       size_t min_shard,
                                       const std::vector<Comparison>& batch,
-                                      const Resolve& resolve) {
+                                      const Resolve& resolve,
+                                      bool verdict_only) {
   std::vector<MatchVerdict> verdicts(batch.size());
   const size_t n = batch.size();
   if (n == 0) return verdicts;
@@ -40,7 +48,7 @@ std::vector<MatchVerdict> ExecuteImpl(const Matcher& matcher, ThreadPool* pool,
   size_t shards = pool == nullptr ? 1 : pool->size();
   shards = std::min(shards, std::max<size_t>(1, n / min_shard));
   if (shards <= 1) {
-    MatchRange(matcher, batch, 0, n, resolve, verdicts.data());
+    MatchRange(matcher, batch, 0, n, resolve, verdicts.data(), verdict_only);
     return verdicts;
   }
 
@@ -59,8 +67,8 @@ std::vector<MatchVerdict> ExecuteImpl(const Matcher& matcher, ThreadPool* pool,
       first_end = end;  // shard 0 runs on the calling thread below
     } else {
       pending.push_back(pool->Submit([&matcher, &batch, begin, end, &resolve,
-                                      out = verdicts.data()] {
-        MatchRange(matcher, batch, begin, end, resolve, out);
+                                      verdict_only, out = verdicts.data()] {
+        MatchRange(matcher, batch, begin, end, resolve, out, verdict_only);
       }));
     }
     begin = end;
@@ -70,7 +78,8 @@ std::vector<MatchVerdict> ExecuteImpl(const Matcher& matcher, ThreadPool* pool,
   // task) is rethrown once all shards have finished.
   std::exception_ptr first_error;
   try {
-    MatchRange(matcher, batch, 0, first_end, resolve, verdicts.data());
+    MatchRange(matcher, batch, 0, first_end, resolve, verdicts.data(),
+               verdict_only);
   } catch (...) {
     first_error = std::current_exception();
   }
@@ -97,11 +106,22 @@ ParallelMatchExecutor::ParallelMatchExecutor(const Matcher* matcher,
     batches_metric_ = metrics->GetCounter("executor.batches");
     comparisons_metric_ = metrics->GetCounter("executor.comparisons");
     sharded_batches_metric_ = metrics->GetCounter("executor.sharded_batches");
+    verdict_batches_metric_ = metrics->GetCounter("executor.verdict_batches");
     batch_ns_metric_ = metrics->GetHistogram("executor.batch_ns");
   }
 }
 
 ParallelMatchExecutor::~ParallelMatchExecutor() = default;
+
+void ParallelMatchExecutor::RecordBatchMetrics(size_t batch_size,
+                                               bool verdict_only) const {
+  obs::CounterAdd(batches_metric_);
+  obs::CounterAdd(comparisons_metric_, batch_size);
+  if (verdict_only) obs::CounterAdd(verdict_batches_metric_);
+  if (pool_ != nullptr && batch_size >= 2 * kMinShardSize) {
+    obs::CounterAdd(sharded_batches_metric_);
+  }
+}
 
 std::vector<MatchVerdict> ParallelMatchExecutor::Execute(
     const std::vector<Comparison>& batch, const ProfileStore& profiles) const {
@@ -109,24 +129,38 @@ std::vector<MatchVerdict> ParallelMatchExecutor::Execute(
     return profiles.Get(id);
   };
   const obs::ScopedTimer timer(batch_ns_metric_);
-  obs::CounterAdd(batches_metric_);
-  obs::CounterAdd(comparisons_metric_, batch.size());
-  if (pool_ != nullptr && batch.size() >= 2 * kMinShardSize) {
-    obs::CounterAdd(sharded_batches_metric_);
-  }
-  return ExecuteImpl(*matcher_, pool_.get(), kMinShardSize, batch, resolve);
+  RecordBatchMetrics(batch.size(), /*verdict_only=*/false);
+  return ExecuteImpl(*matcher_, pool_.get(), kMinShardSize, batch, resolve,
+                     /*verdict_only=*/false);
 }
 
 std::vector<MatchVerdict> ParallelMatchExecutor::Execute(
     const std::vector<Comparison>& batch, const ProfileLookup& lookup) const {
   PIER_CHECK(lookup != nullptr);
   const obs::ScopedTimer timer(batch_ns_metric_);
-  obs::CounterAdd(batches_metric_);
-  obs::CounterAdd(comparisons_metric_, batch.size());
-  if (pool_ != nullptr && batch.size() >= 2 * kMinShardSize) {
-    obs::CounterAdd(sharded_batches_metric_);
-  }
-  return ExecuteImpl(*matcher_, pool_.get(), kMinShardSize, batch, lookup);
+  RecordBatchMetrics(batch.size(), /*verdict_only=*/false);
+  return ExecuteImpl(*matcher_, pool_.get(), kMinShardSize, batch, lookup,
+                     /*verdict_only=*/false);
+}
+
+std::vector<MatchVerdict> ParallelMatchExecutor::ExecuteVerdicts(
+    const std::vector<Comparison>& batch, const ProfileStore& profiles) const {
+  const auto resolve = [&profiles](ProfileId id) -> const EntityProfile& {
+    return profiles.Get(id);
+  };
+  const obs::ScopedTimer timer(batch_ns_metric_);
+  RecordBatchMetrics(batch.size(), /*verdict_only=*/true);
+  return ExecuteImpl(*matcher_, pool_.get(), kMinShardSize, batch, resolve,
+                     /*verdict_only=*/true);
+}
+
+std::vector<MatchVerdict> ParallelMatchExecutor::ExecuteVerdicts(
+    const std::vector<Comparison>& batch, const ProfileLookup& lookup) const {
+  PIER_CHECK(lookup != nullptr);
+  const obs::ScopedTimer timer(batch_ns_metric_);
+  RecordBatchMetrics(batch.size(), /*verdict_only=*/true);
+  return ExecuteImpl(*matcher_, pool_.get(), kMinShardSize, batch, lookup,
+                     /*verdict_only=*/true);
 }
 
 }  // namespace pier

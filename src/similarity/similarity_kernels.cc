@@ -1,0 +1,323 @@
+#include "similarity/similarity_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pier {
+
+namespace {
+
+constexpr uint64_t kHighBit = uint64_t{1} << 63;
+
+// Unit-cost edits are unaffected by a shared prefix or suffix, so the
+// kernels only ever see the differing core of the two strings.
+void TrimCommonAffixes(std::string_view* a, std::string_view* b) {
+  size_t prefix = 0;
+  const size_t min_len = std::min(a->size(), b->size());
+  while (prefix < min_len && (*a)[prefix] == (*b)[prefix]) ++prefix;
+  a->remove_prefix(prefix);
+  b->remove_prefix(prefix);
+  size_t suffix = 0;
+  const size_t rem = std::min(a->size(), b->size());
+  while (suffix < rem &&
+         (*a)[a->size() - 1 - suffix] == (*b)[b->size() - 1 - suffix]) {
+    ++suffix;
+  }
+  a->remove_suffix(suffix);
+  b->remove_suffix(suffix);
+}
+
+// Builds the epoch-stamped Peq table for `pattern` and returns the
+// block count. Only rows of bytes that occur in the pattern are
+// (re-)zeroed; absent bytes resolve to scratch->zeros at lookup time.
+size_t BuildPeq(std::string_view pattern, SimilarityScratch* s) {
+  const size_t blocks = (pattern.size() + 63) / 64;
+  s->ReserveBlocks(blocks);
+  ++s->epoch;
+  const size_t stride = s->block_capacity;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(pattern[i]);
+    uint64_t* row = &s->peq[size_t{c} * stride];
+    if (s->peq_stamp[c] != s->epoch) {
+      std::fill(row, row + blocks, uint64_t{0});
+      s->peq_stamp[c] = s->epoch;
+    }
+    row[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  return blocks;
+}
+
+// Core Myers column scan: pattern is the shorter (non-empty) string,
+// text the longer. Returns the exact distance if it is <= max_dist,
+// otherwise max_dist + 1. Callers clamp max_dist so that
+// max_dist + text.size() cannot overflow.
+size_t MyersCore(std::string_view pattern, std::string_view text,
+                 size_t max_dist, SimilarityScratch* s) {
+  const size_t m = pattern.size();
+  const size_t n = text.size();
+  const size_t blocks = BuildPeq(pattern, s);
+  const size_t stride = s->block_capacity;
+  const uint64_t* zeros = s->zeros.data();
+
+  if (blocks == 1) {
+    // Single-word fast path (Hyyro's formulation of Myers 1999).
+    uint64_t pv = ~uint64_t{0};
+    uint64_t mv = 0;
+    size_t score = m;
+    const uint64_t high = uint64_t{1} << (m - 1);
+    for (size_t j = 0; j < n; ++j) {
+      const unsigned char c = static_cast<unsigned char>(text[j]);
+      const uint64_t eq =
+          s->peq_stamp[c] == s->epoch ? s->peq[size_t{c} * stride] : 0;
+      const uint64_t xv = eq | mv;
+      const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+      uint64_t ph = mv | ~(xh | pv);
+      uint64_t mh = pv & xh;
+      if (ph & high) {
+        ++score;
+      } else if (mh & high) {
+        --score;
+      }
+      ph = (ph << 1) | 1;  // D[0][j] = j: the top boundary grows by one
+      mh <<= 1;
+      pv = mh | ~(xv | ph);
+      mv = ph & xv;
+      // The final score can drop by at most one per remaining column.
+      if (score > max_dist + (n - j - 1)) return max_dist + 1;
+    }
+    return score;
+  }
+
+  // Blocked multi-word variant: per-block vertical deltas with the
+  // horizontal delta (+1/0/-1) carried across block boundaries.
+  uint64_t* pv = s->pv.data();
+  uint64_t* mv = s->mv.data();
+  for (size_t b = 0; b < blocks; ++b) {
+    pv[b] = ~uint64_t{0};
+    mv[b] = 0;
+  }
+  size_t score = m;
+  const size_t last = blocks - 1;
+  const uint64_t last_high = uint64_t{1} << ((m - 1) & 63);
+  for (size_t j = 0; j < n; ++j) {
+    const unsigned char c = static_cast<unsigned char>(text[j]);
+    const uint64_t* eq_row =
+        s->peq_stamp[c] == s->epoch ? &s->peq[size_t{c} * stride] : zeros;
+    int hin = 1;  // D[0][j] = j: the boundary row grows by one
+    for (size_t b = 0; b < blocks; ++b) {
+      const uint64_t high = b == last ? last_high : kHighBit;
+      uint64_t eq = eq_row[b];
+      const uint64_t pvb = pv[b];
+      const uint64_t mvb = mv[b];
+      const uint64_t xv = eq | mvb;
+      if (hin < 0) eq |= 1;
+      const uint64_t xh = (((eq & pvb) + pvb) ^ pvb) | eq;
+      uint64_t ph = mvb | ~(xh | pvb);
+      uint64_t mh = pvb & xh;
+      int hout = 0;
+      if (ph & high) {
+        hout = 1;
+      } else if (mh & high) {
+        hout = -1;
+      }
+      ph <<= 1;
+      mh <<= 1;
+      if (hin > 0) {
+        ph |= 1;
+      } else if (hin < 0) {
+        mh |= 1;
+      }
+      pv[b] = mh | ~(xv | ph);
+      mv[b] = ph & xv;
+      hin = hout;
+    }
+    score = static_cast<size_t>(static_cast<ptrdiff_t>(score) + hin);
+    if (score > max_dist + (n - j - 1)) return max_dist + 1;
+  }
+  return score;
+}
+
+}  // namespace
+
+void SimilarityScratch::ReserveBlocks(size_t blocks) {
+  if (blocks <= block_capacity) return;
+  block_capacity = std::max(blocks, block_capacity * 2);
+  peq.assign(256 * block_capacity, 0);
+  pv.assign(block_capacity, 0);
+  mv.assign(block_capacity, 0);
+  zeros.assign(block_capacity, 0);
+  std::fill(std::begin(peq_stamp), std::end(peq_stamp), uint64_t{0});
+  epoch = 0;  // rows were re-laid out; every stamp is now stale
+}
+
+size_t MyersEditDistance(std::string_view a, std::string_view b,
+                         SimilarityScratch* scratch) {
+  TrimCommonAffixes(&a, &b);
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+  // max_dist = m + n makes the cutoff unreachable: this is the exact
+  // variant (score <= max(m, n) always).
+  return MyersCore(b, a, a.size() + b.size(), scratch);
+}
+
+size_t MyersEditDistanceBounded(std::string_view a, std::string_view b,
+                                size_t max_dist, SimilarityScratch* scratch) {
+  TrimCommonAffixes(&a, &b);
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (a.size() - b.size() > max_dist) return max_dist + 1;
+  if (b.empty()) return a.size();  // <= max_dist by the check above
+  const size_t d =
+      MyersCore(b, a, std::min(max_dist, a.size() + b.size()), scratch);
+  return d <= max_dist ? d : max_dist + 1;
+}
+
+ptrdiff_t MaxEditDistanceForThreshold(double threshold, size_t max_len) {
+  const ptrdiff_t len = static_cast<ptrdiff_t>(max_len);
+  const double dlen = static_cast<double>(max_len);
+  // Exactly the score expression of NormalizedEditSimilarity();
+  // monotone non-increasing in d because IEEE division and
+  // subtraction are correctly rounded (hence monotone).
+  const auto sim = [dlen](ptrdiff_t d) {
+    return 1.0 - static_cast<double>(d) / dlen;
+  };
+  double guess = (1.0 - threshold) * dlen;
+  ptrdiff_t d;
+  if (guess <= -1.0) {
+    d = -1;
+  } else if (guess >= static_cast<double>(len)) {
+    d = len;
+  } else {
+    d = static_cast<ptrdiff_t>(guess);
+  }
+  while (d + 1 <= len && sim(d + 1) >= threshold) ++d;
+  while (d >= 0 && sim(d) < threshold) --d;
+  return d;
+}
+
+size_t MinOverlapForJaccard(double threshold, size_t size_a, size_t size_b) {
+  const size_t total = size_a + size_b;
+  // Exactly the score expression of JaccardSimilarity(); monotone
+  // non-decreasing in c (numerator grows, denominator shrinks, and
+  // correctly-rounded division is monotone in both).
+  const auto sim = [total](size_t c) {
+    return static_cast<double>(c) / static_cast<double>(total - c);
+  };
+  const size_t cap = std::min(size_a, size_b);
+  const double guess = threshold * static_cast<double>(total) /
+                       (1.0 + threshold);
+  size_t c;
+  if (!(guess > 0.0)) {  // also covers NaN from threshold == -1
+    c = 0;
+  } else if (guess >= static_cast<double>(cap)) {
+    c = cap;
+  } else {
+    c = static_cast<size_t>(guess);
+  }
+  while (c <= cap && sim(c) < threshold) ++c;
+  while (c > 0 && sim(c - 1) >= threshold) --c;
+  return c;
+}
+
+size_t MinOverlapForCosine(double threshold, size_t size_a, size_t size_b) {
+  // Exactly the denominator CosineSimilarity() divides by.
+  const double denom = std::sqrt(static_cast<double>(size_a) *
+                                 static_cast<double>(size_b));
+  const auto sim = [denom](size_t c) {
+    return static_cast<double>(c) / denom;
+  };
+  const size_t cap = std::min(size_a, size_b);
+  const double guess = threshold * denom;
+  size_t c;
+  if (!(guess > 0.0)) {
+    c = 0;
+  } else if (guess >= static_cast<double>(cap)) {
+    c = cap;
+  } else {
+    c = static_cast<size_t>(guess);
+  }
+  while (c <= cap && sim(c) < threshold) ++c;
+  while (c > 0 && sim(c - 1) >= threshold) --c;
+  return c;
+}
+
+bool IntersectionAtLeast(const std::vector<TokenId>& a,
+                         const std::vector<TokenId>& b, size_t required) {
+  if (required == 0) return true;
+  const size_t sa = a.size();
+  const size_t sb = b.size();
+  if (required > std::min(sa, sb)) return false;
+
+  const std::vector<TokenId>& small = sa <= sb ? a : b;
+  const std::vector<TokenId>& large = sa <= sb ? b : a;
+
+  // Heavily skewed sizes: gallop through the longer vector instead of
+  // stepping the merge over all of it.
+  constexpr size_t kGallopSkewRatio = 16;
+  if (large.size() >= kGallopSkewRatio * small.size()) {
+    size_t count = 0;
+    size_t pos = 0;
+    for (size_t i = 0; i < small.size(); ++i) {
+      if (count + (small.size() - i) < required) return false;
+      const TokenId x = small[i];
+      // Exponential probe from the frontier; bounds 1, 2, ..., bound/2
+      // were all < x, so the first element >= x lies in
+      // (pos + bound/2, pos + bound].
+      size_t bound = 1;
+      while (pos + bound < large.size() && large[pos + bound] < x) {
+        bound <<= 1;
+      }
+      const size_t lo = pos + bound / 2;
+      const size_t hi = std::min(large.size(), pos + bound + 1);
+      pos = static_cast<size_t>(
+          std::lower_bound(large.begin() + static_cast<ptrdiff_t>(lo),
+                           large.begin() + static_cast<ptrdiff_t>(hi), x) -
+          large.begin());
+      if (pos < large.size() && large[pos] == x) {
+        ++count;
+        if (count >= required) return true;
+        ++pos;
+      }
+      if (pos >= large.size()) break;  // everything after x is larger too
+    }
+    return false;
+  }
+
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (true) {
+    // Running upper bound: even matching every remaining element of
+    // the shorter tail cannot reach `required`. This also guarantees
+    // i < |small| and j < |large| below.
+    if (count + std::min(small.size() - i, large.size() - j) < required) {
+      return false;
+    }
+    if (small[i] < large[j]) {
+      ++i;
+    } else if (large[j] < small[i]) {
+      ++j;
+    } else {
+      ++count;
+      if (count >= required) return true;
+      ++i;
+      ++j;
+    }
+  }
+}
+
+bool JaccardVerdict(const std::vector<TokenId>& a,
+                    const std::vector<TokenId>& b, double threshold) {
+  if (a.empty() && b.empty()) return 1.0 >= threshold;
+  const size_t required = MinOverlapForJaccard(threshold, a.size(), b.size());
+  return IntersectionAtLeast(a, b, required);
+}
+
+bool CosineVerdict(const std::vector<TokenId>& a,
+                   const std::vector<TokenId>& b, double threshold) {
+  if (a.empty() && b.empty()) return 1.0 >= threshold;
+  if (a.empty() || b.empty()) return 0.0 >= threshold;
+  const size_t required = MinOverlapForCosine(threshold, a.size(), b.size());
+  return IntersectionAtLeast(a, b, required);
+}
+
+}  // namespace pier

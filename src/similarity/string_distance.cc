@@ -35,7 +35,10 @@ double JaccardSimilarity(const std::vector<TokenId>& a,
 
 double OverlapCoefficient(const std::vector<TokenId>& a,
                           const std::vector<TokenId>& b) {
-  if (a.empty() || b.empty()) return 1.0;
+  if (a.empty() && b.empty()) return 1.0;
+  // An empty profile shares nothing with a non-empty one; returning
+  // 1.0 here would make it "fully similar" to everything.
+  if (a.empty() || b.empty()) return 0.0;
   const size_t common = IntersectionSize(a, b);
   return static_cast<double>(common) / std::min(a.size(), b.size());
 }
@@ -106,7 +109,10 @@ size_t LevenshteinBounded(std::string_view a, std::string_view b,
 }
 
 double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
-  if (a.empty() && b.empty()) return 1.0;
+  if (a == b) return 1.0;  // covers the both-empty case; no DP needed
+  // The length difference lower-bounds the distance; when one side is
+  // empty the bound is tight (dist == max_len), so the score is 0.
+  if (a.empty() || b.empty()) return 0.0;
   const size_t max_len = std::max(a.size(), b.size());
   const size_t dist = Levenshtein(a, b);
   return 1.0 - static_cast<double>(dist) / static_cast<double>(max_len);

@@ -21,7 +21,8 @@ size_t IntersectionSize(const std::vector<TokenId>& a,
 double JaccardSimilarity(const std::vector<TokenId>& a,
                          const std::vector<TokenId>& b);
 
-// |a n b| / min(|a|, |b|); 1.0 when either is empty.
+// |a n b| / min(|a|, |b|); 1.0 when both are empty, 0.0 when exactly
+// one is empty.
 double OverlapCoefficient(const std::vector<TokenId>& a,
                           const std::vector<TokenId>& b);
 
@@ -33,8 +34,8 @@ double CosineSimilarity(const std::vector<TokenId>& a,
 // O(min(|a|, |b|)) space.
 size_t Levenshtein(std::string_view a, std::string_view b);
 
-// Levenshtein with early abandoning: returns the exact distance if it
-// is <= max_dist, otherwise any value > max_dist. Uses the band
+// Levenshtein with early abandoning: returns
+// min(Levenshtein(a, b), max_dist + 1). Uses the band
 // |i - j| <= max_dist (Ukkonen), so it runs in O(max_dist * min_len).
 size_t LevenshteinBounded(std::string_view a, std::string_view b,
                           size_t max_dist);

@@ -145,10 +145,11 @@ void RealtimePipeline::WorkerLoop() {
     // ingested before EmitBatch, and the chunked ProfileStore keeps
     // their addresses stable under concurrent Add. The executor shards
     // the batch across execution_threads workers, preserving emission
-    // order.
+    // order; only the classification is consumed here, so the
+    // verdict-only kernel path applies.
     Stopwatch sw;
     const std::vector<MatchVerdict> verdicts =
-        executor_.Execute(batch, pipeline_.profiles());
+        executor_.ExecuteVerdicts(batch, pipeline_.profiles());
     const double seconds = sw.ElapsedSeconds();
     {
       std::lock_guard<std::mutex> lock(mutex_);

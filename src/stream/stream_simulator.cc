@@ -419,8 +419,11 @@ RunResult StreamSimulator::RunLoop(ErAlgorithm& algorithm,
         state.vt += gen_cost;
         uint64_t units = 0;
         Stopwatch match_sw;
+        // Verdict-only fast path: the simulator consumes is_match and
+        // cost_units, never the raw score, so the bounded kernels can
+        // skip the exact similarity computation.
         const std::vector<MatchVerdict> verdicts =
-            executor.Execute(batch, lookup);
+            executor.ExecuteVerdicts(batch, lookup);
         uint64_t batch_matches = 0;
         uint64_t batch_positives = 0;
         for (size_t i = 0; i < batch.size(); ++i) {

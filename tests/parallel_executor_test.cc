@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -88,6 +89,44 @@ TEST(ParallelExecutorTest, VerdictStreamMatchesSequentialAtEveryThreadCount) {
   }
 }
 
+// The verdict-only kernel path must reproduce the sequential
+// reference's is_match / cost_units streams exactly, for every matcher
+// family, threshold, and thread count (similarity is deliberately left
+// 0.0 on this path).
+TEST(ParallelExecutorTest, VerdictPathStreamIdenticalAcrossMatchers) {
+  const Workload w = MakeWorkload(2000);
+  ASSERT_GT(w.comparisons.size(), 500u);
+
+  for (const char* name : {"JS", "ED", "COS"}) {
+    for (const double threshold : {0.3, 0.5, 0.8}) {
+      const std::unique_ptr<Matcher> matcher =
+          std::string(name) == "ED"
+              ? std::make_unique<EditDistanceMatcher>(threshold,
+                                                      /*max_text_length=*/256)
+              : MakeMatcher(name, threshold);
+      ASSERT_NE(matcher, nullptr);
+      const std::vector<MatchVerdict> reference =
+          SequentialReference(*matcher, w.comparisons, w.pipeline->profiles());
+      for (const size_t threads : {1u, 2u, 8u}) {
+        const ParallelMatchExecutor executor(matcher.get(), threads);
+        const std::vector<MatchVerdict> verdicts =
+            executor.ExecuteVerdicts(w.comparisons, w.pipeline->profiles());
+        ASSERT_EQ(verdicts.size(), reference.size());
+        for (size_t i = 0; i < verdicts.size(); ++i) {
+          ASSERT_EQ(verdicts[i].is_match, reference[i].is_match)
+              << name << " t=" << threshold << " threads=" << threads
+              << " i=" << i;
+          ASSERT_EQ(verdicts[i].cost_units, reference[i].cost_units)
+              << name << " t=" << threshold << " threads=" << threads
+              << " i=" << i;
+          ASSERT_EQ(verdicts[i].similarity, 0.0)
+              << name << " verdict path must not compute scores, i=" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(ParallelExecutorTest, EmptyBatch) {
   const JaccardMatcher matcher(0.5);
   const ParallelMatchExecutor executor(&matcher, 4);
@@ -107,6 +146,21 @@ TEST(ParallelExecutorTest, SmallBatchRunsInlineButIdentically) {
     EXPECT_EQ(verdicts[i].is_match, reference[i].is_match);
     EXPECT_EQ(verdicts[i].similarity, reference[i].similarity);
   }
+  // Same inline shortcut on the verdict path.
+  const auto inline_verdicts =
+      executor.ExecuteVerdicts(w.comparisons, w.pipeline->profiles());
+  ASSERT_EQ(inline_verdicts.size(), reference.size());
+  for (size_t i = 0; i < inline_verdicts.size(); ++i) {
+    EXPECT_EQ(inline_verdicts[i].is_match, reference[i].is_match);
+  }
+}
+
+TEST(ParallelExecutorTest, EmptyBatchVerdictPath) {
+  const JaccardMatcher matcher(0.5);
+  const ParallelMatchExecutor executor(&matcher, 4);
+  ProfileStore store;
+  EXPECT_TRUE(
+      executor.ExecuteVerdicts(std::vector<Comparison>{}, store).empty());
 }
 
 class ThrowingMatcher : public Matcher {

@@ -40,6 +40,15 @@ TEST(OverlapCoefficientTest, KnownValues) {
                    0.5);
 }
 
+// Regression: an empty side used to score 1.0 (0/0 guarded with the
+// wrong fallback); a set shares nothing with the empty set, so only
+// the both-empty case is a perfect overlap.
+TEST(OverlapCoefficientTest, EmptySides) {
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(Tokens({}), Tokens({1, 2})), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(Tokens({1}), Tokens({})), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(Tokens({}), Tokens({})), 1.0);
+}
+
 TEST(CosineTest, KnownValues) {
   EXPECT_NEAR(CosineSimilarity(Tokens({1, 2}), Tokens({1, 2, 3, 4})),
               2.0 / std::sqrt(8.0), 1e-12);
@@ -117,6 +126,18 @@ TEST(NormalizedEditTest, Bounds) {
   EXPECT_NEAR(NormalizedEditSimilarity("abcd", "abcx"), 0.75, 1e-12);
 }
 
+TEST(NormalizedEditTest, IdenticalStringsShortCircuit) {
+  // Identical inputs (any length) must return exactly 1.0 without
+  // running the DP; the long-string case would be quadratic otherwise.
+  const std::string long_text(10000, 'q');
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity(long_text, long_text), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("x", "x"), 1.0);
+  // One empty side: the length-difference lower bound is tight
+  // (dist == max_len), decided without the DP.
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("", "abcdefgh"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("xyz", ""), 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Matchers
 // ---------------------------------------------------------------------------
@@ -175,6 +196,15 @@ TEST(MatcherTest, FactoryByName) {
   EXPECT_EQ(MakeMatcher("nope", 0.5), nullptr);
   EXPECT_STREQ(MakeMatcher("JS", 0.5)->name(), "JS");
   EXPECT_DOUBLE_EQ(MakeMatcher("ED", 0.8)->threshold(), 0.8);
+}
+
+TEST(MatcherTest, KnownMatcherNamesListsEveryFactoryName) {
+  // The diagnostic list must cover exactly what MakeMatcher accepts.
+  const std::string names = KnownMatcherNames();
+  for (const char* name : {"JS", "ED", "COS"}) {
+    EXPECT_NE(names.find(name), std::string::npos) << name;
+    EXPECT_NE(MakeMatcher(name, 0.5), nullptr) << name;
+  }
 }
 
 TEST(MatcherTest, CosineMatcher) {

@@ -168,12 +168,14 @@ int main(int argc, char** argv) {
                  rec.rationale.c_str());
   }
 
+  const std::string matcher_name = Get(args, "matcher", "JS");
   const auto matcher =
-      MakeMatcher(Get(args, "matcher", "JS"),
-                  std::stod(Get(args, "threshold", "0.5")));
+      MakeMatcher(matcher_name, std::stod(Get(args, "threshold", "0.5")));
   if (!matcher) {
-    std::fprintf(stderr, "unknown matcher\n");
-    return Usage();
+    std::fprintf(stderr,
+                 "pier_cli: unknown matcher '%s' (valid names: %s)\n",
+                 matcher_name.c_str(), KnownMatcherNames());
+    return 1;
   }
 
   SimulatorOptions sim_options;
