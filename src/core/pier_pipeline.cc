@@ -63,7 +63,9 @@ PierPipeline::PierPipeline(PierOptions options)
     metrics_.state_bytes_dictionary =
         r.GetGauge("persist.state_bytes.dictionary");
     metrics_.state_bytes_filter = r.GetGauge("persist.state_bytes.filter");
+    metrics_.state_bytes_clusters = r.GetGauge("persist.state_bytes.clusters");
     adaptive_k_.AttachMetrics(&r);
+    clusters_.InstrumentWith(&r);
   }
 }
 
@@ -87,6 +89,10 @@ WorkStats PierPipeline::Ingest(std::vector<EntityProfile> profiles) {
     profiles_.Add(std::move(profile));
   }
   stats += prioritizer_->UpdateCmpIndex(delta);
+  // Every ingested profile starts as a singleton cluster; the index
+  // grows here (publish-then-release) so queries for new ids are valid
+  // the moment Ingest returns.
+  clusters_.TrackUpTo(profiles_.size());
   obs::CounterAdd(metrics_.increments);
   obs::CounterAdd(metrics_.profiles_ingested, stats.profiles);
   obs::CounterAdd(metrics_.tokens_ingested, stats.tokens);
@@ -193,7 +199,10 @@ void PierPipeline::Snapshot(persist::SnapshotBuilder& builder) const {
   }
 
   adaptive_k_.Snapshot(builder.AddSection("pier.findk"));
+  clusters_.Snapshot(builder.AddSection("pier.clusters"));
 
+  obs::GaugeSet(metrics_.state_bytes_clusters,
+                static_cast<double>(clusters_.ApproxMemoryBytes()));
   obs::GaugeSet(metrics_.state_bytes_profiles,
                 static_cast<double>(profiles_.ApproxMemoryBytes()));
   obs::GaugeSet(metrics_.state_bytes_blocks,
@@ -271,6 +280,12 @@ bool PierPipeline::Restore(const persist::SnapshotReader& reader,
   if (!reader.Open("pier.findk", &section, error)) return false;
   if (!adaptive_k_.Restore(section)) {
     SetRestoreError(error, "section 'pier.findk' failed to decode");
+    return false;
+  }
+
+  if (!reader.Open("pier.clusters", &section, error)) return false;
+  if (!clusters_.Restore(section)) {
+    SetRestoreError(error, "section 'pier.clusters' failed to decode");
     return false;
   }
 

@@ -41,6 +41,7 @@
 #include "model/profile_store.h"
 #include "model/token_dictionary.h"
 #include "obs/metrics.h"
+#include "serve/cluster_index.h"
 #include "text/tokenizer.h"
 #include "util/scalable_bloom_filter.h"
 
@@ -120,6 +121,17 @@ class PierPipeline {
 
   bool PrioritizerEmpty() const { return prioritizer_->Empty(); }
 
+  // Records a positive match verdict in the online cluster index.
+  // Callers feed every `is_match` verdict here (the realtime worker
+  // and the stream simulator both do); the index merges the two
+  // profiles' clusters. Safe against concurrent cluster queries.
+  void RecordMatch(ProfileId a, ProfileId b) { clusters_.AddMatch(a, b); }
+
+  // The online cluster-serving index (see serve/cluster_index.h).
+  // Query methods (ClusterOf / ClusterIdOf / ClusterSizeOf) are safe
+  // to call concurrently with Ingest / RecordMatch.
+  const serve::ClusterIndex& clusters() const { return clusters_; }
+
   const ProfileStore& profiles() const { return profiles_; }
   const BlockCollection& blocks() const { return blocks_; }
   const TokenDictionary& dictionary() const { return dictionary_; }
@@ -162,6 +174,7 @@ class PierPipeline {
     obs::Gauge* state_bytes_blocks = nullptr;
     obs::Gauge* state_bytes_dictionary = nullptr;
     obs::Gauge* state_bytes_filter = nullptr;
+    obs::Gauge* state_bytes_clusters = nullptr;
   };
 
   PierOptions options_;
@@ -173,6 +186,7 @@ class PierPipeline {
   std::unique_ptr<IncrementalPrioritizer> prioritizer_;
   AdaptiveK adaptive_k_;
 
+  serve::ClusterIndex clusters_;
   ScalableBloomFilter executed_filter_;
   std::unordered_set<uint64_t> executed_exact_;
   uint64_t comparisons_emitted_ = 0;

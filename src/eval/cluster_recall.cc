@@ -1,0 +1,139 @@
+#include "eval/cluster_recall.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "eval/entity_clusters.h"
+#include "util/serial.h"
+
+namespace pier {
+
+ClusterRecallTracker::ClusterRecallTracker(const GroundTruth& truth) {
+  // Transitive closure of the ground-truth pairs; the component
+  // representative becomes the gt cluster id.
+  EntityClusters closure;
+  for (const uint64_t key : truth.pairs()) {
+    closure.AddMatch(static_cast<ProfileId>(key >> 32),
+                     static_cast<ProfileId>(key & 0xffffffffULL));
+  }
+  std::unordered_map<uint32_t, uint64_t> cluster_sizes;
+  for (const uint64_t key : truth.pairs()) {
+    const ProfileId ids[2] = {static_cast<ProfileId>(key >> 32),
+                              static_cast<ProfileId>(key & 0xffffffffULL)};
+    for (const ProfileId id : ids) {
+      const uint32_t gt = closure.Find(id);
+      if (gt_of_.emplace(id, gt).second) ++cluster_sizes[gt];
+    }
+  }
+  for (const auto& [gt, count] : cluster_sizes) {
+    total_pairs_ += count * (count - 1) / 2;
+  }
+}
+
+void ClusterRecallTracker::EnsureTracked(ProfileId id) {
+  while (parent_.size() <= id) {
+    const auto self = static_cast<ProfileId>(parent_.size());
+    parent_.push_back(self);
+    size_.push_back(1);
+    const auto it = gt_of_.find(self);
+    if (it != gt_of_.end()) root_gt_counts_[self][it->second] = 1;
+  }
+}
+
+ProfileId ClusterRecallTracker::FindRoot(ProfileId id) {
+  ProfileId root = id;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[id] != root) {
+    const ProfileId up = parent_[id];
+    parent_[id] = root;
+    id = up;
+  }
+  return root;
+}
+
+ProfileId ClusterRecallTracker::FindRootConst(ProfileId id) const {
+  while (parent_[id] != id) id = parent_[id];
+  return id;
+}
+
+void ClusterRecallTracker::MergeHistograms(ProfileId winner, ProfileId loser) {
+  const auto loser_it = root_gt_counts_.find(loser);
+  if (loser_it == root_gt_counts_.end()) return;
+  GtHistogram from = std::move(loser_it->second);
+  root_gt_counts_.erase(loser_it);
+  GtHistogram& into = root_gt_counts_[winner];
+  if (into.size() < from.size()) into.swap(from);
+  for (const auto& [gt, count] : from) {
+    uint32_t& slot = into[gt];
+    connected_pairs_ +=
+        static_cast<uint64_t>(slot) * static_cast<uint64_t>(count);
+    slot += count;
+  }
+}
+
+bool ClusterRecallTracker::AddMatch(ProfileId a, ProfileId b) {
+  EnsureTracked(std::max(a, b));
+  ProfileId ra = FindRoot(a);
+  ProfileId rb = FindRoot(b);
+  if (ra == rb) return false;
+  // Union by size; ties go to the smaller root id so the tree shape is
+  // a deterministic function of the match stream.
+  if (size_[ra] < size_[rb] || (size_[ra] == size_[rb] && rb < ra)) {
+    std::swap(ra, rb);
+  }
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  MergeHistograms(ra, rb);
+  return true;
+}
+
+void ClusterRecallTracker::Snapshot(std::ostream& out) const {
+  serial::WriteU64(out, parent_.size());
+  // Canonical form: every profile's cluster id is the smallest member
+  // of its cluster — in an ascending pass, the first member seen for
+  // each root.
+  std::unordered_map<ProfileId, uint32_t> min_member;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    const ProfileId root = FindRootConst(static_cast<ProfileId>(i));
+    const auto it =
+        min_member.emplace(root, static_cast<uint32_t>(i)).first;
+    serial::WriteU32(out, it->second);
+  }
+}
+
+bool ClusterRecallTracker::Restore(std::istream& in) {
+  if (!parent_.empty()) return false;
+  uint64_t n = 0;
+  if (!serial::ReadU64(in, &n)) return false;
+  std::vector<uint32_t> cid;
+  cid.reserve(static_cast<size_t>(std::min<uint64_t>(n, uint64_t{1} << 20)));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t c = 0;
+    if (!serial::ReadU32(in, &c) || c > i || (c < i && cid[c] != c)) {
+      return false;
+    }
+    cid.push_back(c);
+  }
+  // Rebuild flat: parent = canonical id. Sizes, histograms, and the
+  // connected-pair count are all functions of the partition + ground
+  // truth, so they reconstruct exactly.
+  parent_.resize(static_cast<size_t>(n));
+  size_.assign(static_cast<size_t>(n), 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    parent_[i] = cid[i];
+    ++size_[cid[i]];
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto it = gt_of_.find(static_cast<ProfileId>(i));
+    if (it != gt_of_.end()) ++root_gt_counts_[cid[i]][it->second];
+  }
+  connected_pairs_ = 0;
+  for (const auto& [root, histogram] : root_gt_counts_) {
+    for (const auto& [gt, count] : histogram) {
+      connected_pairs_ += static_cast<uint64_t>(count) * (count - 1) / 2;
+    }
+  }
+  return true;
+}
+
+}  // namespace pier

@@ -1,0 +1,98 @@
+// Cluster-level progressive quality: while PC counts ground-truth
+// *pairs* emitted and matched, ClusterRecall asks how much of the
+// ground-truth *entity clusters* the online cluster index has already
+// reassembled. Formally, with ground-truth clusters G (the connected
+// components of the true-match graph) and the predicted partition P
+// (the connected components of the positive-verdict graph so far):
+//
+//   ClusterRecall(t) =  |{ {a,b} : same G-cluster and same P-cluster }|
+//                       -----------------------------------------------
+//                       |{ {a,b} : same G-cluster }|
+//
+// Both sides are transitively closed, so a cluster {a,b,c} counts 3
+// pairs even if the ground truth only listed {a,b} and {b,c}. The
+// metric is monotone in the match stream (merges only ever connect
+// more pairs) and reaches 1.0 exactly when every ground-truth cluster
+// lives inside one predicted cluster.
+//
+// The tracker maintains the predicted partition with its own
+// union-find plus a per-cluster ground-truth histogram, so folding a
+// verdict in is amortized near-O(1): merging two clusters adds
+// count_small * count_large newly-connected pairs for every
+// ground-truth cluster they share, and histograms merge
+// smaller-into-larger.
+
+#ifndef PIER_EVAL_CLUSTER_RECALL_H_
+#define PIER_EVAL_CLUSTER_RECALL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "model/ground_truth.h"
+#include "model/types.h"
+
+namespace pier {
+
+class ClusterRecallTracker {
+ public:
+  // Builds the ground-truth clusters (transitive closure of `truth`)
+  // once up front. `truth` is only read during construction.
+  explicit ClusterRecallTracker(const GroundTruth& truth);
+
+  // Folds one positive match verdict into the predicted partition.
+  // Returns true when the edge merged two previously distinct
+  // clusters.
+  bool AddMatch(ProfileId a, ProfileId b);
+
+  // Ground-truth pairs currently co-clustered (numerator).
+  uint64_t connected_pairs() const { return connected_pairs_; }
+  // All intra-ground-truth-cluster pairs (denominator); fixed at
+  // construction.
+  uint64_t total_cluster_pairs() const { return total_pairs_; }
+
+  double Recall() const {
+    return total_pairs_ == 0 ? 0.0
+                             : static_cast<double>(connected_pairs_) /
+                                   static_cast<double>(total_pairs_);
+  }
+
+  // Canonical serialization of the predicted partition (same partition
+  // -> same bytes; see serve/cluster_index.h for the format rationale).
+  // The ground-truth side is rebuilt from the constructor argument, so
+  // only the partition is persisted.
+  void Snapshot(std::ostream& out) const;
+
+  // Restores a Snapshot payload into this freshly-constructed tracker
+  // (built from the same GroundTruth). Returns false on a malformed
+  // payload. Recall()/connected_pairs() are rebuilt exactly.
+  bool Restore(std::istream& in);
+
+ private:
+  using GtHistogram = std::unordered_map<uint32_t, uint32_t>;
+
+  void EnsureTracked(ProfileId id);
+  ProfileId FindRoot(ProfileId id);
+  ProfileId FindRootConst(ProfileId id) const;
+  // Merges the loser root's histogram into the winner's, crediting
+  // newly-connected pairs for every shared ground-truth cluster.
+  void MergeHistograms(ProfileId winner, ProfileId loser);
+
+  // Predicted partition.
+  std::vector<ProfileId> parent_;
+  std::vector<uint32_t> size_;
+  // root -> (ground-truth cluster id -> member count); only roots
+  // whose cluster intersects the ground truth have an entry.
+  std::unordered_map<ProfileId, GtHistogram> root_gt_counts_;
+
+  // Ground truth (fixed after construction): profile -> gt cluster id.
+  std::unordered_map<ProfileId, uint32_t> gt_of_;
+
+  uint64_t connected_pairs_ = 0;
+  uint64_t total_pairs_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_EVAL_CLUSTER_RECALL_H_

@@ -9,21 +9,40 @@ namespace pier {
 void PrintCurveCsv(std::ostream& out, const std::vector<RunResult>& runs,
                    size_t max_points) {
   CsvWriter csv(out);
-  csv.WriteRow({"series", "time_s", "comparisons", "matches", "pc"});
+  csv.WriteRow(
+      {"series", "time_s", "comparisons", "matches", "pc", "cluster_recall"});
   for (const auto& run : runs) {
     const ProgressiveCurve curve = run.curve.Downsample(max_points);
-    for (const auto& p : curve.points()) {
+    // The cluster curve is recorded in lockstep with the PC curve
+    // (same points, same times), so downsampling both with the same
+    // cap keeps rows aligned. Runs without cluster tracking (e.g.
+    // hand-built results) report 0.
+    const bool has_clusters =
+        run.cluster_curve.points().size() == run.curve.points().size();
+    const ProgressiveCurve cluster_curve =
+        has_clusters ? run.cluster_curve.Downsample(max_points)
+                     : ProgressiveCurve{};
+    for (size_t i = 0; i < curve.points().size(); ++i) {
+      const auto& p = curve.points()[i];
       const double pc =
           run.total_true_matches == 0
               ? 0.0
               : static_cast<double>(p.matches_found) /
                     static_cast<double>(run.total_true_matches);
+      double cluster_recall = 0.0;
+      if (has_clusters && run.total_cluster_pairs > 0) {
+        cluster_recall =
+            static_cast<double>(cluster_curve.points()[i].matches_found) /
+            static_cast<double>(run.total_cluster_pairs);
+      }
       char time_buf[32];
       char pc_buf[32];
+      char cr_buf[32];
       std::snprintf(time_buf, sizeof(time_buf), "%.4f", p.time);
       std::snprintf(pc_buf, sizeof(pc_buf), "%.4f", pc);
+      std::snprintf(cr_buf, sizeof(cr_buf), "%.4f", cluster_recall);
       csv.WriteRow({run.algorithm, time_buf, std::to_string(p.comparisons),
-                    std::to_string(p.matches_found), pc_buf});
+                    std::to_string(p.matches_found), pc_buf, cr_buf});
     }
   }
 }
@@ -69,15 +88,17 @@ void PrintSummaryTable(std::ostream& out, const std::vector<RunResult>& runs,
 void PrintMatcherQualityTable(std::ostream& out,
                               const std::vector<RunResult>& runs) {
   char line[256];
-  std::snprintf(line, sizeof(line), "%-14s %10s %10s %10s %10s\n",
-                "algorithm", "positives", "precision", "recall", "F1");
+  std::snprintf(line, sizeof(line), "%-14s %10s %10s %10s %10s %10s\n",
+                "algorithm", "positives", "precision", "recall", "F1",
+                "cl_recall");
   out << line;
   for (const auto& run : runs) {
-    std::snprintf(line, sizeof(line), "%-14s %10llu %10.3f %10.3f %10.3f\n",
+    std::snprintf(line, sizeof(line),
+                  "%-14s %10llu %10.3f %10.3f %10.3f %10.3f\n",
                   run.algorithm.c_str(),
                   static_cast<unsigned long long>(run.matcher_positives),
                   run.MatcherPrecision(), run.MatcherRecall(),
-                  run.MatcherF1());
+                  run.MatcherF1(), run.FinalClusterRecall());
     out << line;
   }
 }

@@ -19,6 +19,14 @@ struct RunResult {
 
   ProgressiveCurve curve;
 
+  // Cluster-level quality over time (see eval/cluster_recall.h):
+  // recorded at the same virtual times as `curve`, with matches_found
+  // holding the cumulative count of ground-truth pairs co-clustered by
+  // the online cluster index (numerator of ClusterRecall).
+  ProgressiveCurve cluster_curve;
+  // All intra-ground-truth-cluster pairs (ClusterRecall denominator).
+  uint64_t total_cluster_pairs = 0;
+
   uint64_t total_true_matches = 0;   // |M| (PC denominator)
   uint64_t comparisons_executed = 0;
   uint64_t matches_found = 0;
@@ -42,6 +50,14 @@ struct RunResult {
   double stream_consumed_at = -1.0;
   // Virtual time at which the run finished or hit the budget.
   double end_time = 0.0;
+
+  // Final cluster-level recall: fraction of intra-ground-truth-cluster
+  // pairs the online cluster index had co-clustered by the end.
+  double FinalClusterRecall() const {
+    if (total_cluster_pairs == 0 || cluster_curve.empty()) return 0.0;
+    return static_cast<double>(cluster_curve.points().back().matches_found) /
+           static_cast<double>(total_cluster_pairs);
+  }
 
   double FinalPc() const {
     return total_true_matches == 0

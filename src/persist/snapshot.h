@@ -48,7 +48,10 @@ namespace pier {
 namespace persist {
 
 inline constexpr char kMagic[8] = {'P', 'I', 'E', 'R', 'S', 'N', 'A', 'P'};
-inline constexpr uint32_t kFormatVersion = 1;
+// Version 2: pipeline snapshots gained the 'pier.clusters' section and
+// simulator snapshots the 'sim.clusters' section (the online cluster
+// index / cluster-recall state); v1 files lack them and are rejected.
+inline constexpr uint32_t kFormatVersion = 2;
 
 // Accumulates named sections in memory, then serializes the complete
 // framed snapshot in one pass. Section names must be unique and are

@@ -1,0 +1,312 @@
+#include "serve/cluster_index.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+#include "util/serial.h"
+#include "util/stopwatch.h"
+
+namespace pier {
+namespace serve {
+
+void ClusterIndex::AtomicU32Chunks::EnsureChunkFor(size_t i) {
+  const size_t chunk_index = i >> kChunkShift;
+  PIER_CHECK(chunk_index < kMaxChunks);
+  if (chunks_[chunk_index].load(std::memory_order_relaxed) != nullptr) return;
+  auto* chunk = new std::atomic<uint32_t>[kChunkSize]();
+  chunks_[chunk_index].store(chunk, std::memory_order_release);
+  allocated_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClusterIndex::InstrumentWith(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  queries_metric_ = registry->GetCounter("serve.queries");
+  unions_metric_ = registry->GetCounter("serve.unions");
+  merges_metric_ = registry->GetCounter("serve.merges");
+  query_retries_metric_ = registry->GetCounter("serve.query_retries");
+  query_ns_metric_ = registry->GetHistogram("serve.query_ns");
+  universe_metric_ = registry->GetGauge("serve.universe");
+  clusters_metric_ = registry->GetGauge("serve.nontrivial_clusters");
+}
+
+void ClusterIndex::TrackUpToLocked(size_t n) {
+  size_t size = size_.load(std::memory_order_relaxed);
+  if (n <= size) return;
+  for (size_t i = size; i < n; ++i) {
+    parent_.EnsureChunkFor(i);
+    next_.EnsureChunkFor(i);
+    csize_.EnsureChunkFor(i);
+    cmin_.EnsureChunkFor(i);
+    const auto id = static_cast<uint32_t>(i);
+    parent_.Store(i, id, std::memory_order_relaxed);
+    next_.Store(i, id, std::memory_order_relaxed);
+    csize_.Store(i, 1, std::memory_order_relaxed);
+    cmin_.Store(i, id, std::memory_order_relaxed);
+  }
+  // Entries are fully initialized before the size release publishes
+  // them, so a reader that passes the `id < universe_size()` gate only
+  // ever sees initialized cells. No version bump: growth never changes
+  // the partition a concurrent reader is walking.
+  size_.store(n, std::memory_order_release);
+  obs::GaugeSet(universe_metric_, static_cast<double>(n));
+}
+
+void ClusterIndex::TrackUpTo(size_t n) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  TrackUpToLocked(n);
+}
+
+ProfileId ClusterIndex::FindRootCompress(ProfileId id) {
+  ProfileId root = id;
+  for (;;) {
+    const ProfileId up = parent_.Load(root, std::memory_order_relaxed);
+    if (up == root) break;
+    root = up;
+  }
+  // Path compression: every redirected node points to an ancestor, so
+  // a concurrent read-side walk (which will be version-validated
+  // anyway) still terminates at a root.
+  while (id != root) {
+    const ProfileId up = parent_.Load(id, std::memory_order_relaxed);
+    parent_.Store(id, root, std::memory_order_release);
+    id = up;
+  }
+  return root;
+}
+
+ProfileId ClusterIndex::FindRootReadOnly(ProfileId id) const {
+  // Bounded pure walk: with no writer in flight this terminates at the
+  // root; mid-mutation it may wander, so cap the steps and let the
+  // caller's version check force a retry.
+  const size_t limit = size_.load(std::memory_order_acquire) + 1;
+  ProfileId root = id;
+  for (size_t steps = 0; steps < limit; ++steps) {
+    const ProfileId up = parent_.Load(root, std::memory_order_acquire);
+    if (up == root) return root;
+    root = up;
+  }
+  return root;
+}
+
+bool ClusterIndex::AddMatch(ProfileId a, ProfileId b) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const size_t needed = static_cast<size_t>(std::max(a, b)) + 1;
+  if (needed > size_.load(std::memory_order_relaxed)) {
+    TrackUpToLocked(needed);
+  }
+  obs::CounterAdd(unions_metric_);
+
+  // Seqlock write window: odd version while the partition mutates
+  // (including path compression, which rewrites parent cells).
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  ProfileId ra = FindRootCompress(a);
+  ProfileId rb = FindRootCompress(b);
+  bool merged = false;
+  if (ra != rb) {
+    uint32_t sa = csize_.Load(ra, std::memory_order_relaxed);
+    uint32_t sb = csize_.Load(rb, std::memory_order_relaxed);
+    if (sa < sb) {  // union by size
+      std::swap(ra, rb);
+      std::swap(sa, sb);
+    }
+    if (sa == 1 && sb == 1) {
+      ++non_trivial_clusters_;
+    } else if (sa > 1 && sb > 1) {
+      --non_trivial_clusters_;
+    }
+    parent_.Store(rb, ra, std::memory_order_release);
+    csize_.Store(ra, sa + sb, std::memory_order_release);
+    const uint32_t min_a = cmin_.Load(ra, std::memory_order_relaxed);
+    const uint32_t min_b = cmin_.Load(rb, std::memory_order_relaxed);
+    cmin_.Store(ra, std::min(min_a, min_b), std::memory_order_release);
+    // Splice the two member cycles: one swap of the roots' successors
+    // joins them into a single cycle.
+    const uint32_t na = next_.Load(ra, std::memory_order_relaxed);
+    const uint32_t nb = next_.Load(rb, std::memory_order_relaxed);
+    next_.Store(ra, nb, std::memory_order_release);
+    next_.Store(rb, na, std::memory_order_release);
+    merged = true;
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+
+  if (merged) {
+    merges_.fetch_add(1, std::memory_order_relaxed);
+    obs::CounterAdd(merges_metric_);
+    obs::GaugeSet(clusters_metric_,
+                  static_cast<double>(non_trivial_clusters_));
+  }
+  return merged;
+}
+
+ClusterView ClusterIndex::ClusterOf(ProfileId id) const {
+  const Stopwatch timer;
+  ClusterView view;
+  const size_t n = size_.load(std::memory_order_acquire);
+  if (id >= n) {
+    // Never tracked: a singleton by definition.
+    view.cluster_id = id;
+    view.members.push_back(id);
+  } else {
+    for (;;) {
+      const uint64_t v1 = version_.load(std::memory_order_acquire);
+      if ((v1 & 1) != 0) {
+        obs::CounterAdd(query_retries_metric_);
+        continue;
+      }
+      const ProfileId root = FindRootReadOnly(id);
+      const uint32_t cid = cmin_.Load(root, std::memory_order_acquire);
+      const uint32_t sz = csize_.Load(root, std::memory_order_acquire);
+      view.members.clear();
+      bool consistent = sz >= 1 && sz <= n;
+      if (consistent) {
+        view.members.reserve(sz);
+        ProfileId cur = id;
+        do {
+          view.members.push_back(cur);
+          if (view.members.size() > sz) {
+            consistent = false;  // torn cycle; retry
+            break;
+          }
+          cur = next_.Load(cur, std::memory_order_acquire);
+        } while (cur != id);
+      }
+      if (consistent && view.members.size() == sz &&
+          version_.load(std::memory_order_acquire) == v1) {
+        view.cluster_id = cid;
+        break;
+      }
+      obs::CounterAdd(query_retries_metric_);
+    }
+    std::sort(view.members.begin(), view.members.end());
+  }
+  obs::CounterAdd(queries_metric_);
+  if (query_ns_metric_ != nullptr) {
+    query_ns_metric_->Record(
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9));
+  }
+  return view;
+}
+
+ProfileId ClusterIndex::ClusterIdOf(ProfileId id) const {
+  const Stopwatch timer;
+  ProfileId cid = id;
+  const size_t n = size_.load(std::memory_order_acquire);
+  if (id < n) {
+    for (;;) {
+      const uint64_t v1 = version_.load(std::memory_order_acquire);
+      if ((v1 & 1) != 0) {
+        obs::CounterAdd(query_retries_metric_);
+        continue;
+      }
+      const ProfileId root = FindRootReadOnly(id);
+      cid = cmin_.Load(root, std::memory_order_acquire);
+      if (version_.load(std::memory_order_acquire) == v1) break;
+      obs::CounterAdd(query_retries_metric_);
+    }
+  }
+  obs::CounterAdd(queries_metric_);
+  if (query_ns_metric_ != nullptr) {
+    query_ns_metric_->Record(
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9));
+  }
+  return cid;
+}
+
+size_t ClusterIndex::ClusterSizeOf(ProfileId id) const {
+  const size_t n = size_.load(std::memory_order_acquire);
+  if (id >= n) return 1;
+  for (;;) {
+    const uint64_t v1 = version_.load(std::memory_order_acquire);
+    if ((v1 & 1) != 0) continue;
+    const ProfileId root = FindRootReadOnly(id);
+    const uint32_t sz = csize_.Load(root, std::memory_order_acquire);
+    if (version_.load(std::memory_order_acquire) == v1) return sz;
+  }
+}
+
+size_t ClusterIndex::NumNonTrivialClusters() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return non_trivial_clusters_;
+}
+
+void ClusterIndex::Snapshot(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const size_t n = size_.load(std::memory_order_relaxed);
+  serial::WriteU64(out, n);
+  for (size_t i = 0; i < n; ++i) {
+    const ProfileId root = FindRootReadOnly(static_cast<ProfileId>(i));
+    serial::WriteU32(out, cmin_.Load(root, std::memory_order_relaxed));
+  }
+}
+
+bool ClusterIndex::Restore(std::istream& in) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (size_.load(std::memory_order_relaxed) != 0) return false;
+  uint64_t n = 0;
+  if (!serial::ReadU64(in, &n)) return false;
+  std::vector<uint32_t> cid;
+  cid.reserve(static_cast<size_t>(std::min<uint64_t>(n, uint64_t{1} << 20)));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t c = 0;
+    // Canonical form: a cluster's id is its smallest member, so every
+    // id maps to a cluster id no larger than itself, and a cluster id
+    // maps to itself.
+    if (!serial::ReadU32(in, &c) || c > i ||
+        (c < i && cid[c] != c)) {
+      return false;
+    }
+    cid.push_back(c);
+  }
+  TrackUpToLocked(static_cast<size_t>(n));
+  // Rebuild the union-find flat (parent = canonical id) and the member
+  // cycles in ascending-id order -- a deterministic shape, so a second
+  // Snapshot emits identical bytes.
+  struct ClusterBuild {
+    uint32_t count = 0;
+    uint32_t last = 0;
+  };
+  std::unordered_map<uint32_t, ClusterBuild> build;
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto id = static_cast<uint32_t>(i);
+    parent_.Store(i, cid[i], std::memory_order_relaxed);
+    ClusterBuild& b = build[cid[i]];
+    if (b.count == 0) {
+      next_.Store(i, id, std::memory_order_relaxed);
+    } else {
+      next_.Store(b.last, id, std::memory_order_relaxed);
+      next_.Store(i, cid[i], std::memory_order_relaxed);  // close cycle
+    }
+    ++b.count;
+    b.last = id;
+  }
+  non_trivial_clusters_ = 0;
+  uint64_t merge_count = 0;
+  for (const auto& [root, b] : build) {
+    csize_.Store(root, b.count, std::memory_order_relaxed);
+    cmin_.Store(root, root, std::memory_order_relaxed);
+    if (b.count > 1) {
+      ++non_trivial_clusters_;
+      merge_count += b.count - 1;
+    }
+  }
+  merges_.store(merge_count, std::memory_order_relaxed);
+  obs::GaugeSet(clusters_metric_, static_cast<double>(non_trivial_clusters_));
+  return true;
+}
+
+size_t ClusterIndex::ApproxMemoryBytes() const {
+  const size_t chunk_bytes =
+      AtomicU32Chunks::kChunkSize * sizeof(std::atomic<uint32_t>);
+  const size_t directory_bytes =
+      AtomicU32Chunks::kMaxChunks * sizeof(std::atomic<std::atomic<uint32_t>*>);
+  const size_t chunks = parent_.allocated_chunks() +
+                        next_.allocated_chunks() +
+                        csize_.allocated_chunks() + cmin_.allocated_chunks();
+  return 4 * directory_bytes + chunks * chunk_bytes;
+}
+
+}  // namespace serve
+}  // namespace pier

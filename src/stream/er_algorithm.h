@@ -53,6 +53,15 @@ class ErAlgorithm {
   // when a new increment arrives").
   virtual bool ReadyForIncrement() const { return true; }
 
+  // Called for every pair the matcher classified as a duplicate;
+  // algorithms that maintain an online cluster index fold the verdict
+  // in here (PIER: serve::ClusterIndex). Default: nothing, so
+  // baselines and test doubles keep compiling.
+  virtual void OnMatch(ProfileId a, ProfileId b) {
+    (void)a;
+    (void)b;
+  }
+
   // Rate feedback for adaptive controllers; no-ops by default.
   virtual void OnArrival(double time) { (void)time; }
   virtual void OnBatchCost(size_t comparisons, double seconds) {

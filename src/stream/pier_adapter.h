@@ -36,6 +36,10 @@ class PierAdapter : public ErAlgorithm {
     return pipeline_.Tick();
   }
 
+  void OnMatch(ProfileId a, ProfileId b) override {
+    pipeline_.RecordMatch(a, b);
+  }
+
   void OnArrival(double time) override { pipeline_.ReportArrival(time); }
   void OnBatchCost(size_t comparisons, double seconds) override {
     pipeline_.ReportBatchCost(comparisons, seconds);

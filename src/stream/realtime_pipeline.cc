@@ -163,6 +163,12 @@ void RealtimePipeline::WorkerLoop() {
     for (size_t i = 0; i < batch.size(); ++i) {
       if (!verdicts[i].is_match) continue;
       matches_.fetch_add(1);
+      // Fold the verdict into the online cluster index before the user
+      // callback, so a ClusterOf() issued from the callback already
+      // sees the two profiles co-clustered. RecordMatch takes the
+      // index's internal writer mutex, not mutex_, so cluster
+      // maintenance never contends with Ingest.
+      pipeline_.RecordMatch(batch[i].x, batch[i].y);
       on_match_(batch[i].x, batch[i].y);
     }
   }

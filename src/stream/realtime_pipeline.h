@@ -88,6 +88,20 @@ class RealtimePipeline {
   // *error on a corrupt or mismatched snapshot (state is untouched).
   bool RestoreFromSnapshot(std::istream& snapshot, std::string* error);
 
+  // Online cluster queries (thread-safe, lock-free): the current
+  // entity cluster of `id`, maintained from every positive verdict the
+  // worker produced so far. Never blocks Ingest or the worker — the
+  // ClusterIndex read side is seqlock-validated, not lock-based (see
+  // serve/cluster_index.h). Query answers always reflect a prefix of
+  // the verdict stream.
+  serve::ClusterView ClusterOf(ProfileId id) const {
+    return pipeline_.clusters().ClusterOf(id);
+  }
+  ProfileId ClusterIdOf(ProfileId id) const {
+    return pipeline_.clusters().ClusterIdOf(id);
+  }
+  const serve::ClusterIndex& clusters() const { return pipeline_.clusters(); }
+
   // Statistics (thread-safe, approximate while running).
   uint64_t comparisons_processed() const { return comparisons_.load(); }
   uint64_t matches_found() const { return matches_.load(); }

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "eval/cluster_recall.h"
 #include "obs/metrics_io.h"
 #include "persist/checkpoint_manager.h"
 #include "persist/snapshot.h"
@@ -42,6 +43,7 @@ struct SimMetrics {
   obs::Gauge* virtual_time_s = nullptr;
   obs::Gauge* comparisons_per_s = nullptr;
   obs::Gauge* cost_units_per_s = nullptr;
+  obs::Gauge* cluster_recall = nullptr;
 
   explicit SimMetrics(obs::MetricsRegistry* registry) {
     if (registry == nullptr) return;
@@ -60,6 +62,7 @@ struct SimMetrics {
     virtual_time_s = registry->GetGauge("sim.virtual_time_s");
     comparisons_per_s = registry->GetGauge("sim.comparisons_per_s");
     cost_units_per_s = registry->GetGauge("sim.cost_units_per_s");
+    cluster_recall = registry->GetGauge("sim.cluster_recall");
   }
 };
 
@@ -89,6 +92,10 @@ struct StreamSimulator::LoopState {
   // True-match pairs already credited (guards against an algorithm
   // emitting the same pair twice, e.g. a Bloom false-negative path).
   std::unordered_set<uint64_t> credited;
+  // Cluster-level quality over the positive-verdict stream (feeds
+  // result.cluster_curve). Built from the dataset's ground truth in
+  // Run()/RestoreLoopState().
+  std::unique_ptr<ClusterRecallTracker> tracker;
 };
 
 StreamSimulator::StreamSimulator(const Dataset* dataset,
@@ -106,6 +113,9 @@ RunResult StreamSimulator::Run(ErAlgorithm& algorithm,
   state.result.matcher = matcher.name();
   state.result.total_true_matches = dataset_->truth.size();
   state.result.curve.Add(CurvePoint{0.0, 0, 0});
+  state.tracker = std::make_unique<ClusterRecallTracker>(dataset_->truth);
+  state.result.total_cluster_pairs = state.tracker->total_cluster_pairs();
+  state.result.cluster_curve.Add(CurvePoint{0.0, 0, 0});
   return RunLoop(algorithm, matcher, state);
 }
 
@@ -124,6 +134,7 @@ std::optional<RunResult> StreamSimulator::Resume(ErAlgorithm& algorithm,
   state.result.dataset = dataset_->name;
   state.result.matcher = matcher.name();
   state.result.total_true_matches = dataset_->truth.size();
+  state.result.total_cluster_pairs = state.tracker->total_cluster_pairs();
   return RunLoop(algorithm, matcher, state);
 }
 
@@ -173,6 +184,19 @@ void StreamSimulator::SnapshotLoopState(persist::SnapshotBuilder& builder,
   serial::WriteU64(st, state.result.stalled_ticks);
   serial::WriteBool(st, state.result.stall_aborted);
   serial::WriteF64(st, state.result.stream_consumed_at);
+
+  // Cluster-level quality state: the recall tracker's canonical
+  // partition plus the cluster curve recorded so far. The ground-truth
+  // side and the pair denominator are rebuilt from the dataset on
+  // resume, so only the predicted partition is persisted.
+  std::ostream& cl = builder.AddSection("sim.clusters");
+  serial::WriteVec(cl, state.result.cluster_curve.points(),
+                   [](std::ostream& o, const CurvePoint& p) {
+                     serial::WriteF64(o, p.time);
+                     serial::WriteU64(o, p.comparisons);
+                     serial::WriteU64(o, p.matches_found);
+                   });
+  state.tracker->Snapshot(cl);
 
   algorithm.Snapshot(builder);
 }
@@ -275,6 +299,31 @@ bool StreamSimulator::RestoreLoopState(const persist::SnapshotReader& reader,
   s.fruitless_ticks = static_cast<int>(fruitless);
   s.credited.insert(credited.begin(), credited.end());
   for (const CurvePoint& p : points) s.result.curve.Add(p);
+
+  std::istringstream cl;
+  if (!reader.Open("sim.clusters", &cl, error)) return false;
+  std::vector<CurvePoint> cluster_points;
+  if (!serial::ReadVec(cl, &cluster_points,
+                       [](std::istream& in, CurvePoint* p) {
+                         return serial::ReadF64(in, &p->time) &&
+                                serial::ReadU64(in, &p->comparisons) &&
+                                serial::ReadU64(in, &p->matches_found);
+                       })) {
+    SetResumeError(error, "section 'sim.clusters' failed to decode");
+    return false;
+  }
+  s.tracker = std::make_unique<ClusterRecallTracker>(dataset_->truth);
+  if (!s.tracker->Restore(cl)) {
+    SetResumeError(error, "section 'sim.clusters' failed to decode");
+    return false;
+  }
+  // Curve and cluster curve are recorded in lockstep.
+  if (cluster_points.size() != points.size()) {
+    SetResumeError(error, "section 'sim.clusters' is internally inconsistent");
+    return false;
+  }
+  for (const CurvePoint& p : cluster_points) s.result.cluster_curve.Add(p);
+
   *state = std::move(s);
   return true;
 }
@@ -353,6 +402,8 @@ RunResult StreamSimulator::RunLoop(ErAlgorithm& algorithm,
       return;
     }
     result.curve.Add(CurvePoint{state.vt, state.executed, state.found});
+    result.cluster_curve.Add(CurvePoint{state.vt, state.executed,
+                                        state.tracker->connected_pairs()});
     state.last_recorded = state.executed;
   };
 
@@ -436,6 +487,13 @@ RunResult StreamSimulator::RunLoop(ErAlgorithm& algorithm,
             ++batch_positives;
             ++result.matcher_positives;
             if (is_true_match) ++result.matcher_true_positives;
+            // Fold the positive verdict into the algorithm's online
+            // cluster index and the eval-side recall tracker. The
+            // tracker sees the matcher's output (false positives
+            // included): ClusterRecall measures what the *served*
+            // clusters got right, not what an oracle would serve.
+            algorithm.OnMatch(c.x, c.y);
+            state.tracker->AddMatch(c.x, c.y);
           }
           if (is_true_match && state.credited.insert(c.Key()).second) {
             ++state.found;
@@ -460,6 +518,7 @@ RunResult StreamSimulator::RunLoop(ErAlgorithm& algorithm,
           obs::GaugeSet(m.cost_units_per_s,
                         static_cast<double>(units) / match_cost);
         }
+        obs::GaugeSet(m.cluster_recall, state.tracker->Recall());
         record_point();
         state.fruitless_ticks = 0;
         state.consecutive_stalls = 0;
@@ -536,6 +595,8 @@ RunResult StreamSimulator::RunLoop(ErAlgorithm& algorithm,
   if (result.curve.empty() ||
       result.curve.points().back().comparisons != state.executed) {
     result.curve.Add(CurvePoint{state.vt, state.executed, state.found});
+    result.cluster_curve.Add(CurvePoint{state.vt, state.executed,
+                                        state.tracker->connected_pairs()});
   }
   if (registry != nullptr) {
     obs::GaugeSet(m.virtual_time_s, state.vt);

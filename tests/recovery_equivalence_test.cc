@@ -105,6 +105,22 @@ void ExpectSameResult(const RunResult& expected, const RunResult& actual,
     EXPECT_EQ(e.comparisons, a.comparisons) << context << " point " << i;
     EXPECT_EQ(e.matches_found, a.matches_found) << context << " point " << i;
   }
+  // The cluster-level curve must survive checkpoint/resume bit-for-bit
+  // too: the recall tracker restores from its canonical partition.
+  EXPECT_EQ(expected.total_cluster_pairs, actual.total_cluster_pairs)
+      << context;
+  ASSERT_EQ(expected.cluster_curve.points().size(),
+            actual.cluster_curve.points().size())
+      << context;
+  for (size_t i = 0; i < expected.cluster_curve.points().size(); ++i) {
+    const CurvePoint& e = expected.cluster_curve.points()[i];
+    const CurvePoint& a = actual.cluster_curve.points()[i];
+    EXPECT_EQ(e.time, a.time) << context << " cluster point " << i;
+    EXPECT_EQ(e.comparisons, a.comparisons)
+        << context << " cluster point " << i;
+    EXPECT_EQ(e.matches_found, a.matches_found)
+        << context << " cluster point " << i;
+  }
 }
 
 std::vector<std::string> CheckpointFiles(const fs::path& dir) {

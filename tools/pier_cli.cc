@@ -10,7 +10,7 @@
 //            [--metrics-out=FILE] [--metrics-interval=F]
 //            [--checkpoint-dir=DIR] [--checkpoint-every=N]
 //            [--checkpoint-keep=N] [--resume-from=FILE|DIR]
-//            [--print-matches]
+//            [--print-matches] [--serve-queries=N]
 //
 // The profiles file uses the long format of datagen/dataset_io.h
 // (profile_id,source,attribute,value). With --truth, the tool replays
@@ -30,6 +30,13 @@
 // --resume-from=DIR (or a specific .piersnap file) continues the run
 // from the latest checkpoint; with --cost-model=modeled the resumed
 // curve is bit-identical to an uninterrupted run.
+//
+// --serve-queries=N runs the closed-loop serving mode instead: the
+// data streams through the multi-threaded RealtimePipeline while this
+// thread issues N ClusterOf() point queries against the live cluster
+// index, interleaved with ingest. Reports query latency p50/p99 (from
+// the serve.* metrics), cluster statistics, and -- when --truth is
+// given -- the cluster-level recall of the served index.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,10 +44,13 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/strategy_selector.h"
 #include "datagen/dataset_io.h"
+#include "eval/cluster_recall.h"
 #include "eval/report.h"
 #include "obs/metrics.h"
 #include "obs/metrics_io.h"
@@ -48,8 +58,10 @@
 #include "similarity/matcher.h"
 #include "similarity/parallel_executor.h"
 #include "stream/pier_adapter.h"
+#include "stream/realtime_pipeline.h"
 #include "stream/stream_simulator.h"
 #include "text/tokenizer.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -93,7 +105,7 @@ int Usage() {
       "                [--metrics-out=FILE] [--metrics-interval=F]\n"
       "                [--checkpoint-dir=DIR] [--checkpoint-every=N]\n"
       "                [--checkpoint-keep=N] [--resume-from=FILE|DIR]\n"
-      "                [--print-matches]\n");
+      "                [--print-matches] [--serve-queries=N]\n");
   return 2;
 }
 
@@ -222,6 +234,86 @@ int main(int argc, char** argv) {
                  "--resume-from requires evaluation mode (--truth, no "
                  "--print-matches)\n");
     return Usage();
+  }
+
+  const size_t serve_queries = std::stoul(Get(args, "serve-queries", "0"));
+  if (serve_queries > 0) {
+    if (!resume_from.empty() || args.count("print-matches")) {
+      std::fprintf(stderr,
+                   "--serve-queries is its own mode (no --resume-from / "
+                   "--print-matches)\n");
+      return Usage();
+    }
+    // Closed-loop serving mode: the RealtimePipeline's worker thread
+    // matches and folds verdicts into the cluster index while this
+    // thread interleaves ingest with ClusterOf() point queries -- the
+    // production read path under genuine write concurrency.
+    options.metrics = &metrics;  // serve.* latency histogram lives here
+    std::mutex recall_mutex;
+    std::unique_ptr<ClusterRecallTracker> recall;
+    if (truth_ptr != nullptr) {
+      recall = std::make_unique<ClusterRecallTracker>(dataset->truth);
+    }
+    RealtimePipeline realtime(
+        options, matcher.get(),
+        [&](ProfileId a, ProfileId b) {
+          if (recall == nullptr) return;
+          std::lock_guard<std::mutex> lock(recall_mutex);
+          recall->AddMatch(a, b);
+        });
+    const auto increments =
+        SplitIntoIncrements(*dataset, sim_options.num_increments);
+    const size_t per_increment =
+        increments.empty() ? 0 : serve_queries / increments.size();
+    Rng rng(42);
+    uint64_t clustered_answers = 0;
+    size_t issued = 0;
+    const auto issue = [&](size_t count) {
+      const size_t universe = realtime.clusters().universe_size();
+      if (universe == 0) return;
+      for (size_t i = 0; i < count && issued < serve_queries; ++i, ++issued) {
+        const auto id =
+            static_cast<ProfileId>(rng.UniformInt(0, universe - 1));
+        const serve::ClusterView view = realtime.ClusterOf(id);
+        if (view.members.size() > 1) ++clustered_answers;
+      }
+    };
+    const Stopwatch run_timer;
+    for (const auto& inc : increments) {
+      std::vector<EntityProfile> batch(
+          dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
+          dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.end));
+      realtime.Ingest(std::move(batch));
+      issue(per_increment);
+    }
+    realtime.Drain();
+    issue(serve_queries - issued);  // remainder against the drained index
+    const double wall_s = run_timer.ElapsedSeconds();
+
+    const obs::Histogram* latency = metrics.GetHistogram("serve.query_ns");
+    std::printf("serve: %zu queries interleaved with %zu increments "
+                "(%zu profiles) in %.2fs\n",
+                issued, increments.size(), dataset->profiles.size(), wall_s);
+    std::printf("serve: query latency p50=%lluns p99=%lluns\n",
+                static_cast<unsigned long long>(latency->Quantile(0.5)),
+                static_cast<unsigned long long>(latency->Quantile(0.99)));
+    std::printf("serve: %llu matches -> %zu non-trivial clusters; %llu/%zu "
+                "queries answered from a multi-member cluster\n",
+                static_cast<unsigned long long>(realtime.matches_found()),
+                realtime.clusters().NumNonTrivialClusters(),
+                static_cast<unsigned long long>(clustered_answers), issued);
+    if (recall != nullptr) {
+      std::printf("serve: cluster recall %.4f (%llu/%llu ground-truth "
+                  "pairs co-clustered)\n",
+                  recall->Recall(),
+                  static_cast<unsigned long long>(recall->connected_pairs()),
+                  static_cast<unsigned long long>(
+                      recall->total_cluster_pairs()));
+    }
+    if (options.metrics != nullptr && metrics_out.is_open()) {
+      obs::WriteJsonLines(metrics_out, wall_s, metrics.Snapshot());
+    }
+    return 0;
   }
 
   if (truth_ptr != nullptr && !args.count("print-matches")) {
