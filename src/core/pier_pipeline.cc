@@ -283,10 +283,14 @@ bool PierPipeline::Restore(const persist::SnapshotReader& reader,
     return false;
   }
 
-  if (!reader.Open("pier.clusters", &section, error)) return false;
-  if (!clusters_.Restore(section)) {
-    SetRestoreError(error, "section 'pier.clusters' failed to decode");
-    return false;
+  // Absent in v1 snapshots: the cluster index starts empty and
+  // repopulates from post-resume match verdicts.
+  if (reader.Has("pier.clusters")) {
+    if (!reader.Open("pier.clusters", &section, error)) return false;
+    if (!clusters_.Restore(section)) {
+      SetRestoreError(error, "section 'pier.clusters' failed to decode");
+      return false;
+    }
   }
 
   comparisons_emitted_ = comparisons_emitted;

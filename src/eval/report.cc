@@ -30,7 +30,8 @@ void PrintCurveCsv(std::ostream& out, const std::vector<RunResult>& runs,
               : static_cast<double>(p.matches_found) /
                     static_cast<double>(run.total_true_matches);
       double cluster_recall = 0.0;
-      if (has_clusters && run.total_cluster_pairs > 0) {
+      if (has_clusters && run.total_cluster_pairs > 0 &&
+          i < cluster_curve.points().size()) {
         cluster_recall =
             static_cast<double>(cluster_curve.points()[i].matches_found) /
             static_cast<double>(run.total_cluster_pairs);

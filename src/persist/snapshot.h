@@ -20,10 +20,13 @@
 //   payloads                   concatenated in section-table order
 //
 // Versioning policy: any change to this layout or to any component's
-// payload encoding bumps kFormatVersion; readers reject every version
-// other than their own (no silent cross-version loads). Component
-// payloads carry no per-section version on purpose -- the single
-// top-level version gates the whole file.
+// payload encoding bumps kFormatVersion. Readers accept versions in
+// [kMinSupportedFormatVersion, kFormatVersion] -- older-but-supported
+// files simply lack sections added since (callers probe with Has()
+// and default the missing state) -- and reject everything else with a
+// version-specific diagnostic. Component payloads carry no
+// per-section version on purpose -- the single top-level version
+// gates the whole file.
 //
 // Validation contract: SnapshotReader::Parse verifies magic, version,
 // header CRC, every section's length and CRC, and exact file length
@@ -50,8 +53,12 @@ namespace persist {
 inline constexpr char kMagic[8] = {'P', 'I', 'E', 'R', 'S', 'N', 'A', 'P'};
 // Version 2: pipeline snapshots gained the 'pier.clusters' section and
 // simulator snapshots the 'sim.clusters' section (the online cluster
-// index / cluster-recall state); v1 files lack them and are rejected.
+// index / cluster-recall state). v1 files stay loadable: every other
+// section's encoding is unchanged, and restores treat the missing
+// cluster sections as an empty index (clusters repopulate from
+// post-resume match verdicts).
 inline constexpr uint32_t kFormatVersion = 2;
+inline constexpr uint32_t kMinSupportedFormatVersion = 1;
 
 // Accumulates named sections in memory, then serializes the complete
 // framed snapshot in one pass. Section names must be unique and are

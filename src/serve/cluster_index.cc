@@ -144,8 +144,7 @@ bool ClusterIndex::AddMatch(ProfileId a, ProfileId b) {
 ClusterView ClusterIndex::ClusterOf(ProfileId id) const {
   const Stopwatch timer;
   ClusterView view;
-  const size_t n = size_.load(std::memory_order_acquire);
-  if (id >= n) {
+  if (id >= size_.load(std::memory_order_acquire)) {
     // Never tracked: a singleton by definition.
     view.cluster_id = id;
     view.members.push_back(id);
@@ -156,6 +155,11 @@ ClusterView ClusterIndex::ClusterOf(ProfileId id) const {
         obs::CounterAdd(query_retries_metric_);
         continue;
       }
+      // Growth (TrackUpTo) publishes a larger universe without bumping
+      // the version, so the size bound must be re-read on every retry:
+      // a stale bound would fail the sz <= n check forever once the
+      // queried cluster grows past it.
+      const size_t n = size_.load(std::memory_order_acquire);
       const ProfileId root = FindRootReadOnly(id);
       const uint32_t cid = cmin_.Load(root, std::memory_order_acquire);
       const uint32_t sz = csize_.Load(root, std::memory_order_acquire);
@@ -247,6 +251,11 @@ bool ClusterIndex::Restore(std::istream& in) {
   if (size_.load(std::memory_order_relaxed) != 0) return false;
   uint64_t n = 0;
   if (!serial::ReadU64(in, &n)) return false;
+  // Reject universes beyond addressable capacity here instead of
+  // letting EnsureChunkFor's PIER_CHECK abort on a corrupt payload.
+  if (n > AtomicU32Chunks::kMaxChunks * AtomicU32Chunks::kChunkSize) {
+    return false;
+  }
   std::vector<uint32_t> cid;
   cid.reserve(static_cast<size_t>(std::min<uint64_t>(n, uint64_t{1} << 20)));
   for (uint64_t i = 0; i < n; ++i) {

@@ -211,6 +211,15 @@ TEST(ClusterIndexTest, RestoreRejectsMalformedPayloads) {
     EXPECT_FALSE(index.Restore(in));
   }
   {
+    // Universe beyond addressable capacity (2^31 cells): a corrupt
+    // header must fail the decode, not abort in chunk allocation.
+    serve::ClusterIndex index;
+    std::string bad(8, '\0');
+    bad[4] = 1;  // n = 2^32, little-endian
+    std::istringstream in(bad, std::ios::binary);
+    EXPECT_FALSE(index.Restore(in));
+  }
+  {
     // A well-formed payload still round-trips after the negative cases.
     serve::ClusterIndex index;
     std::istringstream in(good, std::ios::binary);
