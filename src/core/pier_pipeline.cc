@@ -65,7 +65,7 @@ PierPipeline::PierPipeline(PierOptions options)
     metrics_.state_bytes_filter = r.GetGauge("persist.state_bytes.filter");
     metrics_.state_bytes_clusters = r.GetGauge("persist.state_bytes.clusters");
     adaptive_k_.AttachMetrics(&r);
-    clusters_.InstrumentWith(&r);
+    if (options_.track_clusters) clusters_.InstrumentWith(&r);
   }
 }
 
@@ -92,7 +92,39 @@ WorkStats PierPipeline::Ingest(std::vector<EntityProfile> profiles) {
   // Every ingested profile starts as a singleton cluster; the index
   // grows here (publish-then-release) so queries for new ids are valid
   // the moment Ingest returns.
-  clusters_.TrackUpTo(profiles_.size());
+  if (options_.track_clusters) clusters_.TrackUpTo(profiles_.size());
+  obs::CounterAdd(metrics_.increments);
+  obs::CounterAdd(metrics_.profiles_ingested, stats.profiles);
+  obs::CounterAdd(metrics_.tokens_ingested, stats.tokens);
+  obs::CounterAdd(metrics_.block_updates, stats.block_updates);
+  return stats;
+}
+
+WorkStats PierPipeline::IngestPretokenized(
+    std::vector<PretokenizedProfile> items) {
+  const obs::ScopedTimer timer(metrics_.ingest_ns);
+  WorkStats stats;
+  std::vector<ProfileId> delta;
+  delta.reserve(items.size());
+  for (auto& item : items) {
+    EntityProfile profile(item.id, item.source, {});
+    std::vector<TokenId> ids;
+    ids.reserve(item.tokens.size());
+    for (const auto& token : item.tokens) {
+      ids.push_back(dictionary_.Intern(token));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (const TokenId id : ids) dictionary_.IncrementDocFrequency(id);
+    profile.tokens = std::move(ids);
+    stats.tokens += profile.tokens.size();
+    ++stats.profiles;
+    delta.push_back(profile.id);
+    stats.block_updates += blocks_.AddProfile(profile);
+    profiles_.Add(std::move(profile));
+  }
+  stats += prioritizer_->UpdateCmpIndex(delta);
+  if (options_.track_clusters) clusters_.TrackUpTo(profiles_.size());
   obs::CounterAdd(metrics_.increments);
   obs::CounterAdd(metrics_.profiles_ingested, stats.profiles);
   obs::CounterAdd(metrics_.tokens_ingested, stats.tokens);
@@ -169,6 +201,14 @@ void WriteOptionsFingerprint(std::ostream& out, const PierOptions& o) {
   serial::WriteU64(out, o.adaptive_k.window);
   serial::WriteF64(out, o.adaptive_k.target_utilization);
   serial::WriteF64(out, o.adaptive_k.gain);
+  // Shard identity, only when sharded: single-pipeline fingerprints
+  // stay byte-identical to format version 2, so older snapshots keep
+  // loading, while a shard section can never restore into a pipeline
+  // owning a different token slice.
+  if (o.token_shard_count > 1) {
+    serial::WriteU32(out, o.token_shard_count);
+    serial::WriteU32(out, o.token_shard_index);
+  }
 }
 
 void SetRestoreError(std::string* error, const std::string& message) {
@@ -177,17 +217,18 @@ void SetRestoreError(std::string* error, const std::string& message) {
 
 }  // namespace
 
-void PierPipeline::Snapshot(persist::SnapshotBuilder& builder) const {
-  std::ostream& meta = builder.AddSection("pier.meta");
+void PierPipeline::Snapshot(persist::SnapshotBuilder& builder,
+                            const std::string& prefix) const {
+  std::ostream& meta = builder.AddSection(prefix + ".meta");
   WriteOptionsFingerprint(meta, options_);
   serial::WriteU64(meta, comparisons_emitted_);
 
-  dictionary_.Snapshot(builder.AddSection("pier.dictionary"));
-  profiles_.Snapshot(builder.AddSection("pier.profiles"));
-  blocks_.Snapshot(builder.AddSection("pier.blocks"));
-  prioritizer_->Snapshot(builder.AddSection("pier.prioritizer"));
+  dictionary_.Snapshot(builder.AddSection(prefix + ".dictionary"));
+  profiles_.Snapshot(builder.AddSection(prefix + ".profiles"));
+  blocks_.Snapshot(builder.AddSection(prefix + ".blocks"));
+  prioritizer_->Snapshot(builder.AddSection(prefix + ".prioritizer"));
 
-  std::ostream& filter = builder.AddSection("pier.filter");
+  std::ostream& filter = builder.AddSection(prefix + ".filter");
   if (options_.exact_executed_filter) {
     // Sorted for canonical bytes (hash-set iteration order varies).
     std::vector<uint64_t> keys(executed_exact_.begin(),
@@ -198,8 +239,8 @@ void PierPipeline::Snapshot(persist::SnapshotBuilder& builder) const {
     executed_filter_.Snapshot(filter);
   }
 
-  adaptive_k_.Snapshot(builder.AddSection("pier.findk"));
-  clusters_.Snapshot(builder.AddSection("pier.clusters"));
+  adaptive_k_.Snapshot(builder.AddSection(prefix + ".findk"));
+  clusters_.Snapshot(builder.AddSection(prefix + ".clusters"));
 
   obs::GaugeSet(metrics_.state_bytes_clusters,
                 static_cast<double>(clusters_.ApproxMemoryBytes()));
@@ -214,14 +255,18 @@ void PierPipeline::Snapshot(persist::SnapshotBuilder& builder) const {
 }
 
 bool PierPipeline::Restore(const persist::SnapshotReader& reader,
-                           std::string* error) {
+                           std::string* error, const std::string& prefix) {
   if (!profiles_.empty()) {
     SetRestoreError(error, "pipeline restore requires a fresh pipeline");
     return false;
   }
+  const auto decode_error = [&](const char* section_name) {
+    SetRestoreError(error, "section '" + prefix + "." + section_name +
+                               "' failed to decode");
+  };
 
   std::istringstream meta;
-  if (!reader.Open("pier.meta", &meta, error)) return false;
+  if (!reader.Open(prefix + ".meta", &meta, error)) return false;
   std::ostringstream expected;
   WriteOptionsFingerprint(expected, options_);
   const std::string expected_bytes = std::move(expected).str();
@@ -230,7 +275,7 @@ bool PierPipeline::Restore(const persist::SnapshotReader& reader,
   if (!meta.read(actual_bytes.data(),
                  static_cast<std::streamsize>(actual_bytes.size())) ||
       !serial::ReadU64(meta, &comparisons_emitted)) {
-    SetRestoreError(error, "section 'pier.meta' truncated");
+    SetRestoreError(error, "section '" + prefix + ".meta' truncated");
     return false;
   }
   if (actual_bytes != expected_bytes) {
@@ -242,53 +287,53 @@ bool PierPipeline::Restore(const persist::SnapshotReader& reader,
   }
 
   std::istringstream section;
-  if (!reader.Open("pier.dictionary", &section, error)) return false;
+  if (!reader.Open(prefix + ".dictionary", &section, error)) return false;
   if (!dictionary_.Restore(section)) {
-    SetRestoreError(error, "section 'pier.dictionary' failed to decode");
+    decode_error("dictionary");
     return false;
   }
-  if (!reader.Open("pier.profiles", &section, error)) return false;
+  if (!reader.Open(prefix + ".profiles", &section, error)) return false;
   if (!profiles_.Restore(section)) {
-    SetRestoreError(error, "section 'pier.profiles' failed to decode");
+    decode_error("profiles");
     return false;
   }
-  if (!reader.Open("pier.blocks", &section, error)) return false;
+  if (!reader.Open(prefix + ".blocks", &section, error)) return false;
   if (!blocks_.Restore(section)) {
-    SetRestoreError(error, "section 'pier.blocks' failed to decode");
+    decode_error("blocks");
     return false;
   }
-  if (!reader.Open("pier.prioritizer", &section, error)) return false;
+  if (!reader.Open(prefix + ".prioritizer", &section, error)) return false;
   if (!prioritizer_->Restore(section)) {
-    SetRestoreError(error, "section 'pier.prioritizer' failed to decode");
+    decode_error("prioritizer");
     return false;
   }
 
-  if (!reader.Open("pier.filter", &section, error)) return false;
+  if (!reader.Open(prefix + ".filter", &section, error)) return false;
   if (options_.exact_executed_filter) {
     std::vector<uint64_t> keys;
     if (!serial::ReadVec(section, &keys, serial::ReadU64)) {
-      SetRestoreError(error, "section 'pier.filter' failed to decode");
+      decode_error("filter");
       return false;
     }
     executed_exact_.clear();
     executed_exact_.insert(keys.begin(), keys.end());
   } else if (!executed_filter_.Restore(section)) {
-    SetRestoreError(error, "section 'pier.filter' failed to decode");
+    decode_error("filter");
     return false;
   }
 
-  if (!reader.Open("pier.findk", &section, error)) return false;
+  if (!reader.Open(prefix + ".findk", &section, error)) return false;
   if (!adaptive_k_.Restore(section)) {
-    SetRestoreError(error, "section 'pier.findk' failed to decode");
+    decode_error("findk");
     return false;
   }
 
   // Absent in v1 snapshots: the cluster index starts empty and
   // repopulates from post-resume match verdicts.
-  if (reader.Has("pier.clusters")) {
-    if (!reader.Open("pier.clusters", &section, error)) return false;
+  if (reader.Has(prefix + ".clusters")) {
+    if (!reader.Open(prefix + ".clusters", &section, error)) return false;
     if (!clusters_.Restore(section)) {
-      SetRestoreError(error, "section 'pier.clusters' failed to decode");
+      decode_error("clusters");
       return false;
     }
   }

@@ -80,6 +80,31 @@ struct PierOptions {
   // its adaptive-K controller register `pipeline.*` / `findk.*`
   // metrics there. Non-owning; must outlive the pipeline.
   obs::MetricsRegistry* metrics = nullptr;
+  // Shard identity for the sharded ingest path (see
+  // stream/sharded_pipeline.h): count > 1 marks this pipeline as
+  // owning the slice of the token space with
+  // Mix64(HashString(token)) % count == index. The pipeline itself
+  // does not filter tokens (the shard router pre-filters); the fields
+  // exist so a shard snapshot carries its identity in the options
+  // fingerprint. They are only written when count > 1, keeping
+  // single-pipeline snapshots byte-compatible with earlier versions.
+  uint32_t token_shard_count = 1;
+  uint32_t token_shard_index = 0;
+  // Maintain the in-pipeline cluster index (TrackUpTo on ingest,
+  // serve.* instrumentation). Sharded deployments disable this on
+  // shard sub-pipelines: the combiner owns the single serving index.
+  bool track_clusters = true;
+};
+
+// One profile whose tokens were already normalized and split by an
+// upstream router (stream/sharded_pipeline.h): the pipeline interns
+// `tokens` into its own dictionary instead of re-tokenizing
+// attributes. `tokens` carries one entry per distinct token of the
+// profile that this pipeline owns.
+struct PretokenizedProfile {
+  ProfileId id = kInvalidProfileId;
+  SourceId source = 0;
+  std::vector<std::string> tokens;
 };
 
 class PierPipeline {
@@ -94,6 +119,14 @@ class PierPipeline {
   // increment. Profiles must carry dense ids continuing the ingestion
   // order; tokens/flat_text are filled here.
   WorkStats Ingest(std::vector<EntityProfile> profiles);
+
+  // Sharded-ingest seam: same as Ingest, but for profiles whose
+  // tokens were already normalized/split (and shard-filtered) by the
+  // router. Interns the given spellings into this pipeline's
+  // dictionary, builds blocks from them, and stores a token-only
+  // profile (no attributes / flat_text -- shard pipelines never feed
+  // the matcher, which reads the router's global store instead).
+  WorkStats IngestPretokenized(std::vector<PretokenizedProfile> items);
 
   // The periodic empty increment the blocking step emits while the
   // stream is idle; lets the prioritizer pull older pairs forward.
@@ -142,16 +175,23 @@ class PierPipeline {
   // Checkpoint support (see src/persist/snapshot.h): serializes every
   // stateful component -- dictionary, profile store, block collection,
   // prioritizer internals, executed-comparison filter, findK
-  // controller -- into `pier.*` sections, plus a `pier.meta` options
-  // fingerprint. Also refreshes the `persist.state_bytes.*` gauges.
-  void Snapshot(persist::SnapshotBuilder& builder) const;
+  // controller -- into `<prefix>.*` sections, plus a `<prefix>.meta`
+  // options fingerprint. The default prefix "pier" is the historical
+  // single-pipeline layout; the sharded pipeline passes "shard<i>" so
+  // N shard engines coexist in one snapshot file. Also refreshes the
+  // `persist.state_bytes.*` gauges.
+  void Snapshot(persist::SnapshotBuilder& builder,
+                const std::string& prefix = "pier") const;
 
   // Restores from a validated snapshot into this *freshly constructed*
   // pipeline. The snapshot's options fingerprint must match this
   // pipeline's options (strategy, kind, capacities, tokenizer...);
   // mismatches and decode failures return false with a diagnostic in
   // *error and must be treated as fatal for the restore attempt.
-  bool Restore(const persist::SnapshotReader& reader, std::string* error);
+  // `prefix` selects the section family and must match the Snapshot
+  // call that produced the file.
+  bool Restore(const persist::SnapshotReader& reader, std::string* error,
+               const std::string& prefix = "pier");
 
  private:
   bool AlreadyExecuted(uint64_t key);

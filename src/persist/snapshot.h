@@ -57,7 +57,17 @@ inline constexpr char kMagic[8] = {'P', 'I', 'E', 'R', 'S', 'N', 'A', 'P'};
 // section's encoding is unchanged, and restores treat the missing
 // cluster sections as an empty index (clusters repopulate from
 // post-resume match verdicts).
-inline constexpr uint32_t kFormatVersion = 2;
+//
+// Version 3: the sharded ingest path (stream/sharded_pipeline.h)
+// writes 'sharded.*' router sections plus one 'shard<i>.*' family per
+// shard engine, and the RealtimePipeline (now the one-shard case)
+// checkpoints in that layout instead of the old
+// 'pier.*'+'realtime.state' one. v1/v2 simulator and plain-pipeline
+// snapshots stay loadable unchanged; v2 *realtime* checkpoints are
+// rejected by the sharded restore with a missing-section diagnostic
+// (re-run the stream to rebuild -- realtime checkpoints are
+// best-effort durability, not archives).
+inline constexpr uint32_t kFormatVersion = 3;
 inline constexpr uint32_t kMinSupportedFormatVersion = 1;
 
 // Accumulates named sections in memory, then serializes the complete

@@ -91,6 +91,35 @@ ProfileId ClusterIndex::FindRootReadOnly(ProfileId id) const {
   return root;
 }
 
+bool ClusterIndex::UnionLocked(ProfileId a, ProfileId b) {
+  ProfileId ra = FindRootCompress(a);
+  ProfileId rb = FindRootCompress(b);
+  if (ra == rb) return false;
+  uint32_t sa = csize_.Load(ra, std::memory_order_relaxed);
+  uint32_t sb = csize_.Load(rb, std::memory_order_relaxed);
+  if (sa < sb) {  // union by size
+    std::swap(ra, rb);
+    std::swap(sa, sb);
+  }
+  if (sa == 1 && sb == 1) {
+    ++non_trivial_clusters_;
+  } else if (sa > 1 && sb > 1) {
+    --non_trivial_clusters_;
+  }
+  parent_.Store(rb, ra, std::memory_order_release);
+  csize_.Store(ra, sa + sb, std::memory_order_release);
+  const uint32_t min_a = cmin_.Load(ra, std::memory_order_relaxed);
+  const uint32_t min_b = cmin_.Load(rb, std::memory_order_relaxed);
+  cmin_.Store(ra, std::min(min_a, min_b), std::memory_order_release);
+  // Splice the two member cycles: one swap of the roots' successors
+  // joins them into a single cycle.
+  const uint32_t na = next_.Load(ra, std::memory_order_relaxed);
+  const uint32_t nb = next_.Load(rb, std::memory_order_relaxed);
+  next_.Store(ra, nb, std::memory_order_release);
+  next_.Store(rb, na, std::memory_order_release);
+  return true;
+}
+
 bool ClusterIndex::AddMatch(ProfileId a, ProfileId b) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   const size_t needed = static_cast<size_t>(std::max(a, b)) + 1;
@@ -102,34 +131,7 @@ bool ClusterIndex::AddMatch(ProfileId a, ProfileId b) {
   // Seqlock write window: odd version while the partition mutates
   // (including path compression, which rewrites parent cells).
   version_.fetch_add(1, std::memory_order_acq_rel);
-  ProfileId ra = FindRootCompress(a);
-  ProfileId rb = FindRootCompress(b);
-  bool merged = false;
-  if (ra != rb) {
-    uint32_t sa = csize_.Load(ra, std::memory_order_relaxed);
-    uint32_t sb = csize_.Load(rb, std::memory_order_relaxed);
-    if (sa < sb) {  // union by size
-      std::swap(ra, rb);
-      std::swap(sa, sb);
-    }
-    if (sa == 1 && sb == 1) {
-      ++non_trivial_clusters_;
-    } else if (sa > 1 && sb > 1) {
-      --non_trivial_clusters_;
-    }
-    parent_.Store(rb, ra, std::memory_order_release);
-    csize_.Store(ra, sa + sb, std::memory_order_release);
-    const uint32_t min_a = cmin_.Load(ra, std::memory_order_relaxed);
-    const uint32_t min_b = cmin_.Load(rb, std::memory_order_relaxed);
-    cmin_.Store(ra, std::min(min_a, min_b), std::memory_order_release);
-    // Splice the two member cycles: one swap of the roots' successors
-    // joins them into a single cycle.
-    const uint32_t na = next_.Load(ra, std::memory_order_relaxed);
-    const uint32_t nb = next_.Load(rb, std::memory_order_relaxed);
-    next_.Store(ra, nb, std::memory_order_release);
-    next_.Store(rb, na, std::memory_order_release);
-    merged = true;
-  }
+  const bool merged = UnionLocked(a, b);
   version_.fetch_add(1, std::memory_order_acq_rel);
 
   if (merged) {
@@ -139,6 +141,40 @@ bool ClusterIndex::AddMatch(ProfileId a, ProfileId b) {
                   static_cast<double>(non_trivial_clusters_));
   }
   return merged;
+}
+
+size_t ClusterIndex::AddMatches(const std::pair<ProfileId, ProfileId>* pairs,
+                                size_t count) {
+  if (count == 0) return 0;
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  size_t merged_total = 0;
+  for (size_t begin = 0; begin < count; begin += kMaxUnionsPerWindow) {
+    const size_t end = std::min(count, begin + kMaxUnionsPerWindow);
+    // Growth stays outside the odd window (like AddMatch): it never
+    // changes the partition a concurrent reader is walking.
+    size_t needed = size_.load(std::memory_order_relaxed);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t top =
+          static_cast<size_t>(std::max(pairs[i].first, pairs[i].second)) + 1;
+      if (top > needed) needed = top;
+    }
+    TrackUpToLocked(needed);
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    size_t merged_here = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (UnionLocked(pairs[i].first, pairs[i].second)) ++merged_here;
+    }
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    obs::CounterAdd(unions_metric_, end - begin);
+    if (merged_here > 0) {
+      merged_total += merged_here;
+      merges_.fetch_add(merged_here, std::memory_order_relaxed);
+      obs::CounterAdd(merges_metric_, merged_here);
+      obs::GaugeSet(clusters_metric_,
+                    static_cast<double>(non_trivial_clusters_));
+    }
+  }
+  return merged_total;
 }
 
 ClusterView ClusterIndex::ClusterOf(ProfileId id) const {

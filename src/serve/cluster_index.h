@@ -45,6 +45,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "model/types.h"
@@ -81,6 +82,17 @@ class ClusterIndex {
   // Returns true when the edge merged two previously distinct
   // clusters. Safe against concurrent readers; writers serialize.
   bool AddMatch(ProfileId a, ProfileId b);
+
+  // Writer: folds a batch of match edges in one pass, amortizing the
+  // writer mutex and seqlock version bumps across up to
+  // kMaxUnionsPerWindow unions per write window (the sharded
+  // combiner's hot path). Readers retry at most once per window
+  // instead of once per edge, and windows stay short enough that the
+  // serving p99 budget holds. Returns the number of edges that merged
+  // two previously distinct clusters. Equivalent to calling AddMatch
+  // per pair -- canonical cluster ids make the result order-invariant.
+  size_t AddMatches(const std::pair<ProfileId, ProfileId>* pairs,
+                    size_t count);
 
   // Reader: canonical cluster id (smallest member id) plus the member
   // list of the cluster containing `id`, sorted ascending. Never
@@ -121,6 +133,11 @@ class ClusterIndex {
   size_t ApproxMemoryBytes() const;
 
  private:
+  // Upper bound on unions folded inside one seqlock write window by
+  // AddMatches: large enough to amortize the version churn, small
+  // enough that a concurrent reader's retry wait stays microseconds.
+  static constexpr size_t kMaxUnionsPerWindow = 32;
+
   // Chunked array of atomic u32 cells with stable addresses: the chunk
   // directory is a fixed array of atomic pointers, so publishing a new
   // chunk never moves memory a reader may be traversing.
@@ -171,6 +188,9 @@ class ClusterIndex {
   // odd-version window, so compression stores are invisible to a
   // reader that will pass version validation).
   ProfileId FindRootCompress(ProfileId id);
+  // One union step; caller holds writer_mutex_ inside an odd-version
+  // window with both ids already tracked. Returns true on a merge.
+  bool UnionLocked(ProfileId a, ProfileId b);
   // Reader-side find: pure walk, no mutation.
   ProfileId FindRootReadOnly(ProfileId id) const;
   // Grows to n tracked ids; caller holds mutex_.

@@ -6,142 +6,126 @@
 // asynchronous Akka-Streams deployment, while the discrete-event
 // StreamSimulator remains the tool for reproducible evaluation.
 //
-// Threading model: the internal mutex guards only pipeline state
-// (prioritizer indexes, blocking structures, the adaptive-K
-// controller) — the worker takes it to emit a batch and to report its
-// cost, but *matching runs outside the lock*. Profile reads during
-// matching are lock-free: the chunked ProfileStore guarantees stable
-// addresses under concurrent ingest, and a batch only references
-// profiles ingested before it was emitted. Matching itself is sharded
-// across options.execution_threads workers by ParallelMatchExecutor,
-// which preserves emission order, so the verdict stream (and thus the
-// match-callback order within a batch) is deterministic and identical
-// for every thread count.
+// Since the sharded ingest path landed, RealtimePipeline is the
+// one-shard instantiation of ShardedPipeline (see
+// stream/sharded_pipeline.h for the full threading model): one shard
+// worker runs the emit -> match loop over a bounded microbatch queue,
+// and the combiner thread folds verdicts into the serving ClusterIndex
+// and the match callback. The verdict stream, cluster answers, and
+// realtime.* metrics are those of the classic single-worker
+// implementation; scale-out is one constructor argument away
+// (ShardedOptions::shard_count).
 
 #ifndef PIER_STREAM_REALTIME_PIPELINE_H_
 #define PIER_STREAM_REALTIME_PIPELINE_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <iosfwd>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
-#include "core/pier_pipeline.h"
-#include "similarity/matcher.h"
-#include "similarity/parallel_executor.h"
-#include "util/stopwatch.h"
-
-namespace pier {
-namespace persist {
-class CheckpointManager;
-}  // namespace persist
-}  // namespace pier
+#include "stream/sharded_pipeline.h"
 
 namespace pier {
 
 class RealtimePipeline {
  public:
-  // Called from the worker thread for every pair the matcher
+  // Called from the combiner thread for every pair the matcher
   // classified as a duplicate.
-  using MatchCallback = std::function<void(ProfileId, ProfileId)>;
+  using MatchCallback = ShardedPipeline::MatchCallback;
 
   // `matcher` must outlive this object. options.execution_threads
   // sets the match-execution parallelism (1 = sequential).
   RealtimePipeline(PierOptions options, const Matcher* matcher,
-                   MatchCallback on_match);
+                   MatchCallback on_match)
+      : impl_(MakeOptions(std::move(options)), matcher, std::move(on_match)) {}
 
-  // Stops the worker and joins it. Pending prioritized comparisons are
-  // abandoned unless Drain() was called first.
-  ~RealtimePipeline();
+  // Stops the workers and joins them. Pending prioritized comparisons
+  // are abandoned unless Drain() was called first.
+  ~RealtimePipeline() = default;
 
   RealtimePipeline(const RealtimePipeline&) = delete;
   RealtimePipeline& operator=(const RealtimePipeline&) = delete;
 
   // Thread-safe: feeds one increment (profiles with dense ids
-  // continuing ingestion order) and wakes the worker.
-  void Ingest(std::vector<EntityProfile> profiles);
+  // continuing ingestion order, or kInvalidProfileId ids for the
+  // router to assign) and wakes the worker. Returns false with a
+  // stderr diagnostic -- ingesting nothing -- after Stop() or after a
+  // restore attempt that failed mid-way (the pipeline state is then
+  // partial; a silently accepted increment would never produce
+  // correct verdicts).
+  bool Ingest(std::vector<EntityProfile> profiles) {
+    return impl_.Ingest(std::move(profiles));
+  }
 
-  // Blocks until the prioritizer has no more comparisons to emit
-  // (including block-scanner backfill). Call after the last Ingest to
-  // get eventual quality.
-  void Drain();
+  // Signals that no further increments will arrive, unlocking the
+  // block scanner's full tail rescan. Call before the final Drain()
+  // for eventual (batch-equivalent) quality.
+  void NotifyStreamEnd() { impl_.NotifyStreamEnd(); }
 
-  // Best-effort durability: after every `every`-th Ingest a snapshot
-  // of the pipeline is written atomically to `dir` (rotated down to
-  // the newest `keep`; see persist/checkpoint_manager.h). The snapshot
-  // is taken under the state mutex, so it captures the pipeline at a
-  // consistent instant; a batch in flight through the matcher at crash
-  // time is lost (its pairs were already marked executed at emission),
-  // which is the wrapper's inherent at-most-once callback contract.
+  // Blocks until the prioritizer has no more comparisons to emit and
+  // every verdict produced so far has been delivered. Call after the
+  // last Ingest to get eventual quality.
+  void Drain() { impl_.Drain(); }
+
+  // Stops and joins the workers early (the destructor's shutdown,
+  // callable explicitly). Idempotent; subsequent Ingest() calls are
+  // rejected.
+  void Stop() { impl_.Stop(); }
+
+  // Best-effort durability: after every `every`-th Ingest the pipeline
+  // quiesces and writes an atomic snapshot to `dir` (rotated down to
+  // the newest `keep`; see persist/checkpoint_manager.h). A batch in
+  // flight through the matcher is finished before the snapshot is cut,
+  // so the file captures a consistent instant.
   void EnableCheckpoints(const std::string& dir, size_t every = 10,
-                         size_t keep = 3);
+                         size_t keep = 3) {
+    impl_.EnableCheckpoints(dir, every, keep);
+  }
 
   // Restores state from a snapshot written by a checkpointing
   // RealtimePipeline constructed with the same PierOptions. Must be
   // called before the first Ingest; returns false with a diagnostic in
-  // *error on a corrupt or mismatched snapshot (state is untouched).
-  bool RestoreFromSnapshot(std::istream& snapshot, std::string* error);
+  // *error on a corrupt or mismatched snapshot. Early validation
+  // failures leave the pipeline usable; a decode failure after
+  // restoration began poisons it (see
+  // ShardedPipeline::RestoreFromSnapshot).
+  bool RestoreFromSnapshot(std::istream& snapshot, std::string* error) {
+    return impl_.RestoreFromSnapshot(snapshot, error);
+  }
 
   // Online cluster queries (thread-safe, lock-free): the current
-  // entity cluster of `id`, maintained from every positive verdict the
-  // worker produced so far. Never blocks Ingest or the worker — the
+  // entity cluster of `id`, maintained from every positive verdict
+  // delivered so far. Never blocks Ingest or the workers — the
   // ClusterIndex read side is seqlock-validated, not lock-based (see
   // serve/cluster_index.h). Query answers always reflect a prefix of
   // the verdict stream.
   serve::ClusterView ClusterOf(ProfileId id) const {
-    return pipeline_.clusters().ClusterOf(id);
+    return impl_.ClusterOf(id);
   }
-  ProfileId ClusterIdOf(ProfileId id) const {
-    return pipeline_.clusters().ClusterIdOf(id);
-  }
-  const serve::ClusterIndex& clusters() const { return pipeline_.clusters(); }
+  ProfileId ClusterIdOf(ProfileId id) const { return impl_.ClusterIdOf(id); }
+  const serve::ClusterIndex& clusters() const { return impl_.clusters(); }
 
   // Statistics (thread-safe, approximate while running).
-  uint64_t comparisons_processed() const { return comparisons_.load(); }
-  uint64_t matches_found() const { return matches_.load(); }
+  uint64_t comparisons_processed() const {
+    return impl_.comparisons_processed();
+  }
+  uint64_t matches_found() const { return impl_.matches_found(); }
+  // Ingest() calls so far (after a restore: as of the checkpoint).
+  uint64_t ingests() const { return impl_.ingests(); }
 
-  size_t execution_threads() const { return executor_.num_threads(); }
+  size_t execution_threads() const { return impl_.execution_threads(); }
 
  private:
-  void WorkerLoop();
-  void MaybeCheckpoint();  // caller holds mutex_
+  static ShardedOptions MakeOptions(PierOptions options) {
+    ShardedOptions sharded;
+    sharded.pipeline = std::move(options);
+    sharded.shard_count = 1;
+    return sharded;
+  }
 
-  PierPipeline pipeline_;
-  const Matcher* matcher_;
-  ParallelMatchExecutor executor_;
-  MatchCallback on_match_;
-  Stopwatch lifetime_;  // arrival timestamps for the K controller
-  obs::MetricsRegistry* metrics_ = nullptr;
-
-  // Checkpointing (EnableCheckpoints); guarded by mutex_.
-  std::unique_ptr<persist::CheckpointManager> checkpointer_;
-  uint64_t ingest_count_ = 0;
-
-  // `realtime.*` metrics (from PierOptions::metrics); the worker's
-  // idle/drain transitions and the per-batch flow through the
-  // emit -> match -> callback loop. Null when un-instrumented.
-  obs::Counter* ingests_metric_ = nullptr;
-  obs::Counter* batches_metric_ = nullptr;
-  obs::Counter* idle_transitions_metric_ = nullptr;
-  obs::Gauge* worker_idle_metric_ = nullptr;
-  obs::Histogram* match_ns_metric_ = nullptr;
-
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable drained_cv_;
-  bool stop_ = false;
-  bool idle_ = false;  // worker found no work on its last pass
-
-  std::atomic<uint64_t> comparisons_{0};
-  std::atomic<uint64_t> matches_{0};
-
-  std::thread worker_;
+  ShardedPipeline impl_;
 };
 
 }  // namespace pier

@@ -229,5 +229,78 @@ TEST(RealtimePipelineTest, CheckpointAndRestoreAcrossInstances) {
   fs::remove_all(dir);
 }
 
+TEST(RealtimePipelineTest, IngestAfterStopIsRejected) {
+  const JaccardMatcher matcher(0.5);
+  RealtimePipeline pipeline(Options(DatasetKind::kDirty), &matcher,
+                            [](ProfileId, ProfileId) {});
+  EXPECT_TRUE(
+      pipeline.Ingest({EntityProfile(0, 0, {{"n", "alpha beta gamma"}})}));
+  pipeline.Drain();
+  pipeline.Stop();
+  // Regression test: a stopped pipeline must reject the increment (the
+  // worker is gone; silently enqueueing it would drop it forever).
+  EXPECT_FALSE(
+      pipeline.Ingest({EntityProfile(1, 0, {{"n", "alpha beta gamma"}})}));
+  EXPECT_EQ(pipeline.ingests(), 1u);
+  pipeline.Drain();  // returns immediately, no deadlock
+}
+
+TEST(RealtimePipelineTest, IngestAfterFailedRestoreIsRejected) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pier_realtime_poison_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  const JaccardMatcher matcher(0.5);
+  {
+    PierOptions options = Options(DatasetKind::kDirty);
+    options.strategy = PierStrategy::kIPes;
+    RealtimePipeline pipeline(options, &matcher, [](ProfileId, ProfileId) {});
+    pipeline.EnableCheckpoints(dir.string(), /*every=*/1, /*keep=*/1);
+    pipeline.Ingest({EntityProfile(0, 0, {{"n", "alpha beta"}}),
+                     EntityProfile(1, 0, {{"n", "alpha beta"}})});
+    pipeline.Drain();
+  }
+  const auto latest = persist::CheckpointManager::FindLatest(dir.string());
+  ASSERT_TRUE(latest.has_value());
+
+  // Mismatched options: the snapshot's global sections restore, then
+  // the engine fingerprint check fails mid-restore. The pipeline is
+  // partially restored -- it must reject further ingests instead of
+  // producing wrong verdicts from the half-restored state.
+  PierOptions options = Options(DatasetKind::kDirty);
+  options.strategy = PierStrategy::kIPcs;
+  RealtimePipeline poisoned(options, &matcher, [](ProfileId, ProfileId) {});
+  {
+    std::ifstream snapshot(*latest, std::ios::binary);
+    std::string error;
+    EXPECT_FALSE(poisoned.RestoreFromSnapshot(snapshot, &error));
+    EXPECT_NE(error.find("poisoned"), std::string::npos) << error;
+  }
+  EXPECT_FALSE(poisoned.Ingest({EntityProfile(0, 0, {{"n", "alpha beta"}})}));
+  fs::remove_all(dir);
+}
+
+TEST(RealtimePipelineTest, QueueDepthAndFreshnessMetrics) {
+  obs::MetricsRegistry registry;
+  const JaccardMatcher matcher(0.5);
+  PierOptions options = Options(DatasetKind::kDirty);
+  options.metrics = &registry;
+  RealtimePipeline pipeline(options, &matcher, [](ProfileId, ProfileId) {});
+  pipeline.Ingest({EntityProfile(0, 0, {{"n", "dup token alpha"}}),
+                   EntityProfile(1, 0, {{"n", "dup token alpha"}})});
+  pipeline.Ingest({EntityProfile(2, 0, {{"n", "dup token alpha"}})});
+  pipeline.Drain();
+  // Quiescent: the microbatch queue is empty and every ingest has been
+  // closed out with an ingest-to-first-verdict latency sample.
+  EXPECT_EQ(registry.GetGauge("realtime.queue_depth")->Value(), 0.0);
+  EXPECT_EQ(registry.GetGauge("realtime.pending_ingests")->Value(), 0.0);
+  const obs::Histogram* latency =
+      registry.GetHistogram("realtime.ingest_to_first_verdict_ns");
+  EXPECT_EQ(latency->Count(), 2u);
+  EXPECT_GT(latency->Sum(), 0u);
+  EXPECT_EQ(registry.GetCounter("realtime.ingests")->Value(), 2u);
+}
+
 }  // namespace
 }  // namespace pier

@@ -10,7 +10,7 @@
 //            [--metrics-out=FILE] [--metrics-interval=F]
 //            [--checkpoint-dir=DIR] [--checkpoint-every=N]
 //            [--checkpoint-keep=N] [--resume-from=FILE|DIR]
-//            [--print-matches] [--serve-queries=N]
+//            [--print-matches] [--serve-queries=N] [--ingest-shards=N]
 //
 // The profiles file uses the long format of datagen/dataset_io.h
 // (profile_id,source,attribute,value). With --truth, the tool replays
@@ -32,12 +32,20 @@
 // curve is bit-identical to an uninterrupted run.
 //
 // --serve-queries=N runs the closed-loop serving mode instead: the
-// data streams through the multi-threaded RealtimePipeline while this
+// data streams through the multi-threaded realtime pipeline while this
 // thread issues N ClusterOf() point queries against the live cluster
 // index, interleaved with ingest. Reports query latency p50/p99 (from
 // the serve.* metrics), cluster statistics, and -- when --truth is
 // given -- the cluster-level recall of the served index.
+//
+// --ingest-shards=N partitions the blocking space across N shard
+// pipelines behind bounded microbatch queues with a merging combiner
+// (stream/sharded_pipeline.h): same verdicts and clusters, N-way
+// ingest parallelism. Applies to serving mode and to resolution mode;
+// the simulator-based evaluation mode is single-engine by design
+// (virtual time needs one deterministic event loop).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -47,6 +55,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/strategy_selector.h"
 #include "datagen/dataset_io.h"
@@ -58,7 +68,7 @@
 #include "similarity/matcher.h"
 #include "similarity/parallel_executor.h"
 #include "stream/pier_adapter.h"
-#include "stream/realtime_pipeline.h"
+#include "stream/sharded_pipeline.h"
 #include "stream/stream_simulator.h"
 #include "text/tokenizer.h"
 #include "util/rng.h"
@@ -105,7 +115,8 @@ int Usage() {
       "                [--metrics-out=FILE] [--metrics-interval=F]\n"
       "                [--checkpoint-dir=DIR] [--checkpoint-every=N]\n"
       "                [--checkpoint-keep=N] [--resume-from=FILE|DIR]\n"
-      "                [--print-matches] [--serve-queries=N]\n");
+      "                [--print-matches] [--serve-queries=N]\n"
+      "                [--ingest-shards=N]\n");
   return 2;
 }
 
@@ -236,6 +247,12 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  const size_t ingest_shards = std::stoul(Get(args, "ingest-shards", "1"));
+  if (ingest_shards == 0) {
+    std::fprintf(stderr, "--ingest-shards must be >= 1\n");
+    return Usage();
+  }
+
   const size_t serve_queries = std::stoul(Get(args, "serve-queries", "0"));
   if (serve_queries > 0) {
     if (!resume_from.empty() || args.count("print-matches")) {
@@ -254,8 +271,11 @@ int main(int argc, char** argv) {
     if (truth_ptr != nullptr) {
       recall = std::make_unique<ClusterRecallTracker>(dataset->truth);
     }
-    RealtimePipeline realtime(
-        options, matcher.get(),
+    ShardedOptions sharded_options;
+    sharded_options.pipeline = options;
+    sharded_options.shard_count = ingest_shards;
+    ShardedPipeline realtime(
+        sharded_options, matcher.get(),
         [&](ProfileId a, ProfileId b) {
           if (recall == nullptr) return;
           std::lock_guard<std::mutex> lock(recall_mutex);
@@ -292,8 +312,9 @@ int main(int argc, char** argv) {
 
     const obs::Histogram* latency = metrics.GetHistogram("serve.query_ns");
     std::printf("serve: %zu queries interleaved with %zu increments "
-                "(%zu profiles) in %.2fs\n",
-                issued, increments.size(), dataset->profiles.size(), wall_s);
+                "(%zu profiles, %zu ingest shards) in %.2fs\n",
+                issued, increments.size(), dataset->profiles.size(),
+                realtime.shard_count(), wall_s);
     std::printf("serve: query latency p50=%lluns p99=%lluns\n",
                 static_cast<unsigned long long>(latency->Quantile(0.5)),
                 static_cast<unsigned long long>(latency->Quantile(0.99)));
@@ -317,6 +338,12 @@ int main(int argc, char** argv) {
   }
 
   if (truth_ptr != nullptr && !args.count("print-matches")) {
+    if (ingest_shards > 1) {
+      std::fprintf(stderr,
+                   "--ingest-shards applies to serving/resolution mode; the "
+                   "simulator-based evaluation mode is single-engine\n");
+      return Usage();
+    }
     // Evaluation mode: progressive quality against the ground truth.
     const StreamSimulator simulator(&*dataset, sim_options);
     PierAdapter algorithm(options);
@@ -363,6 +390,45 @@ int main(int argc, char** argv) {
 
   // Resolution mode: print matched pairs.
   const Stopwatch run_timer;
+  if (ingest_shards > 1) {
+    // Sharded resolution: stream the increments through N shard
+    // pipelines and print the merged match stream once drained. The
+    // pairs are sorted before printing so the output is deterministic
+    // regardless of cross-shard delivery interleaving.
+    ShardedOptions sharded_options;
+    sharded_options.pipeline = options;
+    sharded_options.shard_count = ingest_shards;
+    std::mutex matches_mutex;
+    std::vector<std::pair<ProfileId, ProfileId>> matched_pairs;
+    ShardedPipeline sharded(sharded_options, matcher.get(),
+                            [&](ProfileId a, ProfileId b) {
+                              std::lock_guard<std::mutex> lock(matches_mutex);
+                              matched_pairs.emplace_back(std::min(a, b),
+                                                         std::max(a, b));
+                            });
+    for (const auto& inc :
+         SplitIntoIncrements(*dataset, sim_options.num_increments)) {
+      std::vector<EntityProfile> batch(
+          dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
+          dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.end));
+      if (!sharded.Ingest(std::move(batch))) return 1;
+    }
+    sharded.NotifyStreamEnd();
+    sharded.Drain();
+    std::sort(matched_pairs.begin(), matched_pairs.end());
+    for (const auto& [a, b] : matched_pairs) std::printf("%u,%u\n", a, b);
+    if (options.metrics != nullptr) {
+      obs::WriteJsonLines(metrics_out, run_timer.ElapsedSeconds(),
+                          metrics.Snapshot());
+    }
+    std::fprintf(stderr,
+                 "processed %llu comparisons across %zu shards, %zu matched "
+                 "pairs\n",
+                 static_cast<unsigned long long>(
+                     sharded.comparisons_processed()),
+                 sharded.shard_count(), matched_pairs.size());
+    return 0;
+  }
   PierPipeline pipeline(options);
   const ParallelMatchExecutor executor(matcher.get(),
                                        options.execution_threads,
