@@ -1,5 +1,6 @@
 #include "blocking/block_collection.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <utility>
@@ -18,6 +19,23 @@ size_t BlockCollection::AddProfile(const EntityProfile& profile) {
   }
   total_members_ += profile.tokens.size();
   return profile.tokens.size();
+}
+
+size_t BlockCollection::RemoveProfile(const EntityProfile& profile) {
+  PIER_CHECK(profile.source < 2);
+  size_t updates = 0;
+  for (const TokenId token : profile.tokens) {
+    PIER_CHECK(token < blocks_.size());
+    Block& b = blocks_[token];
+    std::vector<ProfileId>& members = b.members[profile.source];
+    auto it = std::find(members.begin(), members.end(), profile.id);
+    PIER_CHECK(it != members.end());
+    members.erase(it);
+    if (b.empty()) --num_nonempty_;
+    --total_members_;
+    ++updates;
+  }
+  return updates;
 }
 
 bool BlockCollection::IsActive(TokenId id) const {

@@ -41,6 +41,14 @@ class BlockCollection {
   // its tokens. Returns the number of block updates performed.
   size_t AddProfile(const EntityProfile& profile);
 
+  // Removes the profile from the block of each of its tokens (mutable
+  // streams: deletes and corrections). The profile must still carry
+  // the token list it was added with. Arrival order of the remaining
+  // members is preserved. Returns the number of block updates. A block
+  // that shrinks back under the purging threshold becomes un-purged
+  // automatically (IsPurged is computed from the live size).
+  size_t RemoveProfile(const EntityProfile& profile);
+
   // The block keyed by token `id`; valid for any id < capacity, blocks
   // for never-seen tokens are empty.
   const Block& block(TokenId id) const {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "metablocking/weighting.h"
+#include "util/check.h"
 #include "util/serial.h"
 
 namespace pier {
@@ -98,7 +99,7 @@ void IPbs::ScheduleBlock(TokenId token, WorkStats* stats) {
         for (const ProfileId y : b.members[s]) {
           if (y == x) continue;
           Comparison c(x, y, 0.0, bsize);
-          if (comparison_filter_.TestAndAdd(c.Key())) continue;  // redundant
+          if (FilterTestAndAdd(c)) continue;  // redundant
           c.weight = PairCbsWeight(px, profiles.Get(y));
           index_.PushBounded(c);
           ++stats->comparisons_generated;
@@ -117,10 +118,53 @@ void IPbs::ScheduleBlock(TokenId token, WorkStats* stats) {
   profile_index_.erase(token);
 }
 
+bool IPbs::FilterTestAndAdd(const Comparison& c) {
+  if (!options_.mutable_stream) return comparison_filter_.TestAndAdd(c.Key());
+  if (counting_filter_.TestAndAdd(c.Key())) return true;
+  // Freshly inserted: record the pair so OnRetract can remove the key
+  // again. Pairs are recorded exactly once per filter insert (the
+  // counting-filter cells tolerate exactly one matching Remove).
+  filter_pairs_.Add(c.x, c.y);
+  return false;
+}
+
 bool IPbs::Dequeue(Comparison* out) {
   if (index_.empty()) return false;
   *out = index_.PopMax();
   return true;
+}
+
+void IPbs::OnRetract(ProfileId id) {
+  PIER_CHECK(options_.mutable_stream);
+  // PI: drop the profile from the pending lists of its blocks (its
+  // tokens are still readable -- OnRetract precedes the store
+  // mutation). The CI counts are a scheduling heuristic and are left
+  // untouched; ScheduleBlock resets them when the block fires.
+  const EntityProfile& p = ctx_.profiles->Get(id);
+  for (const TokenId token : p.tokens) {
+    auto it = profile_index_.find(token);
+    if (it == profile_index_.end()) continue;
+    auto& list = it->second;
+    const auto pos = std::find(list.begin(), list.end(), id);
+    if (pos != list.end()) list.erase(pos);
+    if (list.empty()) profile_index_.erase(it);
+  }
+
+  // CF: forget every scheduled pair with this endpoint so a corrected
+  // profile's comparisons pass the filter again.
+  for (const ProfileId partner : filter_pairs_.Take(id)) {
+    counting_filter_.Remove(PairKey(id, partner));
+  }
+
+  // CmpIndex: rebuild without the retracted profile's comparisons.
+  std::vector<Comparison> kept;
+  kept.reserve(index_.size());
+  for (const Comparison& c : index_.data()) {
+    if (c.x != id && c.y != id) kept.push_back(c);
+  }
+  if (kept.size() == index_.size()) return;
+  index_.Clear();
+  for (Comparison& c : kept) index_.Push(std::move(c));
 }
 
 void IPbs::Snapshot(std::ostream& out) const {
@@ -145,7 +189,14 @@ void IPbs::Snapshot(std::ostream& out) const {
     serial::WriteVec(out, profile_index_.at(token), serial::WriteU32);
   }
 
-  comparison_filter_.Snapshot(out);
+  // The active filter only; the reader branches the same way because
+  // mutable_stream is part of the pipeline options fingerprint.
+  if (options_.mutable_stream) {
+    counting_filter_.Snapshot(out);
+    filter_pairs_.Snapshot(out);
+  } else {
+    comparison_filter_.Snapshot(out);
+  }
   serial::WriteVec(out, index_.data(), SnapshotComparison);
 }
 
@@ -173,7 +224,12 @@ bool IPbs::Restore(std::istream& in) {
     if (!pi.emplace(token, std::move(members)).second) return false;
   }
 
-  if (!comparison_filter_.Restore(in)) return false;
+  if (options_.mutable_stream) {
+    if (!counting_filter_.Restore(in)) return false;
+    if (!filter_pairs_.Restore(in)) return false;
+  } else {
+    if (!comparison_filter_.Restore(in)) return false;
+  }
   std::vector<Comparison> data;
   if (!serial::ReadVec(in, &data, RestoreComparison)) return false;
   if (!index_.RestoreData(std::move(data))) return false;

@@ -20,7 +20,9 @@
 
 #include "core/prioritizer.h"
 #include "model/comparison.h"
+#include "model/pair_registry.h"
 #include "util/bounded_priority_queue.h"
+#include "util/counting_bloom_filter.h"
 #include "util/scalable_bloom_filter.h"
 
 namespace pier {
@@ -32,6 +34,7 @@ class IPbs : public IncrementalPrioritizer {
   WorkStats UpdateCmpIndex(const std::vector<ProfileId>& delta) override;
   bool Dequeue(Comparison* out) override;
   bool Empty() const override { return index_.empty(); }
+  void OnRetract(ProfileId id) override;
   void Snapshot(std::ostream& out) const override;
   bool Restore(std::istream& in) override;
   const char* name() const override { return "I-PBS"; }
@@ -46,6 +49,10 @@ class IPbs : public IncrementalPrioritizer {
   // entries (lines 15-16).
   void ScheduleBlock(TokenId token, WorkStats* stats);
 
+  // Tests `c` against the active comparison filter and records it when
+  // freshly added. Returns true when the comparison is redundant.
+  bool FilterTestAndAdd(const Comparison& c);
+
   PrioritizerContext ctx_;
   PrioritizerOptions options_;
 
@@ -59,8 +66,16 @@ class IPbs : public IncrementalPrioritizer {
   // selection; mirrors cardinality_index_ entries with count > 0.
   std::set<std::pair<uint64_t, TokenId>> min_index_;
 
-  // CF: redundancy filter over already-scheduled pairs.
+  // CF: redundancy filter over already-scheduled pairs. Append-only
+  // streams use the plain scalable filter; mutable streams (deletes /
+  // corrections) use the counting variant plus a pair registry so
+  // OnRetract can withdraw a retracted profile's keys and a corrected
+  // profile's comparisons reschedule. Only the active pair is
+  // serialized; the snapshot format is selected by
+  // options_.mutable_stream (part of the pipeline fingerprint).
   ScalableBloomFilter comparison_filter_;
+  ScalableCountingBloomFilter counting_filter_;
+  PairRegistry filter_pairs_;
 
   BoundedPriorityQueue<Comparison, CompareByBlockThenWeight> index_;
 };

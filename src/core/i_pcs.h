@@ -26,6 +26,7 @@ class IPcs : public IncrementalPrioritizer {
   bool Dequeue(Comparison* out) override;
   bool Empty() const override { return index_.empty(); }
   void OnStreamEnd() override { scanner_.AllowFullRescan(); }
+  void OnRetract(ProfileId id) override;
   void Snapshot(std::ostream& out) const override;
   bool Restore(std::istream& in) override;
   const char* name() const override { return "I-PCS"; }

@@ -163,6 +163,53 @@ bool IPes::Dequeue(Comparison* out) {
   return false;
 }
 
+void IPes::OnRetract(ProfileId id) {
+  // The retracted entity's own queue.
+  const auto own = entity_index_.find(id);
+  if (own != entity_index_.end()) {
+    if (!own->second.pq.empty()) --nonempty_entities_;
+    entity_index_.erase(own);
+  }
+
+  // Other entities may hold comparisons whose far endpoint is `id`:
+  // rebuild any touched per-entity queue without them (the interval
+  // heap has no positional erase). Entities drained by the purge are
+  // dropped exactly like Dequeue drops them; stale EntityQueue refs to
+  // either are skipped at dequeue time.
+  const auto purge = [id](BoundedPriorityQueue<Comparison, CompareByWeight>&
+                              pq) {
+    bool touched = false;
+    for (const Comparison& c : pq.data()) {
+      if (c.x == id || c.y == id) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) return;
+    std::vector<Comparison> kept;
+    kept.reserve(pq.size());
+    for (const Comparison& c : pq.data()) {
+      if (c.x != id && c.y != id) kept.push_back(c);
+    }
+    pq.Clear();
+    for (Comparison& c : kept) pq.Push(std::move(c));
+  };
+  for (auto it = entity_index_.begin(); it != entity_index_.end();) {
+    const bool was_nonempty = !it->second.pq.empty();
+    purge(it->second.pq);
+    if (it->second.pq.empty()) {
+      if (was_nonempty) --nonempty_entities_;
+      it = entity_index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // The low-weight overflow queue. Total/Count stay as-is: they are
+  // running means over everything ever inserted, not live state.
+  purge(low_queue_);
+}
+
 void IPes::Snapshot(std::ostream& out) const {
   // Entity entries sorted by id for canonical bytes; each per-entity
   // queue's heap vector is stored verbatim. The EntityQueue itself

@@ -41,6 +41,7 @@ class IPes : public IncrementalPrioritizer {
     return nonempty_entities_ == 0 && low_queue_.empty();
   }
   void OnStreamEnd() override { scanner_.AllowFullRescan(); }
+  void OnRetract(ProfileId id) override;
   void Snapshot(std::ostream& out) const override;
   bool Restore(std::istream& in) override;
   const char* name() const override { return "I-PES"; }

@@ -30,6 +30,13 @@ PierPipeline::PierPipeline(PierOptions options)
       blocks_(options.kind, options.blocking),
       tokenizer_(options.tokenizer),
       adaptive_k_(options.adaptive_k) {
+  // The mutability mode is a pipeline-level decision; strategies see it
+  // through their own options (it selects their pair-filter snapshot
+  // format and enables OnRetract bookkeeping).
+  options_.prioritizer.mutable_stream = options_.mutable_stream;
+  if (options_.mutable_stream && options_.track_clusters) {
+    clusters_.EnableRetraction();
+  }
   const PrioritizerContext ctx{&blocks_, &profiles_};
   switch (options_.strategy) {
     case PierStrategy::kIPcs:
@@ -55,6 +62,10 @@ PierPipeline::PierPipeline(PierOptions options)
         r.GetCounter("pipeline.comparisons_emitted");
     metrics_.comparisons_suppressed =
         r.GetCounter("pipeline.comparisons_suppressed");
+    metrics_.comparisons_retracted =
+        r.GetCounter("pipeline.comparisons_retracted");
+    metrics_.profiles_deleted = r.GetCounter("pipeline.profiles_deleted");
+    metrics_.profiles_updated = r.GetCounter("pipeline.profiles_updated");
     metrics_.ingest_ns = r.GetHistogram("pipeline.ingest_ns");
     metrics_.emit_ns = r.GetHistogram("pipeline.emit_ns");
     metrics_.batch_size = r.GetHistogram("pipeline.batch_size");
@@ -132,16 +143,131 @@ WorkStats PierPipeline::IngestPretokenized(
   return stats;
 }
 
+void PierPipeline::RetractProfile(ProfileId id, WorkStats* stats) {
+  // Order matters: the prioritizer reads the profile's tokens through
+  // its context, so it retracts before the block collection and the
+  // store mutate.
+  prioritizer_->OnRetract(id);
+  const EntityProfile& p = profiles_.Get(id);
+  stats->block_updates += blocks_.RemoveProfile(p);
+  stats->tokens += p.tokens.size();
+  for (const TokenId token : p.tokens) {
+    dictionary_.DecrementDocFrequency(token);
+  }
+  // Withdraw every executed pair with this endpoint so a corrected
+  // profile's comparisons pass the filter again. Each key is removed
+  // exactly once (the registry forgets both directions).
+  for (const ProfileId partner : executed_pairs_.Take(id)) {
+    const uint64_t key = PairKey(id, partner);
+    if (options_.exact_executed_filter) {
+      executed_exact_.erase(key);
+    } else {
+      executed_counting_.Remove(key);
+    }
+    ++stats->index_ops;
+  }
+  if (options_.track_clusters) clusters_.RemoveProfile(id);
+}
+
+WorkStats PierPipeline::Delete(const std::vector<ProfileId>& ids) {
+  PIER_CHECK(options_.mutable_stream);
+  const obs::ScopedTimer timer(metrics_.ingest_ns);
+  WorkStats stats;
+  for (const ProfileId id : ids) {
+    PIER_CHECK(id < profiles_.size());
+    if (!profiles_.IsLive(id)) continue;  // idempotent (shard fan-out)
+    RetractProfile(id, &stats);
+    profiles_.Remove(id);
+    ++stats.profiles;
+  }
+  obs::CounterAdd(metrics_.increments);
+  obs::CounterAdd(metrics_.profiles_deleted, stats.profiles);
+  obs::CounterAdd(metrics_.block_updates, stats.block_updates);
+  return stats;
+}
+
+WorkStats PierPipeline::Update(std::vector<EntityProfile> profiles) {
+  PIER_CHECK(options_.mutable_stream);
+  const obs::ScopedTimer timer(metrics_.ingest_ns);
+  WorkStats stats;
+  std::vector<ProfileId> delta;
+  delta.reserve(profiles.size());
+  for (auto& profile : profiles) {
+    const ProfileId id = profile.id;
+    PIER_CHECK(id < profiles_.size());
+    if (profiles_.IsLive(id)) RetractProfile(id, &stats);
+    tokenizer_.TokenizeProfile(profile, dictionary_);
+    stats.tokens += profile.tokens.size();
+    ++stats.profiles;
+    delta.push_back(id);
+    stats.block_updates += blocks_.AddProfile(profile);
+    profiles_.Replace(std::move(profile));
+    // The corrected profile re-enters as a singleton; its cluster
+    // re-forms from post-update verdicts over the rescheduled pairs.
+    if (options_.track_clusters) clusters_.ReviveAsSingleton(id);
+  }
+  stats += prioritizer_->UpdateCmpIndex(delta);
+  obs::CounterAdd(metrics_.increments);
+  obs::CounterAdd(metrics_.profiles_updated, stats.profiles);
+  obs::CounterAdd(metrics_.block_updates, stats.block_updates);
+  return stats;
+}
+
+WorkStats PierPipeline::UpdatePretokenized(
+    std::vector<PretokenizedProfile> items) {
+  PIER_CHECK(options_.mutable_stream);
+  const obs::ScopedTimer timer(metrics_.ingest_ns);
+  WorkStats stats;
+  std::vector<ProfileId> delta;
+  delta.reserve(items.size());
+  for (auto& item : items) {
+    const ProfileId id = item.id;
+    PIER_CHECK(id < profiles_.size());
+    if (profiles_.IsLive(id)) RetractProfile(id, &stats);
+    EntityProfile profile(id, item.source, {});
+    std::vector<TokenId> ids;
+    ids.reserve(item.tokens.size());
+    for (const auto& token : item.tokens) {
+      ids.push_back(dictionary_.Intern(token));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (const TokenId tid : ids) dictionary_.IncrementDocFrequency(tid);
+    profile.tokens = std::move(ids);
+    stats.tokens += profile.tokens.size();
+    ++stats.profiles;
+    delta.push_back(id);
+    stats.block_updates += blocks_.AddProfile(profile);
+    profiles_.Replace(std::move(profile));
+    if (options_.track_clusters) clusters_.ReviveAsSingleton(id);
+  }
+  stats += prioritizer_->UpdateCmpIndex(delta);
+  obs::CounterAdd(metrics_.increments);
+  obs::CounterAdd(metrics_.profiles_updated, stats.profiles);
+  obs::CounterAdd(metrics_.block_updates, stats.block_updates);
+  return stats;
+}
+
 WorkStats PierPipeline::Tick() {
   obs::CounterAdd(metrics_.ticks);
   return prioritizer_->UpdateCmpIndex({});
 }
 
-bool PierPipeline::AlreadyExecuted(uint64_t key) {
+bool PierPipeline::AlreadyExecuted(const Comparison& c) {
+  const uint64_t key = c.Key();
+  bool newly_added;
   if (options_.exact_executed_filter) {
-    return !executed_exact_.insert(key).second;
+    newly_added = executed_exact_.insert(key).second;
+  } else if (options_.mutable_stream) {
+    newly_added = !executed_counting_.TestAndAdd(key);
+  } else {
+    return executed_filter_.TestAndAdd(key);
   }
-  return executed_filter_.TestAndAdd(key);
+  // Record the pair exactly once per filter insert so RetractProfile
+  // can withdraw the key (counting-filter cells tolerate exactly one
+  // matching Remove).
+  if (newly_added && options_.mutable_stream) executed_pairs_.Add(c.x, c.y);
+  return !newly_added;
 }
 
 std::vector<Comparison> PierPipeline::EmitBatch() {
@@ -163,7 +289,16 @@ std::vector<Comparison> PierPipeline::EmitBatch(size_t k, WorkStats* stats) {
       if (prioritizer_->Empty()) break;  // genuinely exhausted
       continue;
     }
-    if (AlreadyExecuted(c.Key())) {
+    // Mutable streams: a retraction may race a comparison already
+    // sitting in the index (OnRetract purges are best-effort for
+    // lightweight prioritizers); this lazy liveness check is the
+    // safety net that keeps dead endpoints out of every batch.
+    if (options_.mutable_stream &&
+        (!profiles_.IsLive(c.x) || !profiles_.IsLive(c.y))) {
+      obs::CounterAdd(metrics_.comparisons_retracted);
+      continue;
+    }
+    if (AlreadyExecuted(c)) {
       obs::CounterAdd(metrics_.comparisons_suppressed);
       continue;
     }
@@ -209,6 +344,11 @@ void WriteOptionsFingerprint(std::ostream& out, const PierOptions& o) {
     serial::WriteU32(out, o.token_shard_count);
     serial::WriteU32(out, o.token_shard_index);
   }
+  // Mutability mode, only when enabled (same compatibility reasoning):
+  // it selects the filter wire formats here and in the prioritizer
+  // sections, so an append-only pipeline can never load a mutable
+  // snapshot or vice versa.
+  if (o.mutable_stream) serial::WriteBool(out, true);
 }
 
 void SetRestoreError(std::string* error, const std::string& message) {
@@ -235,9 +375,14 @@ void PierPipeline::Snapshot(persist::SnapshotBuilder& builder,
                                executed_exact_.end());
     std::sort(keys.begin(), keys.end());
     serial::WriteVec(filter, keys, serial::WriteU64);
+  } else if (options_.mutable_stream) {
+    executed_counting_.Snapshot(filter);
   } else {
     executed_filter_.Snapshot(filter);
   }
+  // Mutable streams carry the retraction registry alongside whichever
+  // filter is active (the fingerprint gates the format).
+  if (options_.mutable_stream) executed_pairs_.Snapshot(filter);
 
   adaptive_k_.Snapshot(builder.AddSection(prefix + ".findk"));
   clusters_.Snapshot(builder.AddSection(prefix + ".clusters"));
@@ -250,8 +395,13 @@ void PierPipeline::Snapshot(persist::SnapshotBuilder& builder,
                 static_cast<double>(blocks_.ApproxMemoryBytes()));
   obs::GaugeSet(metrics_.state_bytes_dictionary,
                 static_cast<double>(dictionary_.ApproxMemoryBytes()));
+  const size_t filter_bytes =
+      options_.mutable_stream
+          ? executed_counting_.ApproxMemoryBytes() +
+                executed_pairs_.ApproxMemoryBytes()
+          : executed_filter_.ApproxMemoryBytes();
   obs::GaugeSet(metrics_.state_bytes_filter,
-                static_cast<double>(executed_filter_.ApproxMemoryBytes()));
+                static_cast<double>(filter_bytes));
 }
 
 bool PierPipeline::Restore(const persist::SnapshotReader& reader,
@@ -317,7 +467,16 @@ bool PierPipeline::Restore(const persist::SnapshotReader& reader,
     }
     executed_exact_.clear();
     executed_exact_.insert(keys.begin(), keys.end());
+  } else if (options_.mutable_stream) {
+    if (!executed_counting_.Restore(section)) {
+      decode_error("filter");
+      return false;
+    }
   } else if (!executed_filter_.Restore(section)) {
+    decode_error("filter");
+    return false;
+  }
+  if (options_.mutable_stream && !executed_pairs_.Restore(section)) {
     decode_error("filter");
     return false;
   }

@@ -38,11 +38,13 @@
 #include "core/prioritizer.h"
 #include "model/comparison.h"
 #include "model/entity_profile.h"
+#include "model/pair_registry.h"
 #include "model/profile_store.h"
 #include "model/token_dictionary.h"
 #include "obs/metrics.h"
 #include "serve/cluster_index.h"
 #include "text/tokenizer.h"
+#include "util/counting_bloom_filter.h"
 #include "util/scalable_bloom_filter.h"
 
 namespace pier {
@@ -94,6 +96,14 @@ struct PierOptions {
   // serve.* instrumentation). Sharded deployments disable this on
   // shard sub-pipelines: the combiner owns the single serving index.
   bool track_clusters = true;
+  // Mutable streams: accept Delete / Update increments. Costs memory
+  // (the executed-comparison filter becomes a counting filter unless
+  // exact, plus a pair registry per filter so retraction can withdraw
+  // keys) and changes the snapshot wire format, so it participates in
+  // the options fingerprint (written only when set, keeping append-only
+  // snapshots byte-compatible with earlier versions). Mirrored into
+  // PrioritizerOptions by the constructor.
+  bool mutable_stream = false;
 };
 
 // One profile whose tokens were already normalized and split by an
@@ -127,6 +137,30 @@ class PierPipeline {
   // profile (no attributes / flat_text -- shard pipelines never feed
   // the matcher, which reads the router's global store instead).
   WorkStats IngestPretokenized(std::vector<PretokenizedProfile> items);
+
+  // Mutable streams (requires options.mutable_stream): retracts the
+  // given live profiles. Each delete withdraws the profile from the
+  // block collection, the token doc frequencies, the prioritizer's
+  // pending comparisons, the executed-comparison filter (via the pair
+  // registry), and the cluster index (surviving cluster members
+  // re-resolve over their remaining match edges); the profile store
+  // slot becomes a tombstone (ids are never reused). Ids already dead
+  // are skipped (idempotent, so shard routers can fan a delete out to
+  // every shard).
+  WorkStats Delete(const std::vector<ProfileId>& ids);
+
+  // Mutable streams: corrections. Each profile replaces the live (or
+  // tombstoned) profile with the same id: the old version is retracted
+  // exactly as in Delete, then the new content is tokenized, blocked,
+  // and scheduled like a fresh arrival. The profile re-enters the
+  // cluster index as a singleton; its cluster membership re-forms from
+  // post-update match verdicts.
+  WorkStats Update(std::vector<EntityProfile> profiles);
+
+  // Sharded-ingest seam for Update, mirroring IngestPretokenized: the
+  // router already normalized/split (and shard-filtered) the corrected
+  // profile's tokens.
+  WorkStats UpdatePretokenized(std::vector<PretokenizedProfile> items);
 
   // The periodic empty increment the blocking step emits while the
   // stream is idle; lets the prioritizer pull older pairs forward.
@@ -194,7 +228,12 @@ class PierPipeline {
                const std::string& prefix = "pier");
 
  private:
-  bool AlreadyExecuted(uint64_t key);
+  bool AlreadyExecuted(const Comparison& c);
+
+  // Delete internals for one live profile (shared by Delete and the
+  // retract half of Update): everything except the profile-store
+  // tombstone, which Delete writes and Update replaces.
+  void RetractProfile(ProfileId id, WorkStats* stats);
 
   // `pipeline.*` stage metrics; all null when options.metrics is null.
   struct Metrics {
@@ -206,6 +245,9 @@ class PierPipeline {
     obs::Counter* batches = nullptr;
     obs::Counter* comparisons_emitted = nullptr;
     obs::Counter* comparisons_suppressed = nullptr;
+    obs::Counter* comparisons_retracted = nullptr;
+    obs::Counter* profiles_deleted = nullptr;
+    obs::Counter* profiles_updated = nullptr;
     obs::Histogram* ingest_ns = nullptr;
     obs::Histogram* emit_ns = nullptr;
     obs::Histogram* batch_size = nullptr;
@@ -227,8 +269,16 @@ class PierPipeline {
   AdaptiveK adaptive_k_;
 
   serve::ClusterIndex clusters_;
+  // Executed-comparison filter: exactly one of the three is active.
+  // Append-only streams use the scalable Bloom filter (or the exact
+  // set under the ablation knob); mutable streams swap the Bloom
+  // filter for its counting variant so deletes can withdraw keys, and
+  // additionally maintain the pair registry (for the exact set too:
+  // erasing keys needs the partner list either way).
   ScalableBloomFilter executed_filter_;
+  ScalableCountingBloomFilter executed_counting_;
   std::unordered_set<uint64_t> executed_exact_;
+  PairRegistry executed_pairs_;
   uint64_t comparisons_emitted_ = 0;
 };
 

@@ -59,6 +59,13 @@ struct PrioritizerOptions {
   size_t low_weight_queue_capacity = 1u << 17;
 
   WeightingScheme scheme = WeightingScheme::kCbs;
+
+  // Mutable streams (deletes / corrections): strategies keep enough
+  // retraction state (deletable pair filters, pair registries) that
+  // OnRetract can withdraw a profile's pending comparisons. Changes
+  // the snapshot wire format of the strategies that carry a pair
+  // filter, so it participates in the pipeline options fingerprint.
+  bool mutable_stream = false;
 };
 
 // Read-only shared state every prioritizer consults. The pointed-to
@@ -89,6 +96,16 @@ class IncrementalPrioritizer {
   // strategies with a block scanner lift its rescan throttle so the
   // tail pass covers every block at its final size.
   virtual void OnStreamEnd() {}
+
+  // Mutable streams: profile `id` is being deleted (or replaced). The
+  // call arrives *before* the profile store / block collection mutate,
+  // so the profile's tokens are still readable through the context.
+  // Strategies drop every pending comparison with `id` as an endpoint
+  // and forget any pair-filter entries involving it, so a corrected
+  // profile's pairs can be rescheduled. The base implementation is a
+  // no-op for lightweight test doubles; stale entries that survive a
+  // no-op are caught by the pipeline's emit-time liveness check.
+  virtual void OnRetract(ProfileId id) { (void)id; }
 
   // Checkpoint support (see src/persist/): serializes the strategy's
   // complete internal state (queues, per-token indexes, filters,

@@ -136,6 +136,23 @@ size_t BlockingGraph::Build(const WeightingContext& ctx, ProfileId limit,
   return num_edges_;
 }
 
+size_t BlockingGraph::RemoveProfile(ProfileId id) {
+  PIER_CHECK(id < adjacency_.size());
+  std::vector<Comparison> edges = std::move(adjacency_[id]);
+  adjacency_[id].clear();
+  for (const Comparison& edge : edges) {
+    const ProfileId other = edge.x == id ? edge.y : edge.x;
+    auto& list = adjacency_[other];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [id](const Comparison& c) {
+                                return c.x == id || c.y == id;
+                              }),
+               list.end());
+  }
+  num_edges_ -= edges.size();
+  return edges.size();
+}
+
 const std::vector<Comparison>& BlockingGraph::Edges(ProfileId id) const {
   PIER_DCHECK(id < adjacency_.size());
   return adjacency_[id];

@@ -39,6 +39,13 @@ class BlockingGraph {
   size_t Build(const WeightingContext& ctx, ProfileId limit,
                uint64_t* visits = nullptr, ThreadPool* pool = nullptr);
 
+  // Detaches a node (mutable streams: the profile was deleted): drops
+  // every edge incident to `id` from both endpoints' lists, preserving
+  // the weight-descending order of the surviving edges. The node slot
+  // stays allocated (ids are dense) but isolated. Returns the number
+  // of undirected edges removed.
+  size_t RemoveProfile(ProfileId id);
+
   size_t num_nodes() const { return adjacency_.size(); }
   size_t num_edges() const { return num_edges_; }
 

@@ -1,0 +1,122 @@
+// Retraction index for pair filters (mutable streams): Bloom-style
+// executed/scheduled-comparison filters are keyed by PairKey(x, y),
+// so deleting profile x requires knowing every partner y it was
+// paired with to remove those keys again. This registry records each
+// pair under both endpoints and hands back (and forgets) a profile's
+// partner list on retraction.
+//
+// Each pair must be recorded exactly once (callers record only when
+// the underlying filter insert actually happened), so Take removes
+// each key exactly once — double removal would corrupt a counting
+// filter's cells.
+
+#ifndef PIER_MODEL_PAIR_REGISTRY_H_
+#define PIER_MODEL_PAIR_REGISTRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "model/types.h"
+#include "util/serial.h"
+
+namespace pier {
+
+class PairRegistry {
+ public:
+  void Add(ProfileId x, ProfileId y) {
+    partners_[x].push_back(y);
+    partners_[y].push_back(x);
+    ++num_pairs_;
+  }
+
+  // Returns `id`'s partners and erases the pair records in both
+  // directions. Subsequent Take of a partner no longer reports `id`.
+  std::vector<ProfileId> Take(ProfileId id) {
+    auto it = partners_.find(id);
+    if (it == partners_.end()) return {};
+    std::vector<ProfileId> taken = std::move(it->second);
+    partners_.erase(it);
+    for (const ProfileId partner : taken) {
+      auto back = partners_.find(partner);
+      if (back == partners_.end()) continue;
+      auto& list = back->second;
+      auto pos = std::find(list.begin(), list.end(), id);
+      if (pos != list.end()) {
+        *pos = list.back();
+        list.pop_back();
+      }
+      if (list.empty()) partners_.erase(back);
+    }
+    num_pairs_ -= taken.size();
+    return taken;
+  }
+
+  uint64_t num_pairs() const { return num_pairs_; }
+  bool empty() const { return partners_.empty(); }
+
+  size_t ApproxMemoryBytes() const {
+    size_t total = partners_.bucket_count() * sizeof(void*);
+    for (const auto& [id, list] : partners_) {
+      (void)id;
+      total += sizeof(std::pair<const ProfileId, std::vector<ProfileId>>) +
+               list.capacity() * sizeof(ProfileId);
+    }
+    return total;
+  }
+
+  // Canonical serialization: entries ascending by id, partner lists
+  // ascending (the in-memory order is immaterial to semantics).
+  void Snapshot(std::ostream& out) const {
+    std::vector<ProfileId> ids;
+    ids.reserve(partners_.size());
+    for (const auto& [id, list] : partners_) {
+      (void)list;
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    serial::WriteU64(out, ids.size());
+    for (const ProfileId id : ids) {
+      std::vector<ProfileId> list = partners_.at(id);
+      std::sort(list.begin(), list.end());
+      serial::WriteU32(out, id);
+      serial::WriteVec(out, list, serial::WriteU32);
+    }
+  }
+
+  // Restores a Snapshot payload into this registry, which must be
+  // empty. Returns false on decode failure or asymmetric content.
+  bool Restore(std::istream& in) {
+    if (!partners_.empty()) return false;
+    uint64_t count = 0;
+    if (!serial::ReadU64(in, &count)) return false;
+    uint64_t total = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t id = 0;
+      std::vector<ProfileId> list;
+      if (!serial::ReadU32(in, &id) ||
+          !serial::ReadVec(in, &list, serial::ReadU32)) {
+        return false;
+      }
+      if (list.empty() || partners_.count(id) != 0) return false;
+      total += list.size();
+      partners_.emplace(id, std::move(list));
+    }
+    // Every pair is recorded under both endpoints.
+    if (total % 2 != 0) return false;
+    num_pairs_ = total / 2;
+    return true;
+  }
+
+ private:
+  std::unordered_map<ProfileId, std::vector<ProfileId>> partners_;
+  uint64_t num_pairs_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_MODEL_PAIR_REGISTRY_H_

@@ -41,6 +41,13 @@ void ProfileStore::Snapshot(std::ostream& out) const {
     serial::WriteVec(out, p.tokens, serial::WriteU32);
     serial::WriteString(out, p.flat_text);
   }
+  // Tombstoned ids, ascending. Pre-mutation snapshots end after the
+  // profile list; Restore treats a missing tail as "all live".
+  std::vector<uint32_t> dead;
+  for (size_t i = 0; i < n; ++i) {
+    if (live_[i] == 0) dead.push_back(static_cast<uint32_t>(i));
+  }
+  serial::WriteVec(out, dead, serial::WriteU32);
 }
 
 bool ProfileStore::Restore(std::istream& in) {
@@ -67,6 +74,19 @@ bool ProfileStore::Restore(std::istream& in) {
     p.id = static_cast<ProfileId>(id);
     p.source = source;
     Add(std::move(p));
+  }
+  // Optional tombstone tail (absent in pre-mutation snapshots, whose
+  // section payload ends exactly after the profile list).
+  if (in.peek() == std::char_traits<char>::eof()) return true;
+  std::vector<uint32_t> dead;
+  if (!serial::ReadVec(in, &dead, serial::ReadU32)) return false;
+  uint32_t prev = 0;
+  for (size_t i = 0; i < dead.size(); ++i) {
+    const uint32_t id = dead[i];
+    if (id >= count || (i > 0 && id <= prev)) return false;
+    prev = id;
+    live_[id] = 0;
+    --num_live_;
   }
   return true;
 }

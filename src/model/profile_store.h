@@ -63,10 +63,56 @@ class ProfileStore {
       chunks_[chunk_index].store(chunk, std::memory_order_release);
     }
     token_counts_.push_back(static_cast<uint32_t>(profile.tokens.size()));
+    live_.push_back(1);
+    ++num_live_;
     heap_bytes_ += HeapBytes(profile);
     chunk[n & kChunkMask] = std::move(profile);
     size_.store(n + 1, std::memory_order_release);
   }
+
+  // Tombstones a profile: the id stays allocated (ids are dense and
+  // never reused) but the record's content is cleared to reclaim heap
+  // and the profile no longer counts as live. Writer-side only, and —
+  // like Replace — only while no matcher thread holds a reference to
+  // the record (the pipelines apply mutations quiesced).
+  void Remove(ProfileId id) {
+    PIER_CHECK(id < size_.load(std::memory_order_relaxed));
+    PIER_CHECK(live_[id] != 0);
+    EntityProfile& p = GetMutable(id);
+    heap_bytes_ -= HeapBytes(p);
+    EntityProfile cleared;
+    cleared.id = p.id;
+    cleared.source = p.source;
+    p = std::move(cleared);
+    token_counts_[id] = 0;
+    live_[id] = 0;
+    --num_live_;
+  }
+
+  // Replaces a record in place (correction); revives a tombstoned id.
+  // Same threading contract as Remove.
+  void Replace(EntityProfile profile) {
+    const ProfileId id = profile.id;
+    PIER_CHECK(id < size_.load(std::memory_order_relaxed));
+    EntityProfile& p = GetMutable(id);
+    heap_bytes_ -= HeapBytes(p);
+    heap_bytes_ += HeapBytes(profile);
+    token_counts_[id] = static_cast<uint32_t>(profile.tokens.size());
+    p = std::move(profile);
+    if (live_[id] == 0) {
+      live_[id] = 1;
+      ++num_live_;
+    }
+  }
+
+  // False for tombstoned ids. Writer/ingest thread only (the liveness
+  // sidecar relocates on growth, like token_counts_).
+  bool IsLive(ProfileId id) const {
+    PIER_DCHECK(id < live_.size());
+    return live_[id] != 0;
+  }
+
+  size_t num_live() const { return num_live_; }
 
   const EntityProfile& Get(ProfileId id) const {
     PIER_DCHECK(id < size_.load(std::memory_order_acquire));
@@ -124,6 +170,8 @@ class ProfileStore {
 
   std::unique_ptr<std::atomic<EntityProfile*>[]> chunks_;
   std::vector<uint32_t> token_counts_;  // sidecar, writer-appended
+  std::vector<uint8_t> live_;           // sidecar, 0 = tombstoned
+  size_t num_live_ = 0;
   std::atomic<size_t> size_{0};
   size_t heap_bytes_ = 0;  // writer-side running total (see Add)
 };

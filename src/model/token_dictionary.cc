@@ -38,6 +38,12 @@ void TokenDictionary::IncrementDocFrequency(TokenId id) {
   ++doc_frequency_[id];
 }
 
+void TokenDictionary::DecrementDocFrequency(TokenId id) {
+  PIER_DCHECK(id < doc_frequency_.size());
+  PIER_CHECK(doc_frequency_[id] > 0);
+  --doc_frequency_[id];
+}
+
 void TokenDictionary::Snapshot(std::ostream& out) const {
   serial::WriteU64(out, spellings_.size());
   for (size_t i = 0; i < spellings_.size(); ++i) {

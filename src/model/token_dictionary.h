@@ -37,6 +37,11 @@ class TokenDictionary {
   // frequency); maintained by IncrementDocFrequency.
   uint32_t DocFrequency(TokenId id) const;
   void IncrementDocFrequency(TokenId id);
+  // Retraction counterpart (mutable streams): a deleted profile gives
+  // back one document per token. The spelling stays interned — ids are
+  // dense and shard routing hashes spellings, so forgetting one would
+  // break determinism.
+  void DecrementDocFrequency(TokenId id);
 
   size_t size() const { return spellings_.size(); }
 

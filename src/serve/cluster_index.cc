@@ -1,6 +1,7 @@
 #include "serve/cluster_index.h"
 
 #include <algorithm>
+#include <istream>
 #include <ostream>
 #include <unordered_map>
 #include <utility>
@@ -26,10 +27,19 @@ void ClusterIndex::InstrumentWith(obs::MetricsRegistry* registry) {
   queries_metric_ = registry->GetCounter("serve.queries");
   unions_metric_ = registry->GetCounter("serve.unions");
   merges_metric_ = registry->GetCounter("serve.merges");
+  removals_metric_ = registry->GetCounter("serve.removals");
   query_retries_metric_ = registry->GetCounter("serve.query_retries");
   query_ns_metric_ = registry->GetHistogram("serve.query_ns");
   universe_metric_ = registry->GetGauge("serve.universe");
   clusters_metric_ = registry->GetGauge("serve.nontrivial_clusters");
+}
+
+void ClusterIndex::EnableRetraction() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Edges are only recorded from here on; enabling after matches were
+  // already folded would leave removals unable to re-resolve them.
+  PIER_CHECK(merges_.load(std::memory_order_relaxed) == 0);
+  retraction_enabled_ = true;
 }
 
 void ClusterIndex::TrackUpToLocked(size_t n) {
@@ -81,17 +91,41 @@ ProfileId ClusterIndex::FindRootReadOnly(ProfileId id) const {
   // Bounded pure walk: with no writer in flight this terminates at the
   // root; mid-mutation it may wander, so cap the steps and let the
   // caller's version check force a retry.
-  const size_t limit = size_.load(std::memory_order_acquire) + 1;
+  const size_t n = size_.load(std::memory_order_acquire);
+  const size_t limit = n + 1;
   ProfileId root = id;
   for (size_t steps = 0; steps < limit; ++steps) {
     const ProfileId up = parent_.Load(root, std::memory_order_acquire);
     if (up == root) return root;
+    // A removed cell (kDeadParent) -- or any out-of-universe value
+    // from a torn mid-mutation read -- must not be dereferenced.
+    // Callers answer "removed" if the version held, else retry.
+    if (up >= n) return kDeadParent;
     root = up;
   }
   return root;
 }
 
+void ClusterIndex::RecordEdgeLocked(ProfileId a, ProfileId b) {
+  const size_t needed = static_cast<size_t>(std::max(a, b)) + 1;
+  if (edges_.size() < needed) edges_.resize(needed);
+  auto& list = edges_[a];
+  if (std::find(list.begin(), list.end(), b) != list.end()) return;
+  list.push_back(b);
+  edges_[b].push_back(a);
+}
+
 bool ClusterIndex::UnionLocked(ProfileId a, ProfileId b) {
+  if (retraction_enabled_) {
+    // Never walk from a removed cell (its parent is the kDeadParent
+    // sentinel, not a valid index); verdicts for removed profiles are
+    // already filtered upstream, this is the safety net.
+    if (parent_.Load(a, std::memory_order_relaxed) == kDeadParent ||
+        parent_.Load(b, std::memory_order_relaxed) == kDeadParent) {
+      return false;
+    }
+    if (a != b) RecordEdgeLocked(a, b);
+  }
   ProfileId ra = FindRootCompress(a);
   ProfileId rb = FindRootCompress(b);
   if (ra == rb) return false;
@@ -177,6 +211,118 @@ size_t ClusterIndex::AddMatches(const std::pair<ProfileId, ProfileId>* pairs,
   return merged_total;
 }
 
+void ClusterIndex::WriteClusterLocked(const std::vector<ProfileId>& members) {
+  const ProfileId root = members.front();  // sorted ascending: the min
+  for (size_t k = 0; k < members.size(); ++k) {
+    parent_.Store(members[k], root, std::memory_order_release);
+    const ProfileId successor =
+        k + 1 < members.size() ? members[k + 1] : root;
+    next_.Store(members[k], successor, std::memory_order_release);
+  }
+  csize_.Store(root, static_cast<uint32_t>(members.size()),
+               std::memory_order_release);
+  cmin_.Store(root, root, std::memory_order_release);
+}
+
+bool ClusterIndex::RemoveProfile(ProfileId id) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  PIER_CHECK(retraction_enabled_);
+  const size_t n = size_.load(std::memory_order_relaxed);
+  if (id >= n) return false;
+  if (parent_.Load(id, std::memory_order_relaxed) == kDeadParent) {
+    return false;
+  }
+
+  // Collect the cluster's members (writer-consistent cycle walk).
+  std::vector<ProfileId> members;
+  ProfileId cur = id;
+  do {
+    members.push_back(cur);
+    cur = next_.Load(cur, std::memory_order_relaxed);
+  } while (cur != id);
+
+  // Drop the removed record's edges from both directions.
+  if (id < edges_.size()) {
+    for (const ProfileId nb : edges_[id]) {
+      auto& list = edges_[nb];
+      auto pos = std::find(list.begin(), list.end(), id);
+      if (pos != list.end()) {
+        *pos = list.back();
+        list.pop_back();
+      }
+    }
+    edges_[id].clear();
+  }
+
+  // Re-resolve the survivors: connected components over the remaining
+  // match edges (all of which stay within the old cluster).
+  std::vector<ProfileId> survivors;
+  survivors.reserve(members.size() - 1);
+  for (const ProfileId m : members) {
+    if (m != id) survivors.push_back(m);
+  }
+  std::sort(survivors.begin(), survivors.end());
+  std::unordered_map<ProfileId, size_t> component_of;
+  std::vector<std::vector<ProfileId>> components;
+  for (const ProfileId seed : survivors) {
+    if (component_of.count(seed) != 0) continue;
+    const size_t c = components.size();
+    components.emplace_back();
+    std::vector<ProfileId> frontier{seed};
+    component_of.emplace(seed, c);
+    while (!frontier.empty()) {
+      const ProfileId v = frontier.back();
+      frontier.pop_back();
+      components[c].push_back(v);
+      if (v >= edges_.size()) continue;
+      for (const ProfileId nb : edges_[v]) {
+        if (component_of.emplace(nb, c).second) frontier.push_back(nb);
+      }
+    }
+    std::sort(components[c].begin(), components[c].end());
+  }
+
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  parent_.Store(id, kDeadParent, std::memory_order_release);
+  next_.Store(id, id, std::memory_order_release);
+  csize_.Store(id, 0, std::memory_order_release);
+  cmin_.Store(id, id, std::memory_order_release);
+  for (const auto& component : components) WriteClusterLocked(component);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+
+  if (members.size() > 1) --non_trivial_clusters_;
+  for (const auto& component : components) {
+    if (component.size() > 1) ++non_trivial_clusters_;
+  }
+  obs::CounterAdd(removals_metric_);
+  obs::GaugeSet(clusters_metric_, static_cast<double>(non_trivial_clusters_));
+  return true;
+}
+
+void ClusterIndex::ReviveAsSingleton(ProfileId id) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  PIER_CHECK(retraction_enabled_);
+  PIER_CHECK(id < size_.load(std::memory_order_relaxed));
+  PIER_CHECK(parent_.Load(id, std::memory_order_relaxed) == kDeadParent);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  parent_.Store(id, id, std::memory_order_release);
+  next_.Store(id, id, std::memory_order_release);
+  csize_.Store(id, 1, std::memory_order_release);
+  cmin_.Store(id, id, std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool ClusterIndex::IsDeleted(ProfileId id) const {
+  if (id >= size_.load(std::memory_order_acquire)) return false;
+  for (;;) {
+    const uint64_t v1 = version_.load(std::memory_order_acquire);
+    if ((v1 & 1) != 0) continue;
+    const bool dead =
+        parent_.Load(id, std::memory_order_acquire) == kDeadParent;
+    if (version_.load(std::memory_order_acquire) == v1) return dead;
+  }
+}
+
 ClusterView ClusterIndex::ClusterOf(ProfileId id) const {
   const Stopwatch timer;
   ClusterView view;
@@ -197,6 +343,17 @@ ClusterView ClusterIndex::ClusterOf(ProfileId id) const {
       // queried cluster grows past it.
       const size_t n = size_.load(std::memory_order_acquire);
       const ProfileId root = FindRootReadOnly(id);
+      if (root == kDeadParent) {
+        // The walk hit a removed cell: either the queried id is dead
+        // (stable -- report absence) or a removal was in flight.
+        if (version_.load(std::memory_order_acquire) == v1) {
+          view.cluster_id = kInvalidProfileId;
+          view.members.clear();
+          break;
+        }
+        obs::CounterAdd(query_retries_metric_);
+        continue;
+      }
       const uint32_t cid = cmin_.Load(root, std::memory_order_acquire);
       const uint32_t sz = csize_.Load(root, std::memory_order_acquire);
       view.members.clear();
@@ -242,6 +399,14 @@ ProfileId ClusterIndex::ClusterIdOf(ProfileId id) const {
         continue;
       }
       const ProfileId root = FindRootReadOnly(id);
+      if (root == kDeadParent) {
+        if (version_.load(std::memory_order_acquire) == v1) {
+          cid = kInvalidProfileId;
+          break;
+        }
+        obs::CounterAdd(query_retries_metric_);
+        continue;
+      }
       cid = cmin_.Load(root, std::memory_order_acquire);
       if (version_.load(std::memory_order_acquire) == v1) break;
       obs::CounterAdd(query_retries_metric_);
@@ -262,6 +427,10 @@ size_t ClusterIndex::ClusterSizeOf(ProfileId id) const {
     const uint64_t v1 = version_.load(std::memory_order_acquire);
     if ((v1 & 1) != 0) continue;
     const ProfileId root = FindRootReadOnly(id);
+    if (root == kDeadParent) {
+      if (version_.load(std::memory_order_acquire) == v1) return 0;
+      continue;
+    }
     const uint32_t sz = csize_.Load(root, std::memory_order_acquire);
     if (version_.load(std::memory_order_acquire) == v1) return sz;
   }
@@ -278,7 +447,27 @@ void ClusterIndex::Snapshot(std::ostream& out) const {
   serial::WriteU64(out, n);
   for (size_t i = 0; i < n; ++i) {
     const ProfileId root = FindRootReadOnly(static_cast<ProfileId>(i));
+    if (root == kDeadParent) {
+      serial::WriteU32(out, kInvalidProfileId);  // removed id
+      continue;
+    }
     serial::WriteU32(out, cmin_.Load(root, std::memory_order_relaxed));
+  }
+  if (!retraction_enabled_) return;
+  // Canonical match-edge tail: every undirected edge once as (a, b)
+  // with a < b, sorted. Pre-retraction snapshots end after the id
+  // list; Restore detects the tail by payload presence.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t a = 0; a < edges_.size(); ++a) {
+    for (const ProfileId b : edges_[a]) {
+      if (a < b) pairs.emplace_back(a, b);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  serial::WriteU64(out, pairs.size());
+  for (const auto& [a, b] : pairs) {
+    serial::WriteU32(out, a);
+    serial::WriteU32(out, b);
   }
 }
 
@@ -297,10 +486,11 @@ bool ClusterIndex::Restore(std::istream& in) {
   for (uint64_t i = 0; i < n; ++i) {
     uint32_t c = 0;
     // Canonical form: a cluster's id is its smallest member, so every
-    // id maps to a cluster id no larger than itself, and a cluster id
-    // maps to itself.
-    if (!serial::ReadU32(in, &c) || c > i ||
-        (c < i && cid[c] != c)) {
+    // live id maps to a cluster id no larger than itself, and a
+    // cluster id maps to itself. kInvalidProfileId marks a removed id.
+    if (!serial::ReadU32(in, &c)) return false;
+    if (c != kInvalidProfileId &&
+        (c > i || (c < i && cid[c] != c))) {
       return false;
     }
     cid.push_back(c);
@@ -308,7 +498,7 @@ bool ClusterIndex::Restore(std::istream& in) {
   TrackUpToLocked(static_cast<size_t>(n));
   // Rebuild the union-find flat (parent = canonical id) and the member
   // cycles in ascending-id order -- a deterministic shape, so a second
-  // Snapshot emits identical bytes.
+  // Snapshot emits identical bytes. Removed ids become dead cells.
   struct ClusterBuild {
     uint32_t count = 0;
     uint32_t last = 0;
@@ -316,6 +506,13 @@ bool ClusterIndex::Restore(std::istream& in) {
   std::unordered_map<uint32_t, ClusterBuild> build;
   for (uint64_t i = 0; i < n; ++i) {
     const auto id = static_cast<uint32_t>(i);
+    if (cid[i] == kInvalidProfileId) {
+      parent_.Store(i, kDeadParent, std::memory_order_relaxed);
+      next_.Store(i, id, std::memory_order_relaxed);
+      csize_.Store(i, 0, std::memory_order_relaxed);
+      cmin_.Store(i, id, std::memory_order_relaxed);
+      continue;
+    }
     parent_.Store(i, cid[i], std::memory_order_relaxed);
     ClusterBuild& b = build[cid[i]];
     if (b.count == 0) {
@@ -339,6 +536,33 @@ bool ClusterIndex::Restore(std::istream& in) {
   }
   merges_.store(merge_count, std::memory_order_relaxed);
   obs::GaugeSet(clusters_metric_, static_cast<double>(non_trivial_clusters_));
+
+  // Optional match-edge tail (written by retraction-enabled indexes;
+  // pre-retraction snapshots end exactly after the id list).
+  if (in.peek() == std::char_traits<char>::eof()) return true;
+  uint64_t edge_count = 0;
+  if (!serial::ReadU64(in, &edge_count)) return false;
+  std::vector<std::vector<ProfileId>> edges;
+  uint32_t prev_a = 0;
+  uint32_t prev_b = 0;
+  for (uint64_t e = 0; e < edge_count; ++e) {
+    uint32_t a = 0;
+    uint32_t b = 0;
+    if (!serial::ReadU32(in, &a) || !serial::ReadU32(in, &b)) return false;
+    // Canonical order, endpoints live and in the same cluster.
+    if (a >= b || b >= n || cid[a] == kInvalidProfileId ||
+        cid[b] == kInvalidProfileId || cid[a] != cid[b]) {
+      return false;
+    }
+    if (e > 0 && (a < prev_a || (a == prev_a && b <= prev_b))) return false;
+    prev_a = a;
+    prev_b = b;
+    if (edges.size() <= b) edges.resize(static_cast<size_t>(b) + 1);
+    edges[a].push_back(b);
+    edges[b].push_back(a);
+  }
+  edges_ = std::move(edges);
+  retraction_enabled_ = true;
   return true;
 }
 
@@ -350,7 +574,11 @@ size_t ClusterIndex::ApproxMemoryBytes() const {
   const size_t chunks = parent_.allocated_chunks() +
                         next_.allocated_chunks() +
                         csize_.allocated_chunks() + cmin_.allocated_chunks();
-  return 4 * directory_bytes + chunks * chunk_bytes;
+  size_t edge_bytes = edges_.capacity() * sizeof(std::vector<ProfileId>);
+  for (const auto& list : edges_) {
+    edge_bytes += list.capacity() * sizeof(ProfileId);
+  }
+  return 4 * directory_bytes + chunks * chunk_bytes + edge_bytes;
 }
 
 }  // namespace serve

@@ -35,6 +35,17 @@
 // merging two clusters is a single swap of the two roots' successors
 // (O(1), no allocation). A reader materializes a member list by
 // walking the cycle under the seqlock.
+//
+// Retraction (mutable streams): union-find cannot un-merge, so with
+// EnableRetraction() the index additionally keeps the match edges
+// (writer-side adjacency, never touched by readers). RemoveProfile
+// tombstones a record -- readers report absence -- and re-resolves the
+// surviving members of its cluster by reconnecting them over the
+// remaining edges inside one seqlock window, so stale merges through
+// the deleted record dissolve. Dead cells hold the kDeadParent
+// sentinel in parent_; reader walks treat any out-of-universe parent
+// as "dead or torn" and either answer absence (version unchanged) or
+// retry.
 
 #ifndef PIER_SERVE_CLUSTER_INDEX_H_
 #define PIER_SERVE_CLUSTER_INDEX_H_
@@ -72,6 +83,12 @@ class ClusterIndex {
   // gauges). Call once at construction time, before concurrent use.
   void InstrumentWith(obs::MetricsRegistry* registry);
 
+  // Opts into retraction support: match edges are recorded so
+  // RemoveProfile can re-resolve survivors. Must be called before the
+  // first match is recorded (edges recorded only from then on).
+  void EnableRetraction();
+  bool retraction_enabled() const { return retraction_enabled_; }
+
   // Writer: grows the universe so ids [0, n) are tracked (as
   // singletons until matched). Called from the ingest path; safe
   // against concurrent readers and the AddMatch writer.
@@ -94,15 +111,34 @@ class ClusterIndex {
   size_t AddMatches(const std::pair<ProfileId, ProfileId>* pairs,
                     size_t count);
 
+  // Writer: tombstones a deleted record. Its match edges are dropped
+  // and the surviving members of its cluster are re-resolved over the
+  // remaining edges (they may split into several clusters). Queries on
+  // the id then report absence until ReviveAsSingleton. Requires
+  // EnableRetraction; returns false when the id is untracked or
+  // already removed.
+  bool RemoveProfile(ProfileId id);
+
+  // Writer: re-admits a previously removed id as a singleton (the
+  // record was corrected and re-ingested). Requires EnableRetraction
+  // and a currently removed id.
+  void ReviveAsSingleton(ProfileId id);
+
+  // Reader: true when `id` is tracked but was removed.
+  bool IsDeleted(ProfileId id) const;
+
   // Reader: canonical cluster id (smallest member id) plus the member
   // list of the cluster containing `id`, sorted ascending. Never
-  // blocks writers.
+  // blocks writers. A removed id reports absence: cluster_id ==
+  // kInvalidProfileId and an empty member list.
   ClusterView ClusterOf(ProfileId id) const;
 
-  // Reader: just the canonical cluster id (the cheap point query).
+  // Reader: just the canonical cluster id (the cheap point query);
+  // kInvalidProfileId for a removed id.
   ProfileId ClusterIdOf(ProfileId id) const;
 
-  // Reader: member count of the cluster containing `id`.
+  // Reader: member count of the cluster containing `id`; 0 for a
+  // removed id.
   size_t ClusterSizeOf(ProfileId id) const;
 
   // Profiles tracked so far (monotone; readers see a published size).
@@ -116,8 +152,11 @@ class ClusterIndex {
   uint64_t merges() const { return merges_.load(std::memory_order_relaxed); }
 
   // Serializes the partition in canonical form: universe size followed
-  // by every profile's canonical cluster id. Same partition, same
-  // bytes, regardless of the merge order that produced it. Excludes
+  // by every profile's canonical cluster id (kInvalidProfileId for
+  // removed ids). With retraction enabled, the match-edge list follows
+  // (sorted (a, b) pairs with a < b) so a restored index can keep
+  // re-resolving removals. Same partition + edges, same bytes,
+  // regardless of the merge order that produced it. Excludes
   // concurrent writers for the duration.
   void Snapshot(std::ostream& out) const;
 
@@ -137,6 +176,11 @@ class ClusterIndex {
   // AddMatches: large enough to amortize the version churn, small
   // enough that a concurrent reader's retry wait stays microseconds.
   static constexpr size_t kMaxUnionsPerWindow = 32;
+
+  // parent_ sentinel for removed (tombstoned) ids. Distinct from
+  // kInvalidProfileId (used in snapshots and query answers) so a dead
+  // cell can never be mistaken for a live maximal id.
+  static constexpr uint32_t kDeadParent = 0xfffffffeu;
 
   // Chunked array of atomic u32 cells with stable addresses: the chunk
   // directory is a fixed array of atomic pointers, so publishing a new
@@ -190,11 +234,21 @@ class ClusterIndex {
   ProfileId FindRootCompress(ProfileId id);
   // One union step; caller holds writer_mutex_ inside an odd-version
   // window with both ids already tracked. Returns true on a merge.
+  // With retraction enabled, also records the match edge and ignores
+  // pairs with a removed endpoint.
   bool UnionLocked(ProfileId a, ProfileId b);
-  // Reader-side find: pure walk, no mutation.
+  // Reader-side find: pure walk, no mutation. Returns kDeadParent when
+  // the walk hits a removed (or torn, mid-mutation) cell.
   ProfileId FindRootReadOnly(ProfileId id) const;
   // Grows to n tracked ids; caller holds mutex_.
   void TrackUpToLocked(size_t n);
+  // Records an undirected match edge (dedup-checked); caller holds
+  // writer_mutex_ and retraction is enabled.
+  void RecordEdgeLocked(ProfileId a, ProfileId b);
+  // Rewrites one cluster (flat parents to the min-id root, ascending
+  // member cycle, root size/min); caller holds writer_mutex_ inside an
+  // odd-version window. `members` must be sorted ascending.
+  void WriteClusterLocked(const std::vector<ProfileId>& members);
 
   // Seqlock: odd while a writer mutates. Readers validate that the
   // version was even and unchanged around their walk.
@@ -210,10 +264,16 @@ class ClusterIndex {
   std::atomic<uint64_t> merges_{0};
   size_t non_trivial_clusters_ = 0;  // guarded by writer_mutex_
 
+  // Retraction state. edges_ is writer-side only (readers never touch
+  // it), so plain vectors are fine; adjacency is symmetric.
+  bool retraction_enabled_ = false;
+  std::vector<std::vector<ProfileId>> edges_;  // guarded by writer_mutex_
+
   // `serve.*` metrics; all null when un-instrumented.
   obs::Counter* queries_metric_ = nullptr;
   obs::Counter* unions_metric_ = nullptr;
   obs::Counter* merges_metric_ = nullptr;
+  obs::Counter* removals_metric_ = nullptr;
   obs::Counter* query_retries_metric_ = nullptr;
   obs::Histogram* query_ns_metric_ = nullptr;
   obs::Gauge* universe_metric_ = nullptr;

@@ -59,6 +59,17 @@ class RealtimePipeline {
     return impl_.Ingest(std::move(profiles));
   }
 
+  // Mutable streams (requires options.mutable_stream): retract
+  // profiles / apply corrections. The call quiesces the pipeline and
+  // applies the mutation before returning, so cluster queries reflect
+  // it immediately (see ShardedPipeline::Delete / Update).
+  bool Delete(const std::vector<ProfileId>& ids) {
+    return impl_.Delete(ids);
+  }
+  bool Update(std::vector<EntityProfile> profiles) {
+    return impl_.Update(std::move(profiles));
+  }
+
   // Signals that no further increments will arrive, unlocking the
   // block scanner's full tail rescan. Call before the final Drain()
   // for eventual (batch-equivalent) quality.

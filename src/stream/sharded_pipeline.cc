@@ -29,6 +29,15 @@ obs::Gauge* PendingGauge(obs::MetricsRegistry* metrics) {
                             : metrics->GetGauge("realtime.pending_ingests");
 }
 
+// Drain-time close-outs measure time-to-quiescence, not verdict
+// freshness; they get their own histogram so the freshness percentiles
+// stay honest (see stream/ingest_latency.h).
+obs::Histogram* DrainHistogram(obs::MetricsRegistry* metrics) {
+  return metrics == nullptr
+             ? nullptr
+             : metrics->GetHistogram("realtime.ingest_to_quiescence_ns");
+}
+
 }  // namespace
 
 ShardedPipeline::ShardedPipeline(ShardedOptions options, const Matcher* matcher,
@@ -40,12 +49,16 @@ ShardedPipeline::ShardedPipeline(ShardedOptions options, const Matcher* matcher,
       verdict_queue_(options_.verdict_queue_capacity),
       metrics_(options_.pipeline.metrics),
       latency_tracker_(LatencyHistogram(options_.pipeline.metrics),
-                       PendingGauge(options_.pipeline.metrics)) {
+                       PendingGauge(options_.pipeline.metrics),
+                       DrainHistogram(options_.pipeline.metrics)) {
   PIER_CHECK(matcher_ != nullptr);
   PIER_CHECK(options_.shard_count >= 1);
+  if (options_.pipeline.mutable_stream) clusters_.EnableRetraction();
   if (metrics_ != nullptr) {
     obs::MetricsRegistry& r = *metrics_;
     ingests_metric_ = r.GetCounter("realtime.ingests");
+    deletes_metric_ = r.GetCounter("realtime.deletes");
+    updates_metric_ = r.GetCounter("realtime.updates");
     batches_metric_ = r.GetCounter("realtime.batches");
     idle_transitions_metric_ = r.GetCounter("realtime.idle_transitions");
     worker_idle_metric_ = r.GetGauge("realtime.worker_idle");
@@ -164,11 +177,25 @@ bool ShardedPipeline::Ingest(std::vector<EntityProfile> profiles) {
     profiles_.Add(std::move(profile));
   }
   clusters_.TrackUpTo(profiles_.size());
+  for (auto& microbatch : per_shard) microbatch.arrival_s = arrival_s;
+  // The arrival must be registered before the queues see the
+  // microbatches: a fast worker can otherwise deliver this
+  // increment's verdicts before the registration, and the ingest
+  // would miss its first-verdict closeout.
+  latency_tracker_.OnIngest();
+  // Route before any success bookkeeping: a Stop() racing this call
+  // closes the queues, and a Push blocked on backpressure then drops
+  // its microbatch -- the increment (or part of it) never reaches the
+  // shards, so reporting success would silently lose it.
+  if (!Route(std::move(per_shard))) {
+    latency_tracker_.OnIngestAbandoned();
+    std::fprintf(stderr,
+                 "pier: Ingest failed: the pipeline stopped while the "
+                 "increment was being routed; the increment was dropped\n");
+    return false;
+  }
   ++ingest_count_;
   obs::CounterAdd(ingests_metric_);
-  latency_tracker_.OnIngest();
-  for (auto& microbatch : per_shard) microbatch.arrival_s = arrival_s;
-  Route(std::move(per_shard));
   if (checkpointer_ != nullptr && checkpointer_->Due(ingest_count_)) {
     CheckpointLocked();
   }
@@ -183,14 +210,136 @@ void ShardedPipeline::NotifyStreamEnd() {
   Route(std::move(per_shard));
 }
 
-void ShardedPipeline::Route(std::vector<Microbatch> per_shard) {
+bool ShardedPipeline::BeginMutationLocked(const char* verb) {
+  PIER_CHECK(options_.pipeline.mutable_stream);
+  if (stop_.load(std::memory_order_acquire)) {
+    std::fprintf(stderr, "pier: %s rejected: the pipeline was stopped\n",
+                 verb);
+    return false;
+  }
+  if (poisoned_) {
+    std::fprintf(stderr,
+                 "pier: %s rejected: a failed RestoreFromSnapshot left this "
+                 "pipeline partially restored\n",
+                 verb);
+    return false;
+  }
+  // Quiesce: with ingest_mutex_ held no new work can arrive; once every
+  // routed microbatch is ingested and every verdict delivered, the
+  // shard workers are parked in Pop and the combiner in its queue --
+  // the router may then touch shard engines and the delivered filter
+  // directly, exactly like the checkpoint path.
+  QuiesceLocked();
+  return !stop_.load(std::memory_order_acquire);
+}
+
+void ShardedPipeline::RetractLocked(ProfileId id) {
+  // Every shard engine holds the profile (with its token slice);
+  // deletes fan out to all of them. Shard Delete is idempotent, so a
+  // shard whose slice of the profile was empty still tombstones its
+  // store slot and keeps ids aligned.
+  for (auto& shard : shards_) shard->pipeline->Delete({id});
+  // Global tokens / doc frequencies.
+  const EntityProfile& p = profiles_.Get(id);
+  for (const TokenId token : p.tokens) {
+    dictionary_.DecrementDocFrequency(token);
+  }
+  // The cross-shard delivered filter: withdraw every delivered pair
+  // with this endpoint so a corrected profile's verdicts re-deliver.
+  for (const ProfileId partner : delivered_pairs_.Take(id)) {
+    const uint64_t key = PairKey(id, partner);
+    if (options_.pipeline.exact_executed_filter) {
+      delivered_exact_.erase(key);
+    } else {
+      delivered_counting_.Remove(key);
+    }
+  }
+  // The serving index: the id reports absence, survivors re-resolve.
+  clusters_.RemoveProfile(id);
+}
+
+bool ShardedPipeline::Delete(const std::vector<ProfileId>& ids) {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  if (!BeginMutationLocked("Delete")) return false;
+  uint64_t deleted = 0;
+  for (const ProfileId id : ids) {
+    PIER_CHECK(id < profiles_.size());
+    if (!profiles_.IsLive(id)) continue;  // idempotent
+    RetractLocked(id);
+    profiles_.Remove(id);
+    ++deleted;
+  }
+  ++ingest_count_;
+  obs::CounterAdd(deletes_metric_, deleted);
+  if (checkpointer_ != nullptr && checkpointer_->Due(ingest_count_)) {
+    CheckpointLocked();
+  }
+  return true;
+}
+
+bool ShardedPipeline::Update(std::vector<EntityProfile> profiles) {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  if (!BeginMutationLocked("Update")) return false;
+  const size_t shard_count = options_.shard_count;
+  const double arrival_s = lifetime_.ElapsedSeconds();
+  std::vector<std::vector<PretokenizedProfile>> per_shard(shard_count);
+  for (auto& profile : profiles) {
+    const ProfileId id = profile.id;
+    PIER_CHECK(id < profiles_.size());
+    if (profiles_.IsLive(id)) RetractLocked(id);
+    // Re-ingest the corrected content exactly like Ingest routes a
+    // fresh arrival: tokenize once globally, split tokens by owner.
+    tokenizer_.TokenizeProfile(profile, dictionary_);
+    for (size_t s = 0; s < shard_count; ++s) {
+      PretokenizedProfile item;
+      item.id = id;
+      item.source = profile.source;
+      per_shard[s].push_back(std::move(item));
+    }
+    for (TokenId token : profile.tokens) {
+      per_shard[OwnerOf(token)].back().tokens.push_back(
+          dictionary_.Spelling(token));
+    }
+    profiles_.Replace(std::move(profile));
+    clusters_.ReviveAsSingleton(id);
+  }
+  const uint64_t updated = profiles.size();
+  // Applied synchronously on the quiesced engines (the workers are
+  // parked); the post-update kick below wakes them to emit the
+  // rescheduled comparisons.
+  for (size_t s = 0; s < shard_count; ++s) {
+    if (!per_shard[s].empty()) {
+      shards_[s]->pipeline->UpdatePretokenized(std::move(per_shard[s]));
+    }
+  }
+  std::vector<Microbatch> kick(shard_count);
+  for (auto& microbatch : kick) microbatch.arrival_s = arrival_s;
+  latency_tracker_.OnIngest();  // before the push; see Ingest()
+  if (!Route(std::move(kick))) {
+    latency_tracker_.OnIngestAbandoned();
+    return false;
+  }
+  ++ingest_count_;
+  obs::CounterAdd(updates_metric_, updated);
+  if (checkpointer_ != nullptr && checkpointer_->Due(ingest_count_)) {
+    CheckpointLocked();
+  }
+  return true;
+}
+
+bool ShardedPipeline::Route(std::vector<Microbatch> per_shard) {
+  bool complete = true;
   for (size_t s = 0; s < per_shard.size(); ++s) {
     Shard& shard = *shards_[s];
     queued_microbatches_.fetch_add(1, std::memory_order_release);
     uint64_t wait_ns = 0;
     if (!shard.queue->Push(std::move(per_shard[s]), &wait_ns)) {
-      // Closed: the pipeline is stopping and the worker will never pop.
+      // Closed: the pipeline is stopping and the worker will never
+      // pop. The microbatch is dropped -- keep routing the remaining
+      // shards' rejections cheap (their queues are closed too) but
+      // report the loss to the caller.
       queued_microbatches_.fetch_sub(1, std::memory_order_release);
+      complete = false;
       continue;
     }
     if (wait_ns > 0) {
@@ -205,6 +354,7 @@ void ShardedPipeline::Route(std::vector<Microbatch> per_shard) {
                 static_cast<double>(
                     queued_microbatches_.load(std::memory_order_relaxed)));
   obs::GaugeSet(worker_idle_metric_, 0.0);
+  return complete;
 }
 
 void ShardedPipeline::OnMicrobatchPopped(Shard& shard) {
@@ -300,11 +450,23 @@ void ShardedPipeline::ShardLoop(size_t shard_index) {
   }
 }
 
-bool ShardedPipeline::AlreadyDelivered(uint64_t key) {
+bool ShardedPipeline::AlreadyDelivered(const Comparison& c) {
+  const uint64_t key = c.Key();
+  bool newly_added;
   if (options_.pipeline.exact_executed_filter) {
-    return !delivered_exact_.insert(key).second;
+    newly_added = delivered_exact_.insert(key).second;
+  } else if (options_.pipeline.mutable_stream) {
+    newly_added = !delivered_counting_.TestAndAdd(key);
+  } else {
+    return delivered_filter_.TestAndAdd(key);
   }
-  return delivered_filter_.TestAndAdd(key);
+  // Mutable streams record the pair exactly once per filter insert so
+  // a retraction can withdraw the key (see core/pier_pipeline.cc for
+  // the same contract on the per-shard filters).
+  if (newly_added && options_.pipeline.mutable_stream) {
+    delivered_pairs_.Add(c.x, c.y);
+  }
+  return !newly_added;
 }
 
 void ShardedPipeline::CombinerLoop() {
@@ -325,7 +487,7 @@ void ShardedPipeline::CombinerLoop() {
     uint64_t duplicates = 0;
     for (size_t i = 0; i < batch.comparisons.size(); ++i) {
       const Comparison& c = batch.comparisons[i];
-      if (dedup && AlreadyDelivered(c.Key())) {
+      if (dedup && AlreadyDelivered(c)) {
         // A pair sharing blocks owned by two shards was matched by
         // both; deliver the first verdict, drop the echo.
         ++duplicates;
@@ -377,8 +539,9 @@ void ShardedPipeline::Drain() {
       return stop_.load(std::memory_order_acquire) || DrainedLocked();
     });
   }
-  // Quiescent: close out ingests that never produced a verdict so
-  // their freshness samples land now.
+  // Quiescent: close out ingests that never produced a verdict. Their
+  // samples are time-to-quiescence, not verdict freshness, so they
+  // land in the drain histogram (see IngestLatencyTracker).
   latency_tracker_.FlushAll();
 }
 
@@ -442,9 +605,16 @@ void ShardedPipeline::SnapshotLocked(persist::SnapshotBuilder& builder) const {
                                delivered_exact_.end());
     std::sort(keys.begin(), keys.end());
     serial::WriteVec(filter, keys, serial::WriteU64);
+  } else if (options_.pipeline.mutable_stream) {
+    delivered_counting_.Snapshot(filter);
   } else {
     delivered_filter_.Snapshot(filter);
   }
+  // Mutable streams carry the retraction registry alongside whichever
+  // filter is active; the shard fingerprints gate the mode, so an
+  // append-only pipeline can never mis-decode a mutable snapshot past
+  // its own shard sections.
+  if (options_.pipeline.mutable_stream) delivered_pairs_.Snapshot(filter);
   clusters_.Snapshot(builder.AddSection("sharded.clusters"));
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->pipeline->Snapshot(builder, "shard" + std::to_string(s));
@@ -471,6 +641,16 @@ bool ShardedPipeline::RestoreFromSnapshot(std::istream& snapshot,
     set_error(
         "RestoreFromSnapshot requires a pipeline that has not ingested "
         "anything");
+    return false;
+  }
+  // Even a fresh pipeline's shard workers make one pass through
+  // EmitBatch before parking in Pop; quiesce so no worker touches its
+  // shard engine while the sections below overwrite it (with
+  // ingest_mutex_ held, nothing can wake a parked worker until we
+  // return).
+  QuiesceLocked();
+  if (stop_.load(std::memory_order_acquire)) {
+    set_error("RestoreFromSnapshot rejected: the pipeline was stopped");
     return false;
   }
   persist::SnapshotReader reader;
@@ -540,7 +720,15 @@ bool ShardedPipeline::RestoreFromSnapshot(std::istream& snapshot,
       return fail("section 'sharded.filter' failed to decode");
     }
     delivered_exact_.insert(keys.begin(), keys.end());
+  } else if (options_.pipeline.mutable_stream) {
+    if (!delivered_counting_.Restore(section)) {
+      return fail("section 'sharded.filter' failed to decode");
+    }
   } else if (!delivered_filter_.Restore(section)) {
+    return fail("section 'sharded.filter' failed to decode");
+  }
+  if (options_.pipeline.mutable_stream &&
+      !delivered_pairs_.Restore(section)) {
     return fail("section 'sharded.filter' failed to decode");
   }
   if (!reader.Open("sharded.clusters", &section, error) ||

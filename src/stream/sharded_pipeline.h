@@ -66,10 +66,12 @@
 #include <vector>
 
 #include "core/pier_pipeline.h"
+#include "model/pair_registry.h"
 #include "similarity/matcher.h"
 #include "similarity/parallel_executor.h"
 #include "stream/ingest_latency.h"
 #include "stream/shard_queue.h"
+#include "util/counting_bloom_filter.h"
 #include "util/scalable_bloom_filter.h"
 #include "util/stopwatch.h"
 
@@ -125,11 +127,28 @@ class ShardedPipeline {
   // kInvalidProfileId to have the router assign the next dense id
   // (required when multiple producers ingest concurrently). Blocks
   // while any shard queue is full (backpressure). Returns false --
-  // with a stderr diagnostic, ingesting nothing -- after Stop() or
-  // after a restore attempt that failed mid-way (the pipeline is then
-  // poisoned: its state is partial and no worker will produce correct
-  // results from it).
+  // with a stderr diagnostic -- after Stop() or after a restore
+  // attempt that failed mid-way (the pipeline is then poisoned: its
+  // state is partial and no worker will produce correct results from
+  // it). A Stop() racing an Ingest blocked on backpressure also
+  // returns false: the microbatches of that increment were dropped
+  // (in whole or in part) when the queues closed, and reporting
+  // success would silently lose the increment.
   bool Ingest(std::vector<EntityProfile> profiles);
+
+  // Mutable streams (requires options.pipeline.mutable_stream).
+  // Thread-safe; serialized on the router mutex like Ingest. Each call
+  // quiesces the pipeline (drains every routed microbatch and every
+  // undelivered verdict), then applies the mutation synchronously to
+  // the global state and every shard engine, so when it returns the
+  // serving index already reflects it: ClusterOf on a deleted id
+  // reports absence, surviving members of its cluster re-resolve over
+  // their remaining match edges, and a corrected profile restarts as a
+  // singleton whose comparisons are rescheduled. Returns false after
+  // Stop() or on a poisoned pipeline. Ids must be < profiles().size();
+  // deleting an already-deleted id is a no-op (idempotent).
+  bool Delete(const std::vector<ProfileId>& ids);
+  bool Update(std::vector<EntityProfile> profiles);
 
   // Signals that no further increments will arrive: routes a
   // stream-end marker to every shard, unlocking the block scanners'
@@ -239,12 +258,23 @@ class ShardedPipeline {
   // everyone idle" while the pop is still in flight.
   void OnMicrobatchPopped(Shard& shard);
   // Combiner thread only: global cross-shard executed-pair filter.
-  bool AlreadyDelivered(uint64_t key);
+  bool AlreadyDelivered(const Comparison& c);
   // Shard owning token `id`, computed once per token from its
   // spelling. Caller holds ingest_mutex_.
   size_t OwnerOf(TokenId id);
   // Routes one microbatch per shard. Caller holds ingest_mutex_.
-  void Route(std::vector<Microbatch> per_shard);
+  // Returns false when any queue rejected its microbatch (closed by a
+  // concurrent Stop()): part of the work was dropped and the caller
+  // must not report the increment as ingested.
+  bool Route(std::vector<Microbatch> per_shard);
+  // Common Delete/Update prologue: rejects stopped/poisoned pipelines,
+  // checks the mutability mode, and quiesces. Caller holds
+  // ingest_mutex_. Returns false when the mutation must be rejected.
+  bool BeginMutationLocked(const char* verb);
+  // Retracts one live profile from the global state (store tombstone
+  // excluded) and every shard engine. Caller holds ingest_mutex_ after
+  // QuiesceLocked().
+  void RetractLocked(ProfileId id);
   // Waits until all routed work is fully processed. Caller holds
   // ingest_mutex_ (so no new work can arrive).
   void QuiesceLocked();
@@ -273,8 +303,13 @@ class ShardedPipeline {
 
   // Combiner-owned cross-shard executed-pair filter (combiner thread
   // only while running; router reads/writes it only when quiesced).
+  // Mutable streams swap the Bloom filter for its counting variant and
+  // maintain the pair registry so retraction can withdraw keys (for
+  // the exact set too).
   ScalableBloomFilter delivered_filter_;
+  ScalableCountingBloomFilter delivered_counting_;
   std::unordered_set<uint64_t> delivered_exact_;
+  PairRegistry delivered_pairs_;
 
   // The serving index: written by the router (TrackUpTo) and the
   // combiner (AddMatches), queried lock-free from anywhere.
@@ -306,6 +341,8 @@ class ShardedPipeline {
   // un-instrumented.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* ingests_metric_ = nullptr;
+  obs::Counter* deletes_metric_ = nullptr;
+  obs::Counter* updates_metric_ = nullptr;
   obs::Counter* batches_metric_ = nullptr;
   obs::Counter* idle_transitions_metric_ = nullptr;
   obs::Gauge* worker_idle_metric_ = nullptr;

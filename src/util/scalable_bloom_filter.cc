@@ -10,6 +10,10 @@
 
 namespace pier {
 
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
 ScalableBloomFilter::ScalableBloomFilter(const Options& options)
     : options_(options) {
   PIER_CHECK(options_.initial_capacity > 0);
@@ -95,11 +99,48 @@ bool ScalableBloomFilter::Restore(std::istream& in) {
   }
   std::vector<std::unique_ptr<BloomFilter>> slices;
   slices.reserve(num_slices);
+  uint64_t slice_insertions = 0;
   for (uint64_t i = 0; i < num_slices; ++i) {
     auto slice = BloomFilter::FromSnapshot(in);
     if (slice == nullptr) return false;
+    // Mirror AddSlice + the BloomFilter constructor: slice i must be
+    // sized exactly as the growth schedule would have sized it,
+    // otherwise the snapshot was not produced by this implementation.
+    // Evaluated arithmetically (no reference filter is constructed) so
+    // a hostile snapshot cannot force a huge allocation here; bounds
+    // on the doubles keep the casts below defined.
+    const double capacity = static_cast<double>(options.initial_capacity) *
+                            std::pow(options.growth, static_cast<double>(i));
+    const double p0 = options.fp_rate * (1.0 - options.tightening);
+    const double error =
+        p0 * std::pow(options.tightening, static_cast<double>(i));
+    if (!(error > 0.0) || !(error < 1.0)) return false;
+    if (!(capacity >= 1.0) || capacity > 1e18) return false;
+    const size_t cap = static_cast<size_t>(capacity);
+    const double n = static_cast<double>(cap);
+    const double m = std::ceil(-n * std::log(error) / (kLn2 * kLn2));
+    if (!(m >= 0.0) || m > 1e18) return false;
+    size_t expect_bits = static_cast<size_t>(m);
+    if (expect_bits < 64) expect_bits = 64;
+    int expect_hashes = static_cast<int>(
+        std::round(static_cast<double>(expect_bits) / n * kLn2));
+    if (expect_hashes < 1) expect_hashes = 1;
+    if (slice->expected_items() != cap || slice->num_bits() != expect_bits ||
+        slice->num_hashes() != expect_hashes) {
+      return false;
+    }
+    // Add() only grows a new slice once the current one reached its
+    // design capacity, so every non-final slice holds exactly its
+    // expected_items insertions and the final slice at most that.
+    if (i + 1 < num_slices) {
+      if (slice->num_insertions() != slice->expected_items()) return false;
+    } else if (slice->num_insertions() > slice->expected_items()) {
+      return false;
+    }
+    slice_insertions += slice->num_insertions();
     slices.push_back(std::move(slice));
   }
+  if (slice_insertions != num_insertions) return false;
   options_ = options;
   num_insertions_ = num_insertions;
   slices_ = std::move(slices);

@@ -5,7 +5,11 @@
 // and the bounded queues, multi-producer ingest, and checkpoint/resume
 // must hold up under concurrency (this binary runs under TSan in CI).
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -91,6 +95,64 @@ TEST(ShardQueueTest, CloseWakesBlockedProducer) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   queue.Close();
   producer.join();
+}
+
+// Property: under concurrent producers, consumers, and a mid-stream
+// Close(), every successfully pushed item is delivered exactly once
+// (no loss, no duplication), per-producer successes form a prefix of
+// that producer's sequence, and nothing is accepted after the close.
+TEST(ShardQueueTest, CloseDrainPropertyUnderConcurrency) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 400;
+  ShardQueue<std::pair<int, int>> queue(4);
+
+  std::array<std::atomic<int>, kProducers> pushed{};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!queue.Push({p, i})) {
+          // Closed: every later push must also be rejected, so the
+          // successes are exactly the prefix [0, i).
+          EXPECT_FALSE(queue.Push({p, i}));
+          return;
+        }
+        pushed[p].fetch_add(1);
+      }
+    });
+  }
+  std::mutex consumed_mu;
+  std::vector<std::vector<int>> consumed(kProducers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::pair<int, int> item;
+      std::vector<std::vector<int>> local(kProducers);
+      while (queue.Pop(&item)) local[item.first].push_back(item.second);
+      std::lock_guard<std::mutex> lock(consumed_mu);
+      for (int p = 0; p < kProducers; ++p) {
+        consumed[p].insert(consumed[p].end(), local[p].begin(),
+                           local[p].end());
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  std::pair<int, int> leftover;
+  EXPECT_FALSE(queue.TryPop(&leftover));  // closed and fully drained
+  for (int p = 0; p < kProducers; ++p) {
+    // Delivered set == pushed prefix, each item exactly once.
+    std::vector<int> seqs = consumed[p];
+    std::sort(seqs.begin(), seqs.end());
+    ASSERT_EQ(static_cast<int>(seqs.size()), pushed[p].load()) << "p=" << p;
+    for (int i = 0; i < static_cast<int>(seqs.size()); ++i) {
+      ASSERT_EQ(seqs[i], i) << "p=" << p;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -334,6 +396,83 @@ TEST(ShardedPipelineTest, IngestAfterStopIsRejected) {
   pipeline.Drain();  // returns immediately after Stop
 }
 
+// A matcher that parks the shard worker inside the match stage until
+// released, so a test can hold a microbatch queue at capacity and race
+// Stop() against a backpressure-blocked Ingest.
+class BlockingMatcher : public Matcher {
+ public:
+  BlockingMatcher() : Matcher(0.5) {}
+
+  double Similarity(const EntityProfile&, const EntityProfile&) const override {
+    entered_.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return released_; });
+    return 1.0;
+  }
+  uint64_t CostUnits(const EntityProfile&,
+                     const EntityProfile&) const override {
+    return 1;
+  }
+  const char* name() const override { return "BLOCK"; }
+
+  void WaitUntilEntered() const {
+    while (!entered_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  void Release() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::atomic<bool> entered_{false};
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable bool released_ = false;
+};
+
+// Regression: a Stop() racing an Ingest whose Push was blocked on
+// backpressure used to drop the microbatch while Ingest still reported
+// success (ingest counter bumped, checkpoint cadence advanced, latency
+// sample recorded -- for an increment that never reached a worker).
+// The rejection must be surfaced to the producer.
+TEST(ShardedPipelineTest, StopDuringBackpressuredIngestReportsFailure) {
+  const BlockingMatcher matcher;
+  ShardedOptions options;
+  options.shard_count = 1;
+  options.queue_capacity = 1;
+  ShardedPipeline pipeline(options, &matcher, [](ProfileId, ProfileId) {});
+  // First increment: produces one comparison; the worker pops it and
+  // parks inside the matcher, so nothing further is popped.
+  ASSERT_TRUE(pipeline.Ingest({EntityProfile(0, 0, {{"n", "alpha beta"}}),
+                               EntityProfile(1, 0, {{"n", "alpha beta"}})}));
+  matcher.WaitUntilEntered();
+  // Second increment: fills the (now empty) queue back to capacity.
+  ASSERT_TRUE(pipeline.Ingest({EntityProfile(2, 0, {{"n", "gamma delta"}})}));
+  // Third increment: blocks in Push behind the full queue. The worker
+  // cannot drain it -- it is parked in the matcher -- so this Ingest
+  // stays blocked until Stop() closes the queues and rejects it.
+  const uint64_t ingests_before = pipeline.ingests();
+  std::atomic<int> third_result{-1};
+  std::thread producer([&] {
+    third_result.store(
+        pipeline.Ingest({EntityProfile(3, 0, {{"n", "epsilon zeta"}})}) ? 1
+                                                                        : 0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread stopper([&] { pipeline.Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  matcher.Release();  // un-park the worker so Stop() can join it
+  stopper.join();
+  producer.join();
+  // The dropped increment was reported as a failure, and none of the
+  // success bookkeeping ran for it.
+  EXPECT_EQ(third_result.load(), 0);
+  EXPECT_EQ(pipeline.ingests(), ingests_before);
+}
+
 TEST(ShardedPipelineTest, RestoreShardCountMismatchLeavesPipelineUsable) {
   const JaccardMatcher matcher(0.5);
   const std::string dir =
@@ -499,16 +638,54 @@ TEST(ShardedPipelineTest, ExportsShardAndFreshnessMetrics) {
     EXPECT_GT(registry.GetCounter("shard.microbatches")->Value(), 0u);
     EXPECT_GT(registry.GetCounter("shard.verdict_batches")->Value(), 0u);
     // Quiescent after Drain: nothing queued, every ingest closed out.
+    // Ingests closed out by a verdict delivery land in the freshness
+    // histogram; ingests that never produced a verdict are closed out
+    // at drain time into the quiescence histogram instead of polluting
+    // the freshness percentiles -- together they account for every
+    // ingest exactly once.
     EXPECT_EQ(registry.GetGauge("realtime.queue_depth")->Value(), 0.0);
     EXPECT_EQ(registry.GetGauge("realtime.pending_ingests")->Value(), 0.0);
     EXPECT_EQ(
-        registry.GetHistogram("realtime.ingest_to_first_verdict_ns")->Count(),
+        registry.GetHistogram("realtime.ingest_to_first_verdict_ns")->Count() +
+            registry.GetHistogram("realtime.ingest_to_quiescence_ns")->Count(),
         12u);
+    EXPECT_GT(
+        registry.GetHistogram("realtime.ingest_to_first_verdict_ns")->Count(),
+        0u);
     EXPECT_EQ(registry.GetGauge("realtime.worker_idle")->Value(), 1.0);
     // Per-shard gauges exist for both shards.
     EXPECT_EQ(registry.GetGauge("shard.0.busy")->Value(), 0.0);
     EXPECT_EQ(registry.GetGauge("shard.1.busy")->Value(), 0.0);
   }
+}
+
+// Regression: drain used to close verdict-less ingests into the
+// freshness histogram, so a stream of singleton profiles (no shared
+// blocks, no comparisons, no verdicts) reported its entire
+// time-to-shutdown as "ingest-to-first-verdict latency". Those samples
+// now land in a separate quiescence histogram.
+TEST(ShardedPipelineTest, DrainClosesOutVerdictlessIngestsSeparately) {
+  obs::MetricsRegistry registry;
+  const JaccardMatcher matcher(0.5);
+  ShardedOptions options;
+  options.pipeline.metrics = &registry;
+  options.shard_count = 2;
+  ShardedPipeline pipeline(options, &matcher, [](ProfileId, ProfileId) {});
+  // Every profile's tokens are unique to it: every block is a
+  // singleton, so no comparison is ever scheduled and no verdict is
+  // ever delivered.
+  for (ProfileId id = 0; id < 5; ++id) {
+    const std::string text =
+        "solo" + std::to_string(id) + " only" + std::to_string(id);
+    ASSERT_TRUE(pipeline.Ingest({EntityProfile(id, 0, {{"n", text}})}));
+  }
+  pipeline.Drain();
+  EXPECT_EQ(
+      registry.GetHistogram("realtime.ingest_to_first_verdict_ns")->Count(),
+      0u);
+  EXPECT_EQ(
+      registry.GetHistogram("realtime.ingest_to_quiescence_ns")->Count(), 5u);
+  EXPECT_EQ(registry.GetGauge("realtime.pending_ingests")->Value(), 0.0);
 }
 
 }  // namespace

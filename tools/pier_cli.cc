@@ -11,6 +11,7 @@
 //            [--checkpoint-dir=DIR] [--checkpoint-every=N]
 //            [--checkpoint-keep=N] [--resume-from=FILE|DIR]
 //            [--print-matches] [--serve-queries=N] [--ingest-shards=N]
+//            [--mutation-rate=F]
 //
 // The profiles file uses the long format of datagen/dataset_io.h
 // (profile_id,source,attribute,value). With --truth, the tool replays
@@ -44,6 +45,20 @@
 // ingest parallelism. Applies to serving mode and to resolution mode;
 // the simulator-based evaluation mode is single-engine by design
 // (virtual time needs one deterministic event loop).
+//
+// --mutation-rate=F turns the replay into a mutable stream: after each
+// increment, roughly F mutations per ingested profile are synthesized
+// over the already-ingested prefix, alternating between deletes and
+// corrections (a profile's content replaced by another record's
+// attributes -- the late-arriving-fix workload). Implies
+// mutable_stream, so the pipeline retracts the affected blocks,
+// priorities, and clusters (see DESIGN.md). Applies to serving and
+// resolution modes; the evaluation mode's simulator replays an
+// append-only schedule and rejects it. Output caveat: the progressive
+// match stream is emitted as verdicts land, so a pair whose endpoint
+// is deleted later in the run was still correct when printed; sharded
+// resolution prints at the end and therefore drops pairs with deleted
+// endpoints.
 
 #include <algorithm>
 #include <cstdio>
@@ -116,9 +131,64 @@ int Usage() {
       "                [--checkpoint-dir=DIR] [--checkpoint-every=N]\n"
       "                [--checkpoint-keep=N] [--resume-from=FILE|DIR]\n"
       "                [--print-matches] [--serve-queries=N]\n"
-      "                [--ingest-shards=N]\n");
+      "                [--ingest-shards=N] [--mutation-rate=F]\n");
   return 2;
 }
+
+// Synthesizes the mutable-stream workload for --mutation-rate: after
+// each increment, issues `rate * increment_size` mutations (budgeted
+// fractionally so small increments still mutate at the configured
+// rate) against uniformly random already-ingested ids, alternating
+// deletes with corrections. Corrections splice another record's
+// attributes under the victim's id, so a later correction back is
+// possible and deleted ids can be revived -- the same shapes the
+// mutable-stream oracle tests exercise. Deterministic across runs.
+class MutationDriver {
+ public:
+  MutationDriver(const pier::Dataset& dataset, double rate)
+      : dataset_(dataset), rate_(rate) {}
+
+  // `ingested` is the number of profiles pushed so far (ids [0,
+  // ingested) exist, possibly tombstoned); `increment_size` is the
+  // increment that just landed. Returns false if a mutation was
+  // rejected (stopped/poisoned pipeline).
+  template <typename DeleteFn, typename UpdateFn>
+  bool AfterIncrement(size_t ingested, size_t increment_size,
+                      DeleteFn&& do_delete, UpdateFn&& do_update) {
+    if (rate_ <= 0.0 || ingested == 0) return true;
+    budget_ += rate_ * static_cast<double>(increment_size);
+    while (budget_ >= 1.0) {
+      budget_ -= 1.0;
+      const auto id =
+          static_cast<pier::ProfileId>(rng_.UniformInt(0, ingested - 1));
+      if (next_is_delete_) {
+        if (!do_delete(id)) return false;
+        ++deletes_;
+      } else {
+        pier::EntityProfile replacement =
+            dataset_.profiles[(static_cast<size_t>(id) * 7 + 13) %
+                              dataset_.profiles.size()];
+        replacement.id = id;
+        if (!do_update(std::move(replacement))) return false;
+        ++updates_;
+      }
+      next_is_delete_ = !next_is_delete_;
+    }
+    return true;
+  }
+
+  uint64_t deletes() const { return deletes_; }
+  uint64_t updates() const { return updates_; }
+
+ private:
+  const pier::Dataset& dataset_;
+  double rate_;
+  double budget_ = 0.0;
+  bool next_is_delete_ = true;
+  uint64_t deletes_ = 0;
+  uint64_t updates_ = 0;
+  pier::Rng rng_{271828};
+};
 
 }  // namespace
 
@@ -253,6 +323,16 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  const double mutation_rate = std::stod(Get(args, "mutation-rate", "0"));
+  if (mutation_rate < 0.0 || mutation_rate > 1.0) {
+    std::fprintf(stderr, "--mutation-rate must be in [0, 1]\n");
+    return Usage();
+  }
+  // Mutations need the retractable state machinery: counting executed
+  // filter, pair registry, tombstone-aware cluster index.
+  if (mutation_rate > 0.0) options.mutable_stream = true;
+  MutationDriver mutations(*dataset, mutation_rate);
+
   const size_t serve_queries = std::stoul(Get(args, "serve-queries", "0"));
   if (serve_queries > 0) {
     if (!resume_from.empty() || args.count("print-matches")) {
@@ -304,6 +384,16 @@ int main(int argc, char** argv) {
           dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
           dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.end));
       realtime.Ingest(std::move(batch));
+      if (!mutations.AfterIncrement(
+              inc.end, inc.end - inc.begin,
+              [&](ProfileId id) { return realtime.Delete({id}); },
+              [&](EntityProfile p) {
+                std::vector<EntityProfile> one;
+                one.push_back(std::move(p));
+                return realtime.Update(std::move(one));
+              })) {
+        return 1;
+      }
       issue(per_increment);
     }
     realtime.Drain();
@@ -323,6 +413,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(realtime.matches_found()),
                 realtime.clusters().NumNonTrivialClusters(),
                 static_cast<unsigned long long>(clustered_answers), issued);
+    if (mutation_rate > 0.0) {
+      std::printf("serve: %llu deletes, %llu corrections interleaved\n",
+                  static_cast<unsigned long long>(mutations.deletes()),
+                  static_cast<unsigned long long>(mutations.updates()));
+    }
     if (recall != nullptr) {
       std::printf("serve: cluster recall %.4f (%llu/%llu ground-truth "
                   "pairs co-clustered)\n",
@@ -342,6 +437,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "--ingest-shards applies to serving/resolution mode; the "
                    "simulator-based evaluation mode is single-engine\n");
+      return Usage();
+    }
+    if (mutation_rate > 0.0) {
+      std::fprintf(stderr,
+                   "--mutation-rate applies to serving/resolution mode; the "
+                   "simulator replays an append-only schedule\n");
       return Usage();
     }
     // Evaluation mode: progressive quality against the ground truth.
@@ -412,11 +513,32 @@ int main(int argc, char** argv) {
           dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
           dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.end));
       if (!sharded.Ingest(std::move(batch))) return 1;
+      if (!mutations.AfterIncrement(
+              inc.end, inc.end - inc.begin,
+              [&](ProfileId id) { return sharded.Delete({id}); },
+              [&](EntityProfile p) {
+                std::vector<EntityProfile> one;
+                one.push_back(std::move(p));
+                return sharded.Update(std::move(one));
+              })) {
+        return 1;
+      }
     }
     sharded.NotifyStreamEnd();
     sharded.Drain();
     std::sort(matched_pairs.begin(), matched_pairs.end());
-    for (const auto& [a, b] : matched_pairs) std::printf("%u,%u\n", a, b);
+    size_t printed_pairs = 0;
+    for (const auto& [a, b] : matched_pairs) {
+      // Sharded output is printed after the drain, so pairs that lost
+      // an endpoint to a delete can (unlike the progressive single-
+      // pipeline stream) be dropped from the end-state answer.
+      if (mutation_rate > 0.0 && (sharded.clusters().IsDeleted(a) ||
+                                  sharded.clusters().IsDeleted(b))) {
+        continue;
+      }
+      std::printf("%u,%u\n", a, b);
+      ++printed_pairs;
+    }
     if (options.metrics != nullptr) {
       obs::WriteJsonLines(metrics_out, run_timer.ElapsedSeconds(),
                           metrics.Snapshot());
@@ -426,7 +548,15 @@ int main(int argc, char** argv) {
                  "pairs\n",
                  static_cast<unsigned long long>(
                      sharded.comparisons_processed()),
-                 sharded.shard_count(), matched_pairs.size());
+                 sharded.shard_count(), printed_pairs);
+    if (mutation_rate > 0.0) {
+      std::fprintf(stderr,
+                   "mutations: %llu deletes, %llu corrections (%zu stale "
+                   "pairs dropped)\n",
+                   static_cast<unsigned long long>(mutations.deletes()),
+                   static_cast<unsigned long long>(mutations.updates()),
+                   matched_pairs.size() - printed_pairs);
+    }
     return 0;
   }
   PierPipeline pipeline(options);
@@ -455,6 +585,16 @@ int main(int argc, char** argv) {
         dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.begin),
         dataset->profiles.begin() + static_cast<ptrdiff_t>(inc.end));
     pipeline.Ingest(std::move(batch));
+    mutations.AfterIncrement(
+        inc.end, inc.end - inc.begin,
+        [&](ProfileId id) {
+          pipeline.Delete({id});
+          return true;
+        },
+        [&](EntityProfile p) {
+          pipeline.Update({std::move(p)});
+          return true;
+        });
     drain(/*full=*/false);
   }
   drain(/*full=*/true);
@@ -469,5 +609,10 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(
                    pipeline.comparisons_emitted()),
                static_cast<unsigned long long>(matches));
+  if (mutation_rate > 0.0) {
+    std::fprintf(stderr, "mutations: %llu deletes, %llu corrections\n",
+                 static_cast<unsigned long long>(mutations.deletes()),
+                 static_cast<unsigned long long>(mutations.updates()));
+  }
   return 0;
 }
