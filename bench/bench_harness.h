@@ -128,6 +128,10 @@ inline std::unique_ptr<ErAlgorithm> MakeAlgorithm(const std::string& name,
     options.strategy = PierStrategy::kIPcs;
   } else if (name == "I-PBS") {
     options.strategy = PierStrategy::kIPbs;
+  } else if (name == "SPER-SK") {
+    options.strategy = PierStrategy::kSperSk;
+  } else if (name == "FB-PCS") {
+    options.strategy = PierStrategy::kFbPcs;
   } else {
     options.strategy = PierStrategy::kIPes;
   }

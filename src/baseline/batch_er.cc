@@ -47,9 +47,11 @@ void BatchEr::FillBuffer(WorkStats* stats) {
         for (const ProfileId y : b.members[1]) emit(x, y);
       }
     } else {
-      const auto& m = b.members[0];
-      for (size_t i = 0; i < m.size(); ++i) {
-        for (size_t j = i + 1; j < m.size(); ++j) emit(m[i], m[j]);
+      // Dirty: all pairs across both member lists.
+      for (size_t i = 0; i < b.size(); ++i) {
+        for (size_t j = i + 1; j < b.size(); ++j) {
+          emit(b.member(i), b.member(j));
+        }
       }
     }
   }

@@ -20,9 +20,9 @@ WorkStats IBase::OnIncrement(std::vector<EntityProfile> profiles) {
   const WeightingContext ctx{&blocks_, &profiles_, scheme_};
   for (const ProfileId id : delta) {
     const EntityProfile& p = profiles_.Get(id);
-    const std::vector<TokenId> retained = GhostBlocks(blocks_, p, beta_);
+    GhostBlocks(blocks_, p, beta_, &retained_);
     std::vector<Comparison> candidates = GenerateWeightedComparisons(
-        ctx, p, retained, /*only_older_neighbors=*/true, /*visits=*/nullptr,
+        ctx, p, retained_, /*only_older_neighbors=*/true, /*visits=*/nullptr,
         &scratch_);
     stats.comparisons_generated += candidates.size();
     candidates = IWnpPrune(std::move(candidates));

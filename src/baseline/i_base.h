@@ -52,6 +52,7 @@ class IBase : public StreamingErBase {
   std::vector<Comparison> pending_;  // FIFO, generation order
   size_t cursor_ = 0;
   WeightingScratch scratch_;  // reused across increments
+  std::vector<TokenId> retained_;  // reused ghosting output buffer
 };
 
 }  // namespace pier

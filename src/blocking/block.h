@@ -15,11 +15,21 @@ namespace pier {
 
 struct Block {
   // members[s] holds the profile ids of source s, in arrival order.
-  // Dirty ER uses members[0] only.
+  // Loaders may bucket Dirty-ER records under either source label
+  // (e.g. a two-source CSV replayed as a dirty stream), so dirty
+  // comparisons must span both lists -- use member() to enumerate the
+  // virtual concatenation.
   std::vector<ProfileId> members[2];
 
   size_t size() const { return members[0].size() + members[1].size(); }
   bool empty() const { return members[0].empty() && members[1].empty(); }
+
+  // The i-th member of the virtual concatenation members[0] ++
+  // members[1], for i in [0, size()).
+  ProfileId member(size_t i) const {
+    return i < members[0].size() ? members[0][i]
+                                 : members[1][i - members[0].size()];
+  }
 
   // Number of pairwise comparisons the block yields (||b|| in the
   // paper): all pairs for Dirty ER, cross-source pairs for Clean-Clean.

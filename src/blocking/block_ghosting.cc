@@ -6,24 +6,53 @@
 
 namespace pier {
 
-std::vector<TokenId> GhostBlocks(const BlockCollection& blocks,
-                                 const EntityProfile& profile, double beta) {
+void GhostBlocks(const BlockCollection& blocks, const EntityProfile& profile,
+                 double beta, std::vector<TokenId>* retained) {
   PIER_CHECK(beta > 0.0 && beta <= 1.0);
+  retained->clear();
+  // One pass over the block array: collect the active candidates with
+  // their sizes (the size list rides in a thread-local scratch, so the
+  // steady state allocates nothing), then apply the ghosting limit
+  // without touching the blocks again -- the block slots are scattered
+  // through a large array, so the second pass of the naive two-pass
+  // formulation is mostly cache misses.
+  static thread_local std::vector<size_t> sizes;
+  sizes.clear();
+  // The activity test is inlined against a single block reference:
+  // IsActive + IsPurged + size() would fetch the same slot three
+  // times, and this loop is the hottest block-array traversal in the
+  // pipeline (once per token of every ingested profile).
+  const size_t max_block_size = blocks.options().max_block_size;
+  const bool clean_clean = blocks.kind() == DatasetKind::kCleanClean;
   size_t min_size = std::numeric_limits<size_t>::max();
   for (const TokenId token : profile.tokens) {
-    if (!blocks.IsActive(token)) continue;
-    const size_t size = blocks.block(token).size();
+    if (!blocks.HasBlock(token)) continue;
+    const Block& b = blocks.block(token);
+    const size_t size = b.size();
+    if (size < 2) continue;
+    if (max_block_size != 0 && size > max_block_size) continue;  // purged
+    if (clean_clean && (b.members[0].empty() || b.members[1].empty())) {
+      continue;
+    }
+    retained->push_back(token);
+    sizes.push_back(size);
     if (size < min_size) min_size = size;
   }
-  std::vector<TokenId> retained;
-  if (min_size == std::numeric_limits<size_t>::max()) return retained;
+  if (retained->empty()) return;
   const double limit = static_cast<double>(min_size) / beta;
-  for (const TokenId token : profile.tokens) {
-    if (!blocks.IsActive(token)) continue;
-    if (static_cast<double>(blocks.block(token).size()) <= limit) {
-      retained.push_back(token);
+  size_t kept = 0;
+  for (size_t i = 0; i < retained->size(); ++i) {
+    if (static_cast<double>(sizes[i]) <= limit) {
+      (*retained)[kept++] = (*retained)[i];
     }
   }
+  retained->resize(kept);
+}
+
+std::vector<TokenId> GhostBlocks(const BlockCollection& blocks,
+                                 const EntityProfile& profile, double beta) {
+  std::vector<TokenId> retained;
+  GhostBlocks(blocks, profile, beta, &retained);
   return retained;
 }
 

@@ -22,6 +22,14 @@ namespace pier {
 std::vector<TokenId> GhostBlocks(const BlockCollection& blocks,
                                  const EntityProfile& profile, double beta);
 
+// Allocation-free variant for the per-profile hot path: fills
+// `*retained` (cleared first) with the same token sequence the
+// returning overload produces, visiting each block slot once instead
+// of twice. Long-lived callers (the prioritizers) pass a reused
+// member buffer so steady-state ghosting performs no allocation.
+void GhostBlocks(const BlockCollection& blocks, const EntityProfile& profile,
+                 double beta, std::vector<TokenId>* retained);
+
 }  // namespace pier
 
 #endif  // PIER_BLOCKING_BLOCK_GHOSTING_H_

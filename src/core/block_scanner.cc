@@ -61,12 +61,15 @@ std::vector<Comparison> BlockScanner::NextBlock(WorkStats* stats) {
         }
       }
     } else {
-      const auto& m = b.members[0];
-      for (size_t i = 0; i < m.size(); ++i) {
-        for (size_t j = i + 1; j < m.size(); ++j) {
-          out.emplace_back(
-              m[i], m[j],
-              PairCbsWeight(profiles.Get(m[i]), profiles.Get(m[j])), bsize);
+      // Dirty: all pairs across both member lists (loaders may bucket
+      // dirty records under either source label).
+      for (size_t i = 0; i < bsize; ++i) {
+        const ProfileId x = b.member(i);
+        for (size_t j = i + 1; j < bsize; ++j) {
+          const ProfileId y = b.member(j);
+          out.emplace_back(x, y,
+                           PairCbsWeight(profiles.Get(x), profiles.Get(y)),
+                           bsize);
         }
       }
     }
@@ -99,7 +102,8 @@ bool BlockScanner::Restore(std::istream& in) {
                          return serial::ReadU32(s, &e->first) &&
                                 serial::ReadU32(s, &e->second);
                        }) ||
-      !serial::ReadBool(in, &exhausted) || !serial::ReadBool(in, &full_rescan)) {
+      !serial::ReadBool(in, &exhausted) ||
+      !serial::ReadBool(in, &full_rescan)) {
     return false;
   }
   scanned_size_ = std::move(scanned_size);

@@ -24,12 +24,11 @@ WorkStats IPcs::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
   for (const ProfileId id : delta) {
     const EntityProfile& p = ctx_.profiles->Get(id);
     // Algorithm 2, lines 4-5: retained blocks after block ghosting.
-    const std::vector<TokenId> retained =
-        GhostBlocks(*ctx_.blocks, p, options_.beta);
+    GhostBlocks(*ctx_.blocks, p, options_.beta, &retained_);
     // Lines 6-7: candidate generation (only_older_neighbors makes each
     // pair unique per increment); line 8: I-WNP comparison cleaning.
     std::vector<Comparison> candidates = GenerateWeightedComparisons(
-        wctx, p, retained, /*only_older_neighbors=*/true, /*visits=*/nullptr,
+        wctx, p, retained_, /*only_older_neighbors=*/true, /*visits=*/nullptr,
         &scratch_);
     stats.comparisons_generated += candidates.size();
     candidates = IWnpPrune(std::move(candidates));

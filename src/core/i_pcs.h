@@ -37,6 +37,7 @@ class IPcs : public IncrementalPrioritizer {
   BoundedPriorityQueue<Comparison, CompareByWeight> index_;
   BlockScanner scanner_;
   WeightingScratch scratch_;  // reused across increments
+  std::vector<TokenId> retained_;  // reused ghosting output buffer
 };
 
 }  // namespace pier

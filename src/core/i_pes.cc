@@ -32,10 +32,9 @@ WorkStats IPes::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
   std::vector<Comparison> cmp_list;
   for (const ProfileId id : delta) {
     const EntityProfile& p = ctx_.profiles->Get(id);
-    const std::vector<TokenId> retained =
-        GhostBlocks(*ctx_.blocks, p, options_.beta);
+    GhostBlocks(*ctx_.blocks, p, options_.beta, &retained_);
     std::vector<Comparison> candidates = GenerateWeightedComparisons(
-        wctx, p, retained, /*only_older_neighbors=*/true, /*visits=*/nullptr,
+        wctx, p, retained_, /*only_older_neighbors=*/true, /*visits=*/nullptr,
         &scratch_);
     stats.comparisons_generated += candidates.size();
     candidates = IWnpPrune(std::move(candidates));

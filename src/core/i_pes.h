@@ -107,6 +107,7 @@ class IPes : public IncrementalPrioritizer {
 
   BlockScanner scanner_;
   WeightingScratch scratch_;  // reused across increments
+  std::vector<TokenId> retained_;  // reused ghosting output buffer
 };
 
 }  // namespace pier

@@ -6,6 +6,8 @@
 #include "core/i_pbs.h"
 #include "core/i_pcs.h"
 #include "core/i_pes.h"
+#include "frontier/fb_pcs.h"
+#include "frontier/sper_sk.h"
 #include "obs/scoped_timer.h"
 #include "persist/snapshot.h"
 #include "util/check.h"
@@ -21,6 +23,10 @@ const char* ToString(PierStrategy strategy) {
       return "I-PBS";
     case PierStrategy::kIPes:
       return "I-PES";
+    case PierStrategy::kSperSk:
+      return "SPER-SK";
+    case PierStrategy::kFbPcs:
+      return "FB-PCS";
   }
   return "?";
 }
@@ -34,6 +40,9 @@ PierPipeline::PierPipeline(PierOptions options)
   // through their own options (it selects their pair-filter snapshot
   // format and enables OnRetract bookkeeping).
   options_.prioritizer.mutable_stream = options_.mutable_stream;
+  // Frontier strategies register `frontier.*` metrics on the shared
+  // registry (a non-owning pointer, never fingerprinted).
+  options_.prioritizer.metrics = options_.metrics;
   if (options_.mutable_stream && options_.track_clusters) {
     clusters_.EnableRetraction();
   }
@@ -47,6 +56,12 @@ PierPipeline::PierPipeline(PierOptions options)
       break;
     case PierStrategy::kIPes:
       prioritizer_ = std::make_unique<IPes>(ctx, options_.prioritizer);
+      break;
+    case PierStrategy::kSperSk:
+      prioritizer_ = std::make_unique<SperSk>(ctx, options_.prioritizer);
+      break;
+    case PierStrategy::kFbPcs:
+      prioritizer_ = std::make_unique<FbPcs>(ctx, options_.prioritizer);
       break;
   }
   PIER_CHECK(prioritizer_ != nullptr);
@@ -349,6 +364,15 @@ void WriteOptionsFingerprint(std::ostream& out, const PierOptions& o) {
   // sections, so an append-only pipeline can never load a mutable
   // snapshot or vice versa.
   if (o.mutable_stream) serial::WriteBool(out, true);
+  // Frontier knobs, only for the frontier strategies (they shape the
+  // emitted comparison stream, so a snapshot can never restore into a
+  // differently-seeded run); pre-frontier snapshots keep loading.
+  if (o.strategy == PierStrategy::kSperSk ||
+      o.strategy == PierStrategy::kFbPcs) {
+    serial::WriteU64(out, o.prioritizer.frontier_seed);
+    serial::WriteU64(out, o.prioritizer.frontier_sample_budget);
+    serial::WriteU64(out, o.prioritizer.frontier_probes);
+  }
 }
 
 void SetRestoreError(std::string* error, const std::string& message) {

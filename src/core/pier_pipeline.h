@@ -58,6 +58,11 @@ enum class PierStrategy : uint8_t {
   kIPcs = 0,
   kIPbs = 1,
   kIPes = 2,
+  // Frontier strategies (src/frontier/): stochastic top-k sampling and
+  // verdict-feedback block boosting. First-class citizens of the same
+  // machinery (snapshots, mutable streams, harness, CLI).
+  kSperSk = 3,
+  kFbPcs = 4,
 };
 
 const char* ToString(PierStrategy strategy);
@@ -193,6 +198,14 @@ class PierPipeline {
   // and the stream simulator both do); the index merges the two
   // profiles' clusters. Safe against concurrent cluster queries.
   void RecordMatch(ProfileId a, ProfileId b) { clusters_.AddMatch(a, b); }
+
+  // Feeds one executed comparison's classification (positive or
+  // negative) back to the prioritizer. Feedback strategies (FB-PCS)
+  // use it to promote/demote blocks mid-stream; the others ignore it.
+  // Callers that feed RecordMatch should feed every verdict here too.
+  void RecordVerdict(ProfileId a, ProfileId b, bool is_match) {
+    prioritizer_->OnVerdict(a, b, is_match);
+  }
 
   // The online cluster-serving index (see serve/cluster_index.h).
   // Query methods (ClusterOf / ClusterIdOf / ClusterSizeOf) are safe

@@ -4,10 +4,13 @@
 // seen so far (the globality condition of Definition 3) and emits them
 // best-first.
 //
-// Three strategies implement this interface:
+// Five strategies implement this interface:
 //   I-PCS (comparison-centric, Section 4 / Algorithm 2)
 //   I-PBS (block-centric,      Section 5 / Algorithm 3)
 //   I-PES (entity-centric,     Section 6 / Algorithm 4)
+// plus the frontier family (src/frontier/, DESIGN.md section 10):
+//   SPER-SK (stochastic top-k sampling, after SPER)
+//   FB-PCS  (verdict-feedback block boosting, after pBlocking)
 
 #ifndef PIER_CORE_PRIORITIZER_H_
 #define PIER_CORE_PRIORITIZER_H_
@@ -23,6 +26,10 @@
 #include "model/types.h"
 
 namespace pier {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 // Work accounting returned by pipeline steps; consumed by the
 // ModeledCostMeter to derive deterministic virtual-time costs.
@@ -59,6 +66,21 @@ struct PrioritizerOptions {
   size_t low_weight_queue_capacity = 1u << 17;
 
   WeightingScheme scheme = WeightingScheme::kCbs;
+
+  // Frontier strategies (src/frontier/). SPER-SK: RNG seed (the
+  // determinism contract: same seed + same increment sequence =>
+  // byte-identical dequeue stream at every execution thread count),
+  // per-profile sampling budget, and tournament probe count. The seed
+  // and budget shape the emitted comparison stream, so they join the
+  // pipeline options fingerprint for the frontier strategies.
+  uint64_t frontier_seed = 42;
+  size_t frontier_sample_budget = 32;
+  size_t frontier_probes = 8;
+
+  // Optional observability sink for `frontier.*` strategy metrics
+  // (mirrored from PierOptions::metrics by the pipeline constructor;
+  // non-owning, never part of the fingerprint).
+  obs::MetricsRegistry* metrics = nullptr;
 
   // Mutable streams (deletes / corrections): strategies keep enough
   // retraction state (deletable pair filters, pair registries) that
@@ -106,6 +128,18 @@ class IncrementalPrioritizer {
   // no-op for lightweight test doubles; stale entries that survive a
   // no-op are caught by the pipeline's emit-time liveness check.
   virtual void OnRetract(ProfileId id) { (void)id; }
+
+  // Verdict feedback: called once per executed comparison with the
+  // matcher's classification (positives *and* negatives, unlike the
+  // cluster index's RecordMatch). Feedback strategies (FB-PCS) fold
+  // the outcome into their block/edge scores; everything else ignores
+  // it. Arrives after the comparison was emitted, so implementations
+  // must tolerate endpoints that have since been retracted.
+  virtual void OnVerdict(ProfileId a, ProfileId b, bool is_match) {
+    (void)a;
+    (void)b;
+    (void)is_match;
+  }
 
   // Checkpoint support (see src/persist/): serializes the strategy's
   // complete internal state (queues, per-token indexes, filters,

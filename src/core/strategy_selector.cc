@@ -1,8 +1,41 @@
 #include "core/strategy_selector.h"
 
+#include <cctype>
 #include <cmath>
 
 namespace pier {
+
+namespace {
+
+constexpr PierStrategy kAllStrategies[] = {
+    PierStrategy::kIPcs, PierStrategy::kIPbs, PierStrategy::kIPes,
+    PierStrategy::kSperSk, PierStrategy::kFbPcs,
+};
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* KnownAlgorithmNames() {
+  return "I-PCS, I-PBS, I-PES, SPER-SK, FB-PCS";
+}
+
+bool ParseAlgorithmName(const std::string& name, PierStrategy* out) {
+  const std::string lower = ToLower(name);
+  for (const PierStrategy strategy : kAllStrategies) {
+    if (lower == ToLower(ToString(strategy))) {
+      *out = strategy;
+      return true;
+    }
+  }
+  return false;
+}
 
 StrategyRecommendation RecommendStrategy(const BlockCollection& blocks,
                                          const ProfileStore& profiles) {

@@ -39,6 +39,19 @@ struct StrategyRecommendation {
 StrategyRecommendation RecommendStrategy(const BlockCollection& blocks,
                                          const ProfileStore& profiles);
 
+// The algorithm-name registry backing `pier_cli --algorithm` and its
+// unknown-name diagnostic. Comma-separated canonical names of every
+// selectable strategy (the paper trio plus the frontier family), in
+// enum order.
+const char* KnownAlgorithmNames();
+
+// Parses a user-facing algorithm name into a strategy. Accepts the
+// canonical names from KnownAlgorithmNames() case-insensitively
+// ("I-PCS", "i-pcs", "sper-sk", "FB-PCS", ...). Returns false -- with
+// *out untouched -- for anything else, including "auto" (callers
+// handle auto-selection via RecommendStrategy themselves).
+bool ParseAlgorithmName(const std::string& name, PierStrategy* out);
+
 }  // namespace pier
 
 #endif  // PIER_CORE_STRATEGY_SELECTOR_H_

@@ -62,6 +62,16 @@ class ErAlgorithm {
     (void)b;
   }
 
+  // Called for every executed pair with the matcher's classification
+  // (positives and negatives; OnMatch remains positives-only).
+  // Feedback algorithms (FB-PCS) fold the outcome back into their
+  // prioritization scores. Default: nothing.
+  virtual void OnVerdict(ProfileId a, ProfileId b, bool is_match) {
+    (void)a;
+    (void)b;
+    (void)is_match;
+  }
+
   // Rate feedback for adaptive controllers; no-ops by default.
   virtual void OnArrival(double time) { (void)time; }
   virtual void OnBatchCost(size_t comparisons, double seconds) {

@@ -40,6 +40,10 @@ class PierAdapter : public ErAlgorithm {
     pipeline_.RecordMatch(a, b);
   }
 
+  void OnVerdict(ProfileId a, ProfileId b, bool is_match) override {
+    pipeline_.RecordVerdict(a, b, is_match);
+  }
+
   void OnArrival(double time) override { pipeline_.ReportArrival(time); }
   void OnBatchCost(size_t comparisons, double seconds) override {
     pipeline_.ReportBatchCost(comparisons, seconds);

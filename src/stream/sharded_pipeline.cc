@@ -435,6 +435,13 @@ void ShardedPipeline::ShardLoop(size_t shard_index) {
       out.is_match.resize(verdicts.size());
       for (size_t i = 0; i < verdicts.size(); ++i) {
         out.is_match[i] = verdicts[i].is_match ? 1 : 0;
+        // Per-shard verdict feedback: the shard that scheduled the
+        // pair folds the outcome into its own prioritizer (FB-PCS
+        // block posteriors). Scheduling order may shift, but the
+        // drained comparison *set* -- hence cluster equivalence -- is
+        // unchanged.
+        pipeline.RecordVerdict(out.comparisons[i].x, out.comparisons[i].y,
+                               verdicts[i].is_match);
       }
       verdicts_pushed_.fetch_add(1, std::memory_order_release);
       if (!verdict_queue_.Push(std::move(out))) return;  // stopping

@@ -157,6 +157,11 @@ void StreamSimulator::SnapshotLoopState(persist::SnapshotBuilder& builder,
   serial::WriteF64(meta, options_.time_budget_s);
   serial::WriteU64(meta, options_.curve_granularity);
   serial::WriteU64(meta, options_.stall_limit);
+  // Conditional trailing field (see SimulatorOptions::frontier_seed):
+  // default-seeded runs keep the pre-frontier byte layout.
+  if (options_.frontier_seed != SimulatorOptions{}.frontier_seed) {
+    serial::WriteU64(meta, options_.frontier_seed);
+  }
 
   std::ostream& st = builder.AddSection("sim.state");
   serial::WriteF64(st, state.vt);
@@ -230,6 +235,10 @@ bool StreamSimulator::RestoreLoopState(const persist::SnapshotReader& reader,
     SetResumeError(error, "section 'sim.meta' failed to decode");
     return false;
   }
+  // Tolerant trailing read: absent means the snapshot was written with
+  // the default seed (pre-frontier layout or a default-seeded run).
+  uint64_t frontier_seed = SimulatorOptions{}.frontier_seed;
+  serial::ReadU64(meta, &frontier_seed);
   if (alg_name != algorithm.name()) {
     SetResumeError(error, "snapshot was taken with algorithm '" + alg_name +
                               "', not '" + algorithm.name() + "'");
@@ -253,11 +262,12 @@ bool StreamSimulator::RestoreLoopState(const persist::SnapshotReader& reader,
       rate != options_.increments_per_second ||
       budget != options_.time_budget_s ||
       granularity != options_.curve_granularity ||
-      stall_limit != options_.stall_limit) {
+      stall_limit != options_.stall_limit ||
+      frontier_seed != options_.frontier_seed) {
     SetResumeError(error,
                    "snapshot simulator options do not match this "
                    "configuration (increments/cost mode/rate/budget/"
-                   "granularity/stall limit)");
+                   "granularity/stall limit/frontier seed)");
     return false;
   }
 
@@ -494,6 +504,9 @@ RunResult StreamSimulator::RunLoop(ErAlgorithm& algorithm,
           units += v.cost_units;
           ++state.executed;
           const bool is_true_match = dataset_->truth.IsMatch(c.x, c.y);
+          // Every verdict (positive or negative) feeds the algorithm's
+          // feedback hook; FB-PCS folds it into its block posteriors.
+          algorithm.OnVerdict(c.x, c.y, v.is_match);
           if (v.is_match) {
             ++batch_positives;
             ++result.matcher_positives;

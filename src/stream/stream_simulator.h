@@ -76,6 +76,15 @@ struct SimulatorOptions {
   std::ostream* metrics_out = nullptr;
   double metrics_interval_s = 0.0;
 
+  // Seed for the stochastic frontier strategies (SPER-SK): callers
+  // mirror PierOptions::prioritizer.frontier_seed here so the value is
+  // recorded in (and validated against) checkpoint metadata -- a
+  // resumed run can never silently continue a differently-seeded
+  // stream. Ignored by the deterministic strategies. Written to
+  // sim.meta only when it differs from the default, keeping earlier
+  // snapshots loadable.
+  uint64_t frontier_seed = 42;
+
   // An algorithm that refuses a due increment while holding no pending
   // batch is *stalled* (e.g. a windowed baseline between arrivals):
   // the simulator charges it idle ticks, counts `stalled_ticks`, and

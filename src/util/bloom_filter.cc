@@ -1,5 +1,6 @@
 #include "util/bloom_filter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -69,6 +70,18 @@ std::unique_ptr<BloomFilter> BloomFilter::FromSnapshot(std::istream& in) {
   filter->num_hashes_ = static_cast<int>(num_hashes);
   filter->num_insertions_ = num_insertions;
   return filter;
+}
+
+bool BloomFilter::UnionFrom(const BloomFilter& other) {
+  if (other.expected_items_ != expected_items_ ||
+      other.num_bits_ != num_bits_ || other.num_hashes_ != num_hashes_) {
+    return false;
+  }
+  if (&other == this) return true;
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  num_insertions_ =
+      std::min(expected_items_, num_insertions_ + other.num_insertions_);
+  return true;
 }
 
 bool BloomFilter::MayContain(uint64_t key) const {

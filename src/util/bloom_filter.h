@@ -51,6 +51,16 @@ class BloomFilter {
   // recorded bit count).
   static std::unique_ptr<BloomFilter> FromSnapshot(std::istream& in);
 
+  // Folds another filter of identical sizing into this one (bitwise
+  // OR), so every key Add()ed to either side is MayContain() here --
+  // the shard-merge consolidation primitive. The insertion count
+  // saturates at expected_items(), which keeps a slice sequence
+  // Restore-consistent (non-final slices stay exactly full); the
+  // realized false-positive rate can exceed design when both sides
+  // were heavily loaded. Returns false, leaving this filter untouched,
+  // when the sizing parameters differ.
+  bool UnionFrom(const BloomFilter& other);
+
  private:
   BloomFilter() = default;  // for FromSnapshot
 

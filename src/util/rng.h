@@ -75,6 +75,15 @@ class Rng {
 
   bool Bernoulli(double p) { return UniformDouble() < p; }
 
+  // Checkpoint support: the full 256-bit state, so a restored stream
+  // continues the exact draw sequence (see src/frontier/sper_sk.cc).
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void LoadState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
   // Approximate standard normal via the polar Box-Muller transform.
   double Gaussian(double mean, double stddev) {
     double u;

@@ -1,5 +1,6 @@
 #include "util/scalable_bloom_filter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -51,6 +52,31 @@ bool ScalableBloomFilter::TestAndAdd(uint64_t key) {
   if (MayContain(key)) return true;
   Add(key);
   return false;
+}
+
+bool ScalableBloomFilter::UnionFrom(const ScalableBloomFilter& other) {
+  if (other.options_.initial_capacity != options_.initial_capacity ||
+      other.options_.fp_rate != options_.fp_rate ||
+      other.options_.growth != options_.growth ||
+      other.options_.tightening != options_.tightening) {
+    return false;
+  }
+  if (&other == this) return true;
+  const size_t shared = std::min(slices_.size(), other.slices_.size());
+  for (size_t i = 0; i < shared; ++i) {
+    // Equal options make slice i of both sides structurally identical,
+    // so the per-slice union cannot fail.
+    PIER_CHECK(slices_[i]->UnionFrom(*other.slices_[i]));
+  }
+  for (size_t i = shared; i < other.slices_.size(); ++i) {
+    slices_.push_back(std::make_unique<BloomFilter>(*other.slices_[i]));
+  }
+  // Saturating per-slice counts keep the Restore invariant (every
+  // non-final slice exactly full): whenever slice i is non-final on
+  // the longer side, its union saturates at the slice capacity.
+  num_insertions_ = 0;
+  for (const auto& slice : slices_) num_insertions_ += slice->num_insertions();
+  return true;
 }
 
 size_t ScalableBloomFilter::MemoryBytes() const {

@@ -71,6 +71,17 @@ class ScalableBloomFilter {
   // leaving the filter in an unspecified-but-valid state.
   bool Restore(std::istream& in);
 
+  // Folds `other` into this filter so every key added to either side
+  // is MayContain() here -- how a combiner consolidates the per-shard
+  // executed-comparison filters after a shard merge. Both filters must
+  // share identical Options (equal options make slice i of both sides
+  // structurally identical, since sizing is a pure function of the
+  // growth schedule); returns false without modifying anything
+  // otherwise. Extra slices of `other` are deep-copied; per-slice
+  // insertion counts saturate (see BloomFilter::UnionFrom), so the
+  // result stays Snapshot/Restore round-trippable.
+  bool UnionFrom(const ScalableBloomFilter& other);
+
  private:
   void AddSlice();
 

@@ -406,6 +406,15 @@ TEST(MutablePipelineTest, DeleteCorrectReplayIPbs) {
 TEST(MutablePipelineTest, DeleteCorrectReplayIPes) {
   RunDeleteCorrectReplayScenario(PierStrategy::kIPes);
 }
+TEST(MutablePipelineTest, DeleteCorrectReplaySperSk) {
+  // The frontier strategies must honor retraction too: SPER-SK drops
+  // retracted pairs from its reservoir (on this tiny input its exact
+  // enumeration path makes the run deterministic).
+  RunDeleteCorrectReplayScenario(PierStrategy::kSperSk);
+}
+TEST(MutablePipelineTest, DeleteCorrectReplayFbPcs) {
+  RunDeleteCorrectReplayScenario(PierStrategy::kFbPcs);
+}
 
 TEST(MutablePipelineTest, MutationMetrics) {
   obs::MetricsRegistry registry;
@@ -554,10 +563,10 @@ struct StreamOp {
 // Builds a deterministic interleaved script of ingests, deletes, and
 // corrections over `d`, and reports the end state: which ids are
 // deleted at the end, and each survivor's final content.
-std::vector<StreamOp> BuildMutationScript(const Dataset& d,
-                                          size_t num_increments,
-                                          std::set<ProfileId>* final_deleted,
-                                          std::vector<EntityProfile>* final_content) {
+std::vector<StreamOp> BuildMutationScript(
+    const Dataset& d, size_t num_increments,
+    std::set<ProfileId>* final_deleted,
+    std::vector<EntityProfile>* final_content) {
   std::mt19937 rng(777);
   std::vector<StreamOp> ops;
   *final_content = d.profiles;
@@ -852,7 +861,8 @@ TEST(MutableShardedTest, ConcurrentMutationsVsClusterQueries) {
     if (c % 2 == 0) {
       const ProfileId corrected =
           static_cast<ProfileId>(increments[c - 1].begin + 1);
-      EntityProfile replacement = d.profiles[(corrected + 29) % d.profiles.size()];
+      EntityProfile replacement =
+          d.profiles[(corrected + 29) % d.profiles.size()];
       replacement.id = corrected;
       ASSERT_TRUE(pipeline.Update({std::move(replacement)}));
       deleted.erase(corrected);

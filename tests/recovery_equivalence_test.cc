@@ -2,8 +2,10 @@
 // correctness contract): kill a run after any increment, restore from
 // the durable snapshot, continue -- the verdict stream, the emitted
 // comparisons, and the final progressive curve must be identical to an
-// uninterrupted run. Exercised across all three PIER prioritizers and
-// both snapshot-capable baselines, resuming from every checkpoint
+// uninterrupted run. Exercised across all five PIER prioritizers
+// (including the stochastic SPER-SK, whose RNG state rides in the
+// snapshot) and both snapshot-capable baselines, resuming from every
+// checkpoint
 // (including the pre-stream seed and the final increment), plus
 // rejection of tampered and mismatched snapshots.
 
@@ -61,6 +63,10 @@ std::vector<AlgorithmCase> AllCases() {
        [](const Dataset& d) { return MakePier(d, PierStrategy::kIPbs); }},
       {"I-PES",
        [](const Dataset& d) { return MakePier(d, PierStrategy::kIPes); }},
+      {"SPER-SK",
+       [](const Dataset& d) { return MakePier(d, PierStrategy::kSperSk); }},
+      {"FB-PCS",
+       [](const Dataset& d) { return MakePier(d, PierStrategy::kFbPcs); }},
       {"PBS",
        [](const Dataset& d) {
          return std::make_unique<Pbs>(d.kind, BlockingOptions());

@@ -13,6 +13,7 @@
 
 #include "util/bloom_filter.h"
 #include "util/bounded_priority_queue.h"
+#include "util/counting_bloom_filter.h"
 #include "util/csv_writer.h"
 #include "util/hashing.h"
 #include "util/moving_average.h"
@@ -165,10 +166,10 @@ TEST_P(BoundedPqDifferentialTest, MatchesMultisetOracle) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, BoundedPqDifferentialTest,
-    ::testing::Combine(::testing::Values(1u, 2u, 3u, 17u, 99u),
-                       ::testing::Values(size_t{1}, size_t{2}, size_t{7},
-                                         size_t{64},
-                                         BoundedPriorityQueue<int>::kUnbounded)));
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 3u, 17u, 99u),
+        ::testing::Values(size_t{1}, size_t{2}, size_t{7}, size_t{64},
+                          BoundedPriorityQueue<int>::kUnbounded)));
 
 // Interleaved property test mixing *unconditional* Push with
 // PushBounded and both pop ends against a multiset oracle. Push may
@@ -345,6 +346,167 @@ TEST(ScalableBloomFilterTest, MemoryGrowsSubquadratically) {
   for (uint64_t k = 0; k < 10000; ++k) filter.Add(k);
   // ~10k keys at 1% should stay far below a megabyte.
   EXPECT_LT(filter.MemoryBytes(), 1u << 20);
+}
+
+// ---------------------------------------------------------------------------
+// UnionFrom (shard-merge filter consolidation)
+// ---------------------------------------------------------------------------
+
+TEST(BloomFilterTest, UnionFromNoFalseNegatives) {
+  // Property: after a.UnionFrom(b), every key added to either side
+  // must still be MayContain in a, across random disjoint key sets.
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    BloomFilter a(2000, 0.01);
+    BloomFilter b(2000, 0.01);
+    std::vector<uint64_t> a_keys;
+    std::vector<uint64_t> b_keys;
+    const size_t na = rng.UniformInt(0, 1000);
+    const size_t nb = rng.UniformInt(0, 1000);
+    for (size_t i = 0; i < na; ++i) a_keys.push_back(Mix64(rng.NextU64()));
+    for (size_t i = 0; i < nb; ++i) b_keys.push_back(Mix64(rng.NextU64()));
+    for (const uint64_t k : a_keys) a.Add(k);
+    for (const uint64_t k : b_keys) b.Add(k);
+    ASSERT_TRUE(a.UnionFrom(b));
+    for (const uint64_t k : a_keys) EXPECT_TRUE(a.MayContain(k));
+    for (const uint64_t k : b_keys) EXPECT_TRUE(a.MayContain(k));
+  }
+}
+
+TEST(BloomFilterTest, UnionFromRejectsMismatchedSizing) {
+  BloomFilter a(1000, 0.01);
+  BloomFilter other_items(2000, 0.01);
+  BloomFilter other_rate(1000, 0.05);
+  a.Add(7);
+  EXPECT_FALSE(a.UnionFrom(other_items));
+  EXPECT_FALSE(a.UnionFrom(other_rate));
+  EXPECT_TRUE(a.MayContain(7));  // untouched on rejection
+}
+
+TEST(BloomFilterTest, UnionFromSelfIsNoOp) {
+  BloomFilter a(100, 0.01);
+  a.Add(1);
+  a.Add(2);
+  const size_t before = a.num_insertions();
+  EXPECT_TRUE(a.UnionFrom(a));
+  EXPECT_EQ(a.num_insertions(), before);
+  EXPECT_TRUE(a.MayContain(1));
+}
+
+TEST(ScalableBloomFilterTest, UnionFromMergesMultiSliceFilters) {
+  ScalableBloomFilter::Options options;
+  options.initial_capacity = 64;
+  ScalableBloomFilter a(options);
+  ScalableBloomFilter b(options);
+  // Grow both past one slice, to different slice counts.
+  for (uint64_t k = 0; k < 300; ++k) a.Add(Mix64(k));
+  for (uint64_t k = 1000; k < 2200; ++k) b.Add(Mix64(k));
+  ASSERT_GT(b.num_slices(), a.num_slices());
+  ASSERT_TRUE(a.UnionFrom(b));
+  for (uint64_t k = 0; k < 300; ++k) EXPECT_TRUE(a.MayContain(Mix64(k)));
+  for (uint64_t k = 1000; k < 2200; ++k) EXPECT_TRUE(a.MayContain(Mix64(k)));
+  EXPECT_EQ(a.num_slices(), b.num_slices());
+}
+
+TEST(ScalableBloomFilterTest, UnionFromRejectsMismatchedOptions) {
+  ScalableBloomFilter::Options options;
+  options.initial_capacity = 64;
+  ScalableBloomFilter a(options);
+  options.fp_rate = 0.02;
+  ScalableBloomFilter b(options);
+  a.Add(5);
+  EXPECT_FALSE(a.UnionFrom(b));
+  EXPECT_TRUE(a.MayContain(5));
+}
+
+TEST(ScalableBloomFilterTest, UnionResultSnapshotRestoreRoundTrips) {
+  // The saturating insertion bookkeeping must keep the merged filter's
+  // snapshot acceptable to Restore (every non-final slice exactly
+  // full), and the restored filter must re-serialize byte-identically.
+  ScalableBloomFilter::Options options;
+  options.initial_capacity = 64;
+  ScalableBloomFilter a(options);
+  ScalableBloomFilter b(options);
+  for (uint64_t k = 0; k < 500; ++k) a.Add(Mix64(k));
+  for (uint64_t k = 5000; k < 5900; ++k) b.Add(Mix64(k));
+  ASSERT_TRUE(a.UnionFrom(b));
+  std::ostringstream out;
+  a.Snapshot(out);
+  ScalableBloomFilter restored(options);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(restored.Restore(in));
+  EXPECT_EQ(restored.num_insertions(), a.num_insertions());
+  for (uint64_t k = 0; k < 500; ++k) EXPECT_TRUE(restored.MayContain(Mix64(k)));
+  for (uint64_t k = 5000; k < 5900; ++k) {
+    EXPECT_TRUE(restored.MayContain(Mix64(k)));
+  }
+  std::ostringstream again;
+  restored.Snapshot(again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(CountingBloomFilterTest, UnionFromNoFalseNegatives) {
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    CountingBloomFilter a(2000, 0.01);
+    CountingBloomFilter b(2000, 0.01);
+    std::vector<uint64_t> a_keys;
+    std::vector<uint64_t> b_keys;
+    const size_t na = rng.UniformInt(0, 800);
+    const size_t nb = rng.UniformInt(0, 800);
+    for (size_t i = 0; i < na; ++i) a_keys.push_back(Mix64(rng.NextU64()));
+    for (size_t i = 0; i < nb; ++i) b_keys.push_back(Mix64(rng.NextU64()));
+    for (const uint64_t k : a_keys) a.Add(k);
+    for (const uint64_t k : b_keys) b.Add(k);
+    ASSERT_TRUE(a.UnionFrom(b));
+    for (const uint64_t k : a_keys) EXPECT_TRUE(a.MayContain(k));
+    for (const uint64_t k : b_keys) EXPECT_TRUE(a.MayContain(k));
+  }
+}
+
+TEST(CountingBloomFilterTest, UnionFromSurvivesRemovalOfOneSide) {
+  // Keys folded in from the donor stay removable, and removing them
+  // must never create a false negative for keys still present.
+  CountingBloomFilter a(1000, 0.01);
+  CountingBloomFilter b(1000, 0.01);
+  for (uint64_t k = 0; k < 200; ++k) a.Add(Mix64(k));
+  for (uint64_t k = 1000; k < 1200; ++k) b.Add(Mix64(k));
+  ASSERT_TRUE(a.UnionFrom(b));
+  for (uint64_t k = 1000; k < 1200; ++k) a.Remove(Mix64(k));
+  for (uint64_t k = 0; k < 200; ++k) EXPECT_TRUE(a.MayContain(Mix64(k)));
+}
+
+TEST(ScalableCountingBloomFilterTest, UnionFromMergesAndRestores) {
+  ScalableCountingBloomFilter::Options options;
+  options.initial_capacity = 64;
+  ScalableCountingBloomFilter a(options);
+  ScalableCountingBloomFilter b(options);
+  for (uint64_t k = 0; k < 300; ++k) a.Add(Mix64(k));
+  for (uint64_t k = 2000; k < 3000; ++k) b.Add(Mix64(k));
+  for (uint64_t k = 2000; k < 2050; ++k) b.Remove(Mix64(k));
+  ASSERT_TRUE(a.UnionFrom(b));
+  for (uint64_t k = 0; k < 300; ++k) EXPECT_TRUE(a.MayContain(Mix64(k)));
+  for (uint64_t k = 2050; k < 3000; ++k) EXPECT_TRUE(a.MayContain(Mix64(k)));
+  std::ostringstream out;
+  a.Snapshot(out);
+  ScalableCountingBloomFilter restored(options);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(restored.Restore(in));
+  for (uint64_t k = 0; k < 300; ++k) EXPECT_TRUE(restored.MayContain(Mix64(k)));
+  std::ostringstream again;
+  restored.Snapshot(again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(ScalableCountingBloomFilterTest, UnionFromRejectsMismatchedOptions) {
+  ScalableCountingBloomFilter::Options options;
+  options.initial_capacity = 64;
+  ScalableCountingBloomFilter a(options);
+  options.growth = 3.0;
+  ScalableCountingBloomFilter b(options);
+  a.Add(5);
+  EXPECT_FALSE(a.UnionFrom(b));
+  EXPECT_TRUE(a.MayContain(5));
 }
 
 // ---------------------------------------------------------------------------

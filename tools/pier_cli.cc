@@ -2,11 +2,12 @@
 // own CSV data from the command line.
 //
 //   pier_cli --profiles=data.csv [--truth=truth.csv]
-//            [--kind=dirty|clean-clean] [--strategy=auto|I-PCS|I-PBS|I-PES]
+//            [--kind=dirty|clean-clean]
+//            [--algorithm=auto|I-PCS|I-PBS|I-PES|SPER-SK|FB-PCS]
 //            [--matcher=JS|ED|COS] [--threshold=0.5]
 //            [--increments=100] [--rate=0] [--budget=inf]
 //            [--max-block-size=1000] [--beta=0.5] [--threads=1]
-//            [--cost-model=measured|modeled]
+//            [--frontier-seed=42] [--cost-model=measured|modeled]
 //            [--metrics-out=FILE] [--metrics-interval=F]
 //            [--checkpoint-dir=DIR] [--checkpoint-every=N]
 //            [--checkpoint-keep=N] [--resume-from=FILE|DIR]
@@ -17,6 +18,13 @@
 // (profile_id,source,attribute,value). With --truth, the tool replays
 // the data through the stream simulator and reports progressive
 // quality; without it, it runs the pipeline and prints matched pairs.
+//
+// --algorithm picks the prioritization strategy (case-insensitive;
+// --strategy is an accepted alias for older scripts): the paper trio
+// plus the frontier strategies SPER-SK (stochastic top-k sampling,
+// seeded by --frontier-seed for deterministic replay) and FB-PCS
+// (verdict feedback folded back into block scores). `auto` runs the
+// selector heuristic over a data sample.
 //
 // --metrics-out streams JSON-lines metric snapshots (see src/obs/) to
 // FILE: one snapshot per --metrics-interval seconds of (virtual) run
@@ -61,6 +69,7 @@
 // endpoints.
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -121,12 +130,12 @@ int Usage() {
       stderr,
       "usage: pier_cli --profiles=FILE [--truth=FILE] [--kind=dirty|"
       "clean-clean]\n"
-      "                [--strategy=auto|I-PCS|I-PBS|I-PES] [--matcher=JS|ED|"
-      "COS]\n"
+      "                [--algorithm=auto|I-PCS|I-PBS|I-PES|SPER-SK|FB-PCS]\n"
+      "                [--matcher=JS|ED|COS]\n"
       "                [--threshold=F] [--increments=N] [--rate=F] "
       "[--budget=F]\n"
       "                [--max-block-size=N] [--beta=F] [--threads=N]\n"
-      "                [--cost-model=measured|modeled]\n"
+      "                [--frontier-seed=N] [--cost-model=measured|modeled]\n"
       "                [--metrics-out=FILE] [--metrics-interval=F]\n"
       "                [--checkpoint-dir=DIR] [--checkpoint-every=N]\n"
       "                [--checkpoint-keep=N] [--resume-from=FILE|DIR]\n"
@@ -235,14 +244,22 @@ int main(int argc, char** argv) {
   options.prioritizer.beta = std::stod(Get(args, "beta", "0.5"));
   options.execution_threads = std::stoul(Get(args, "threads", "1"));
 
-  const std::string strategy = Get(args, "strategy", "auto");
-  if (strategy == "I-PCS") {
-    options.strategy = PierStrategy::kIPcs;
-  } else if (strategy == "I-PBS") {
-    options.strategy = PierStrategy::kIPbs;
-  } else if (strategy == "I-PES") {
-    options.strategy = PierStrategy::kIPes;
-  } else {
+  options.prioritizer.frontier_seed =
+      std::stoull(Get(args, "frontier-seed", "42"));
+
+  // --algorithm is the canonical flag; --strategy stays as an alias
+  // for older scripts. Names resolve through the registry,
+  // case-insensitively.
+  std::string algorithm = Get(args, "algorithm", "");
+  if (algorithm.empty()) algorithm = Get(args, "strategy", "auto");
+  std::string algorithm_lower = algorithm;
+  std::transform(algorithm_lower.begin(), algorithm_lower.end(),
+                 algorithm_lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  PierStrategy parsed_strategy;
+  if (ParseAlgorithmName(algorithm, &parsed_strategy)) {
+    options.strategy = parsed_strategy;
+  } else if (algorithm_lower == "auto") {
     // Auto: analyze a sample with the selector heuristic.
     Tokenizer tokenizer;
     TokenDictionary dict;
@@ -259,6 +276,11 @@ int main(int argc, char** argv) {
     options.strategy = rec.strategy;
     std::fprintf(stderr, "strategy: %s (%s)\n", ToString(rec.strategy),
                  rec.rationale.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "pier_cli: unknown algorithm '%s' (valid names: auto, %s)\n",
+                 algorithm.c_str(), KnownAlgorithmNames());
+    return 1;
   }
 
   const std::string matcher_name = Get(args, "matcher", "JS");
@@ -272,6 +294,7 @@ int main(int argc, char** argv) {
   }
 
   SimulatorOptions sim_options;
+  sim_options.frontier_seed = options.prioritizer.frontier_seed;
   sim_options.num_increments = std::stoul(Get(args, "increments", "100"));
   sim_options.increments_per_second = std::stod(Get(args, "rate", "0"));
   const std::string budget = Get(args, "budget", "");
