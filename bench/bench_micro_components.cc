@@ -4,6 +4,8 @@
 // the two match functions. These are the per-unit costs the
 // ModeledCostMeter approximates.
 
+#include <algorithm>
+
 #include <benchmark/benchmark.h>
 
 #include "blocking/block_collection.h"
@@ -12,6 +14,7 @@
 #include "datagen/generators.h"
 #include "metablocking/weighting.h"
 #include "model/comparison.h"
+#include "similarity/intersect_kernel.h"
 #include "similarity/matcher.h"
 #include "similarity/string_distance.h"
 #include "text/tokenizer.h"
@@ -41,7 +44,7 @@ void BM_TokenizeProfile(benchmark::State& state) {
   for (auto _ : state) {
     EntityProfile p = d.profiles[i++ % d.profiles.size()];
     tokenizer.TokenizeProfile(p, dict);
-    benchmark::DoNotOptimize(p.tokens.data());
+    benchmark::DoNotOptimize(p.tokens().data());
   }
 }
 BENCHMARK(BM_TokenizeProfile);
@@ -116,7 +119,7 @@ struct WeightingWorkload {
     }
     active.resize(store.size());
     for (ProfileId id = 0; id < store.size(); ++id) {
-      for (const TokenId t : store.Get(id).tokens) {
+      for (const TokenId t : store.Get(id).tokens()) {
         if (blocks.IsActive(t)) active[id].push_back(t);
       }
     }
@@ -198,6 +201,77 @@ void BM_ScalableBloomTestAndAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScalableBloomTestAndAdd);
+
+// Probe cost of the three Bloom bit layouts at a fixed sizing: the
+// modulo divide (legacy), the fastrange multiply, and the one-cache-
+// line blocked variant. Arg is the BloomLayout enum value.
+void BM_BloomProbe(benchmark::State& state) {
+  const auto layout = static_cast<BloomLayout>(state.range(0));
+  BloomFilter filter(100000, 0.01, layout);
+  Rng rng(5);
+  for (uint64_t i = 0; i < 100000; ++i) filter.Add(rng.NextU64());
+  Rng probe(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(probe.NextU64()));
+  }
+}
+BENCHMARK(BM_BloomProbe)->Arg(0)->Arg(1)->Arg(2);
+
+std::vector<TokenId> RandomSortedTokens(Rng& rng, size_t size,
+                                        uint32_t universe) {
+  std::vector<TokenId> tokens;
+  tokens.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    tokens.push_back(rng.NextU32() % universe);
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+// The batched kernel as built (AVX2 when PIER_SIMD=ON, branchless
+// scalar otherwise) against the classic branchy merge it replaced.
+// Arg is the per-side set size; ~half the ids overlap.
+void BM_IntersectKernel(benchmark::State& state) {
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<TokenId> a =
+      RandomSortedTokens(rng, n, static_cast<uint32_t>(2 * n));
+  const std::vector<TokenId> b =
+      RandomSortedTokens(rng, n, static_cast<uint32_t>(2 * n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersectionSize(a, b));
+  }
+  state.SetLabel(IntersectKernelUsesSimd() ? "avx2" : "scalar");
+}
+BENCHMARK(BM_IntersectKernel)->Arg(16)->Arg(64)->Arg(512);
+
+void BM_IntersectBranchyMerge(benchmark::State& state) {
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<TokenId> a =
+      RandomSortedTokens(rng, n, static_cast<uint32_t>(2 * n));
+  const std::vector<TokenId> b =
+      RandomSortedTokens(rng, n, static_cast<uint32_t>(2 * n));
+  for (auto _ : state) {
+    size_t i = 0;
+    size_t j = 0;
+    size_t common = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (b[j] < a[i]) {
+        ++j;
+      } else {
+        ++common;
+        ++i;
+        ++j;
+      }
+    }
+    benchmark::DoNotOptimize(common);
+  }
+}
+BENCHMARK(BM_IntersectBranchyMerge)->Arg(16)->Arg(64)->Arg(512);
 
 void BM_JaccardMatch(benchmark::State& state) {
   const Dataset& d = SharedMovies();

@@ -18,7 +18,7 @@ void Describe(const pier::Dataset& d, const char* paper_row) {
   size_t total_tokens = 0;
   for (auto profile : d.profiles) {  // copy: keep dataset pristine
     tokenizer.TokenizeProfile(profile, dict);
-    total_tokens += profile.tokens.size();
+    total_tokens += profile.tokens().size();
     blocks.AddProfile(profile);
   }
   std::printf("%-14s %-12s %9zu %9zu %9zu %10zu %12llu  (paper: %s)\n",

@@ -103,7 +103,7 @@ int main() {
           std::printf("linked design part #%u to site observation #%u "
                       "(%s)\n",
                       std::min(c.x, c.y), std::max(c.x, c.y),
-                      a.attributes[0].value.c_str());
+                      a.CopyAttributes()[0].value.c_str());
         }
       }
     }

@@ -34,7 +34,7 @@ void BatchEr::FillBuffer(WorkStats* stats) {
   while (buffer_.empty() && cursor_ < blocks_.NumSlots()) {
     const TokenId token = cursor_++;
     if (!blocks_.IsActive(token)) continue;
-    const Block& b = blocks_.block(token);
+    const BlockView b = blocks_.block(token);
     const uint32_t bsize = static_cast<uint32_t>(b.size());
     auto emit = [&](ProfileId x, ProfileId y) {
       Comparison c(x, y, 0.0, bsize);

@@ -15,13 +15,13 @@ WorkStats DySni::OnIncrement(std::vector<EntityProfile> profiles) {
     const EntityProfile& p = profiles_.Get(id);
     // Insert into the sorted index, then expand the window around each
     // of the profile's keys.
-    for (const TokenId token : p.tokens) {
-      const std::string& spelling = dictionary_.Spelling(token);
+    for (const TokenId token : p.tokens()) {
+      const std::string spelling(dictionary_.Spelling(token));
       index_[spelling].push_back(p.id);
       ++stats.block_updates;
     }
-    for (const TokenId token : p.tokens) {
-      CollectWindow(p, dictionary_.Spelling(token), &stats);
+    for (const TokenId token : p.tokens()) {
+      CollectWindow(p, std::string(dictionary_.Spelling(token)), &stats);
     }
   }
   return stats;

@@ -47,7 +47,7 @@ void Pbs::FillBuffer(WorkStats* stats) {
     const TokenId token = block_order_.back().second;
     block_order_.pop_back();
     if (!blocks_.IsActive(token)) continue;
-    const Block& b = blocks_.block(token);
+    const BlockView b = blocks_.block(token);
     const uint32_t bsize = static_cast<uint32_t>(b.size());
     auto emit = [&](ProfileId x, ProfileId y) {
       Comparison c(x, y, 0.0, bsize);

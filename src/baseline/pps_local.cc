@@ -24,7 +24,7 @@ WorkStats PpsLocal::OnIncrement(std::vector<EntityProfile> profiles) {
   for (const ProfileId id : delta) {
     const EntityProfile& p = profiles_.Get(id);
     std::vector<TokenId> active;
-    for (const TokenId token : p.tokens) {
+    for (const TokenId token : p.tokens()) {
       if (local_blocks.IsActive(token)) active.push_back(token);
     }
     auto candidates = GenerateWeightedComparisons(

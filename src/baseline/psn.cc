@@ -27,14 +27,14 @@ WorkStats Psn::Init() {
   // interned in first-seen order, so we sort by spelling explicitly.
   std::vector<std::pair<TokenId, ProfileId>> entries;
   for (ProfileId id = 0; id < profiles_.size(); ++id) {
-    for (const TokenId token : profiles_.Get(id).tokens) {
+    for (const TokenId token : profiles_.Get(id).tokens()) {
       entries.emplace_back(token, id);
     }
   }
   std::sort(entries.begin(), entries.end(),
             [this](const auto& a, const auto& b) {
-              const std::string& sa = dictionary_.Spelling(a.first);
-              const std::string& sb = dictionary_.Spelling(b.first);
+              const std::string_view sa = dictionary_.Spelling(a.first);
+              const std::string_view sb = dictionary_.Spelling(b.first);
               if (sa != sb) return sa < sb;
               return a.second < b.second;
             });

@@ -40,7 +40,7 @@ class StreamingErBase : public ErAlgorithm {
     delta.reserve(profiles.size());
     for (auto& profile : profiles) {
       tokenizer_.TokenizeProfile(profile, dictionary_);
-      stats->tokens += profile.tokens.size();
+      stats->tokens += profile.tokens().size();
       ++stats->profiles;
       delta.push_back(profile.id);
       stats->block_updates += blocks_.AddProfile(profile);

@@ -1,6 +1,8 @@
 #include "blocking/attribute_clustering.h"
 
 #include <algorithm>
+#include <string>
+#include <string_view>
 
 namespace pier {
 
@@ -30,15 +32,16 @@ void AttributeClusterer::Fit(const std::vector<EntityProfile>& sample) {
   std::unordered_map<std::string, NameStats> stats[2];
   const Tokenizer tokenizer;
   for (const auto& profile : sample) {
-    for (const auto& attribute : profile.attributes) {
-      NameStats& entry = stats[profile.source][attribute.name];
+    profile.ForEachAttribute([&](std::string_view name,
+                                 std::string_view value) {
+      NameStats& entry = stats[profile.source][std::string(name)];
       entry.source = profile.source;
-      if (entry.vocabulary.size() >= options_.max_vocabulary) continue;
-      for (auto& token : tokenizer.Split(attribute.value)) {
+      if (entry.vocabulary.size() >= options_.max_vocabulary) return;
+      for (auto& token : tokenizer.Split(value)) {
         entry.vocabulary.insert(std::move(token));
         if (entry.vocabulary.size() >= options_.max_vocabulary) break;
       }
-    }
+    });
   }
 
   // 2. Cross-source best-match attachment with union-find grouping.
@@ -111,12 +114,13 @@ uint32_t AttributeClusterer::ClusterOf(
 std::vector<std::string> AttributeClusterer::QualifyTokens(
     const EntityProfile& profile, const Tokenizer& tokenizer) const {
   std::vector<std::string> qualified;
-  for (const auto& attribute : profile.attributes) {
-    const uint32_t cluster = ClusterOf(attribute.name);
-    for (const auto& token : tokenizer.Split(attribute.value)) {
+  profile.ForEachAttribute([&](std::string_view name,
+                               std::string_view value) {
+    const uint32_t cluster = ClusterOf(std::string(name));
+    for (const auto& token : tokenizer.Split(value)) {
       qualified.push_back(std::to_string(cluster) + "#" + token);
     }
-  }
+  });
   std::sort(qualified.begin(), qualified.end());
   qualified.erase(std::unique(qualified.begin(), qualified.end()),
                   qualified.end());

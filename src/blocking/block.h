@@ -7,11 +7,43 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "model/types.h"
 
 namespace pier {
+
+// Non-owning view of a block's member lists, the form BlockCollection
+// serves (the members themselves live in its PostingPool). Valid until
+// the collection next mutates; cheap to copy by value. Mirrors Block's
+// read interface exactly.
+struct BlockView {
+  std::span<const ProfileId> members[2];
+
+  size_t size() const { return members[0].size() + members[1].size(); }
+  bool empty() const { return members[0].empty() && members[1].empty(); }
+
+  ProfileId member(size_t i) const {
+    return i < members[0].size() ? members[0][i]
+                                 : members[1][i - members[0].size()];
+  }
+
+  uint64_t NumComparisons(DatasetKind kind) const {
+    if (kind == DatasetKind::kCleanClean) {
+      return static_cast<uint64_t>(members[0].size()) * members[1].size();
+    }
+    const uint64_t n = size();
+    return n * (n - 1) / 2;
+  }
+
+  uint64_t NumNewComparisons(DatasetKind kind, SourceId source) const {
+    if (kind == DatasetKind::kCleanClean) {
+      return members[1 - source].size();
+    }
+    return size() - 1;
+  }
+};
 
 struct Block {
   // members[s] holds the profile ids of source s, in arrival order.

@@ -11,27 +11,28 @@ namespace pier {
 
 size_t BlockCollection::AddProfile(const EntityProfile& profile) {
   PIER_CHECK(profile.source < 2);
-  for (const TokenId token : profile.tokens) {
+  for (const TokenId token : profile.tokens()) {
     if (token >= blocks_.size()) blocks_.resize(token + 1);
-    Block& b = blocks_[token];
-    if (b.empty()) ++num_nonempty_;
-    b.members[profile.source].push_back(profile.id);
+    Slot& slot = blocks_[token];
+    if (SlotSize(slot) == 0) ++num_nonempty_;
+    pool_.Append(&slot.lists[profile.source], profile.id);
   }
-  total_members_ += profile.tokens.size();
-  return profile.tokens.size();
+  total_members_ += profile.tokens().size();
+  return profile.tokens().size();
 }
 
 size_t BlockCollection::RemoveProfile(const EntityProfile& profile) {
   PIER_CHECK(profile.source < 2);
   size_t updates = 0;
-  for (const TokenId token : profile.tokens) {
+  for (const TokenId token : profile.tokens()) {
     PIER_CHECK(token < blocks_.size());
-    Block& b = blocks_[token];
-    std::vector<ProfileId>& members = b.members[profile.source];
-    auto it = std::find(members.begin(), members.end(), profile.id);
+    Slot& slot = blocks_[token];
+    PostingList& list = slot.lists[profile.source];
+    const std::span<const ProfileId> members = list.view();
+    const auto it = std::find(members.begin(), members.end(), profile.id);
     PIER_CHECK(it != members.end());
-    members.erase(it);
-    if (b.empty()) --num_nonempty_;
+    pool_.RemoveAt(&list, static_cast<size_t>(it - members.begin()));
+    if (SlotSize(slot) == 0) --num_nonempty_;
     --total_members_;
     ++updates;
   }
@@ -40,11 +41,11 @@ size_t BlockCollection::RemoveProfile(const EntityProfile& profile) {
 
 bool BlockCollection::IsActive(TokenId id) const {
   if (id >= blocks_.size()) return false;
-  const Block& b = blocks_[id];
-  if (b.size() < 2) return false;
+  const Slot& slot = blocks_[id];
+  if (SlotSize(slot) < 2) return false;
   if (IsPurged(id)) return false;
   if (kind_ == DatasetKind::kCleanClean &&
-      (b.members[0].empty() || b.members[1].empty())) {
+      (slot.lists[0].size == 0 || slot.lists[1].size == 0)) {
     return false;
   }
   return true;
@@ -53,23 +54,26 @@ bool BlockCollection::IsActive(TokenId id) const {
 uint64_t BlockCollection::TotalComparisons() const {
   uint64_t total = 0;
   for (TokenId id = 0; id < blocks_.size(); ++id) {
-    if (IsActive(id)) total += blocks_[id].NumComparisons(kind_);
+    if (IsActive(id)) total += block(id).NumComparisons(kind_);
   }
   return total;
 }
 
 size_t BlockCollection::ApproxMemoryBytes() const {
-  return blocks_.capacity() * sizeof(Block) +
-         total_members_ * sizeof(ProfileId);
+  return blocks_.capacity() * sizeof(Slot) + pool_.ApproxMemoryBytes();
 }
 
 void BlockCollection::Snapshot(std::ostream& out) const {
+  // Wire format identical to the pre-pool layout (a length-prefixed
+  // u32 vector per source per slot).
   serial::WriteU8(out, static_cast<uint8_t>(kind_));
   serial::WriteU64(out, options_.max_block_size);
   serial::WriteU64(out, blocks_.size());
-  for (const Block& b : blocks_) {
-    serial::WriteVec(out, b.members[0], serial::WriteU32);
-    serial::WriteVec(out, b.members[1], serial::WriteU32);
+  for (const Slot& slot : blocks_) {
+    for (const PostingList& list : slot.lists) {
+      serial::WriteU64(out, list.size);
+      for (const ProfileId id : list.view()) serial::WriteU32(out, id);
+    }
   }
 }
 
@@ -86,22 +90,25 @@ bool BlockCollection::Restore(std::istream& in) {
       max_block_size != options_.max_block_size) {
     return false;
   }
-  std::vector<Block> blocks;
+  std::vector<Slot> blocks;
+  PostingPool pool;
   size_t nonempty = 0;
   size_t members = 0;
+  std::vector<ProfileId> scratch;
   for (uint64_t i = 0; i < num_slots; ++i) {
     // Grow incrementally so a corrupt slot count fails on stream
     // exhaustion instead of one huge allocation.
-    Block b;
-    if (!serial::ReadVec(in, &b.members[0], serial::ReadU32) ||
-        !serial::ReadVec(in, &b.members[1], serial::ReadU32)) {
-      return false;
+    Slot slot;
+    for (PostingList& list : slot.lists) {
+      if (!serial::ReadVec(in, &scratch, serial::ReadU32)) return false;
+      list = pool.Adopt(scratch);
     }
-    if (!b.empty()) ++nonempty;
-    members += b.size();
-    blocks.push_back(std::move(b));
+    if (SlotSize(slot) > 0) ++nonempty;
+    members += SlotSize(slot);
+    blocks.push_back(slot);
   }
   blocks_ = std::move(blocks);
+  pool_ = std::move(pool);
   num_nonempty_ = nonempty;
   total_members_ = members;
   return true;

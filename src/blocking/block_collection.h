@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "blocking/block.h"
+#include "blocking/posting_pool.h"
 #include "model/entity_profile.h"
 #include "model/types.h"
 #include "util/check.h"
@@ -50,10 +51,13 @@ class BlockCollection {
   size_t RemoveProfile(const EntityProfile& profile);
 
   // The block keyed by token `id`; valid for any id < capacity, blocks
-  // for never-seen tokens are empty.
-  const Block& block(TokenId id) const {
+  // for never-seen tokens are empty. Returned by value: the view
+  // aliases the posting pool and stays valid until the collection next
+  // mutates (all readers run quiesced against ingest).
+  BlockView block(TokenId id) const {
     PIER_DCHECK(id < blocks_.size());
-    return blocks_[id];
+    const Slot& slot = blocks_[id];
+    return {{slot.lists[0].view(), slot.lists[1].view()}};
   }
 
   bool HasBlock(TokenId id) const { return id < blocks_.size(); }
@@ -65,7 +69,7 @@ class BlockCollection {
   // True iff the block exceeded the purging threshold.
   bool IsPurged(TokenId id) const {
     return options_.max_block_size != 0 &&
-           block(id).size() > options_.max_block_size;
+           SlotSize(blocks_[id]) > options_.max_block_size;
   }
 
   DatasetKind kind() const { return kind_; }
@@ -81,9 +85,13 @@ class BlockCollection {
   // blocks; the "BC" blocking cardinality).
   uint64_t TotalComparisons() const;
 
-  // Heap footprint estimate: the block vector plus every member list
-  // (member total maintained incrementally in AddProfile).
+  // Heap footprint estimate: the block-slot vector plus the posting
+  // pool's allocated chunks (which hold every member list).
   size_t ApproxMemoryBytes() const;
+
+  // The pool owning all member lists; exposed read-only for memory
+  // accounting and the layout tests.
+  const PostingPool& pool() const { return pool_; }
 
   // Serializes kind, purging threshold, and every block slot in token
   // order.
@@ -96,11 +104,22 @@ class BlockCollection {
   bool Restore(std::istream& in);
 
  private:
+  // One block: a pooled posting list per source. 32 bytes per token
+  // slot, zero owned heap allocations.
+  struct Slot {
+    PostingList lists[2];
+  };
+
+  static size_t SlotSize(const Slot& slot) {
+    return static_cast<size_t>(slot.lists[0].size) + slot.lists[1].size;
+  }
+
   DatasetKind kind_;
   BlockingOptions options_;
-  std::vector<Block> blocks_;
+  std::vector<Slot> blocks_;
+  PostingPool pool_;
   size_t num_nonempty_ = 0;
-  size_t total_members_ = 0;  // sum of block sizes, for ApproxMemoryBytes
+  size_t total_members_ = 0;  // sum of live block sizes
 };
 
 }  // namespace pier

@@ -25,9 +25,9 @@ void GhostBlocks(const BlockCollection& blocks, const EntityProfile& profile,
   const size_t max_block_size = blocks.options().max_block_size;
   const bool clean_clean = blocks.kind() == DatasetKind::kCleanClean;
   size_t min_size = std::numeric_limits<size_t>::max();
-  for (const TokenId token : profile.tokens) {
+  for (const TokenId token : profile.tokens()) {
     if (!blocks.HasBlock(token)) continue;
-    const Block& b = blocks.block(token);
+    const BlockView b = blocks.block(token);
     const size_t size = b.size();
     if (size < 2) continue;
     if (max_block_size != 0 && size > max_block_size) continue;  // purged

@@ -1,0 +1,139 @@
+// Pooled posting lists for the block collection: every block's member
+// list lives in one shared, chunked ProfileId pool instead of its own
+// heap vector. A list is a (pointer, size, capacity) view; growth
+// re-allocates the list at the pool tail with amortized doubling and
+// abandons the old region (chunks are never freed or relocated, the
+// same address-stability trick as model/arena.h).
+//
+// Why: at paper scale the collection holds hundreds of thousands of
+// mostly tiny blocks. Per-block vectors cost two heap allocations plus
+// allocator headers each and scatter the members across the heap; the
+// pool packs them into a handful of large chunks, which is both
+// smaller and much faster to append to (no malloc on the hot path
+// until a list outgrows its region).
+//
+// Threading: single-writer, like the collection that owns it. Readers
+// obtain std::span views that stay valid (and immutable) until the
+// owning list next grows; the ingest loop is serialized against all
+// block readers (see BlockCollection).
+
+#ifndef PIER_BLOCKING_POSTING_POOL_H_
+#define PIER_BLOCKING_POSTING_POOL_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "model/types.h"
+#include "util/check.h"
+
+namespace pier {
+
+// One block's member list for one source. Plain view record; all
+// mutation goes through the pool.
+struct PostingList {
+  ProfileId* data = nullptr;
+  uint32_t size = 0;
+  uint32_t capacity = 0;
+
+  std::span<const ProfileId> view() const { return {data, size}; }
+};
+
+class PostingPool {
+ public:
+  // 64Ki ids per chunk (256KB). Oversized lists get an exact-size
+  // chunk of their own.
+  static constexpr size_t kChunkItems = size_t{1} << 16;
+
+  PostingPool() = default;
+  PostingPool(const PostingPool&) = delete;
+  PostingPool& operator=(const PostingPool&) = delete;
+  PostingPool(PostingPool&&) noexcept = default;
+  PostingPool& operator=(PostingPool&&) noexcept = default;
+
+  // Appends `id` to `list`, growing it (doubling, via a fresh pool
+  // region) when full. The old region is abandoned, never reused.
+  void Append(PostingList* list, ProfileId id) {
+    if (list->size == list->capacity) Grow(list);
+    list->data[list->size++] = id;
+  }
+
+  // Removes the element at index `i`, preserving order (mutable
+  // streams revive arrival order on replay). Capacity is kept.
+  void RemoveAt(PostingList* list, size_t i) {
+    PIER_DCHECK(i < list->size);
+    std::memmove(list->data + i, list->data + i + 1,
+                 (list->size - i - 1) * sizeof(ProfileId));
+    --list->size;
+    ++abandoned_items_;
+  }
+
+  // Allocates an exact-capacity list and fills it (snapshot restore).
+  PostingList Adopt(const std::vector<ProfileId>& members) {
+    PostingList list;
+    if (members.empty()) return list;
+    list.data = Allocate(members.size());
+    list.size = list.capacity = static_cast<uint32_t>(members.size());
+    std::memcpy(list.data, members.data(), members.size() * sizeof(ProfileId));
+    return list;
+  }
+
+  // Bytes actually allocated in chunks (the collection's share of the
+  // memory accounting).
+  size_t ApproxMemoryBytes() const {
+    size_t bytes = chunks_.capacity() * sizeof(Chunk);
+    for (const Chunk& c : chunks_) bytes += c.capacity * sizeof(ProfileId);
+    return bytes;
+  }
+
+  // Ids allocated (live + doubling waste + abandoned regions).
+  size_t total_items() const { return total_items_; }
+  // Ids dead via list growth or removal.
+  size_t abandoned_items() const { return abandoned_items_; }
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<ProfileId[]> data;
+    size_t capacity = 0;
+  };
+
+  ProfileId* Allocate(size_t len) {
+    if (chunks_.empty() || used_ + len > chunks_.back().capacity) {
+      if (!chunks_.empty()) {
+        abandoned_items_ += chunks_.back().capacity - used_;
+      }
+      Chunk chunk;
+      chunk.capacity = len > kChunkItems ? len : kChunkItems;
+      chunk.data.reset(new ProfileId[chunk.capacity]);
+      chunks_.push_back(std::move(chunk));
+      used_ = 0;
+    }
+    ProfileId* out = chunks_.back().data.get() + used_;
+    used_ += len;
+    total_items_ += len;
+    return out;
+  }
+
+  void Grow(PostingList* list) {
+    const uint32_t capacity = list->capacity == 0 ? 2 : list->capacity * 2;
+    ProfileId* data = Allocate(capacity);
+    if (list->size > 0) {
+      std::memcpy(data, list->data, list->size * sizeof(ProfileId));
+      abandoned_items_ += list->capacity;
+    }
+    list->data = data;
+    list->capacity = capacity;
+  }
+
+  std::vector<Chunk> chunks_;
+  size_t used_ = 0;  // ids used in chunks_.back()
+  size_t total_items_ = 0;
+  size_t abandoned_items_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_BLOCKING_POSTING_POOL_H_

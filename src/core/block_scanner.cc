@@ -45,7 +45,7 @@ std::vector<Comparison> BlockScanner::NextBlock(WorkStats* stats) {
     const TokenId token = order_.back().second;
     order_.pop_back();
     if (!blocks.IsActive(token)) continue;
-    const Block& b = blocks.block(token);
+    const BlockView b = blocks.block(token);
     const uint32_t bsize = static_cast<uint32_t>(b.size());
     if (scanned_size_.size() <= token) scanned_size_.resize(token + 1, 0);
     if (bsize <= scanned_size_[token]) continue;  // stale order entry

@@ -21,9 +21,9 @@ WorkStats IPbs::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
   // Lines 1-5: fold the increment's profiles into CI and PI.
   for (const ProfileId id : delta) {
     const EntityProfile& p = ctx_.profiles->Get(id);
-    for (const TokenId token : p.tokens) {
+    for (const TokenId token : p.tokens()) {
       if (blocks.IsPurged(token)) continue;
-      const Block& b = blocks.block(token);
+      const BlockView b = blocks.block(token);
       const uint64_t new_comparisons =
           b.NumNewComparisons(blocks.kind(), p.source);
       auto [it, inserted] = cardinality_index_.try_emplace(token, 0);
@@ -79,7 +79,7 @@ WorkStats IPbs::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
 void IPbs::ScheduleBlock(TokenId token, WorkStats* stats) {
   const BlockCollection& blocks = *ctx_.blocks;
   const ProfileStore& profiles = *ctx_.profiles;
-  const Block& b = blocks.block(token);
+  const BlockView b = blocks.block(token);
   const uint32_t bsize = static_cast<uint32_t>(b.size());
   const DatasetKind kind = blocks.kind();
 
@@ -141,7 +141,7 @@ void IPbs::OnRetract(ProfileId id) {
   // mutation). The CI counts are a scheduling heuristic and are left
   // untouched; ScheduleBlock resets them when the block fires.
   const EntityProfile& p = ctx_.profiles->Get(id);
-  for (const TokenId token : p.tokens) {
+  for (const TokenId token : p.tokens()) {
     auto it = profile_index_.find(token);
     if (it == profile_index_.end()) continue;
     auto& list = it->second;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <istream>
-#include <limits>
 #include <ostream>
 #include <utility>
 
@@ -11,10 +10,6 @@
 #include "util/serial.h"
 
 namespace pier {
-
-namespace {
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-}  // namespace
 
 IPes::IPes(PrioritizerContext ctx, PrioritizerOptions options)
     : ctx_(ctx),
@@ -51,21 +46,44 @@ WorkStats IPes::UpdateCmpIndex(const std::vector<ProfileId>& delta) {
   return stats;
 }
 
-double IPes::TopWeight(ProfileId e) const {
-  const auto it = entity_index_.find(e);
-  if (it == entity_index_.end() || it->second.pq.empty()) return kNegInf;
-  return it->second.pq.PeekMax().weight;
+IPes::EntityEntry* IPes::FindEntity(ProfileId e) {
+  if (e >= entity_pos_.size() || entity_pos_[e] == kNoEntry) return nullptr;
+  return &tracked_[entity_pos_[e]];
 }
 
-size_t IPes::EntityQueueSize(ProfileId e) const {
-  const auto it = entity_index_.find(e);
-  return it == entity_index_.end() ? 0 : it->second.pq.size();
+const IPes::EntityEntry* IPes::FindEntity(ProfileId e) const {
+  if (e >= entity_pos_.size() || entity_pos_[e] == kNoEntry) return nullptr;
+  return &tracked_[entity_pos_[e]];
+}
+
+IPes::EntityEntry& IPes::EnsureEntity(ProfileId e) {
+  if (e >= entity_pos_.size()) entity_pos_.resize(e + 1, kNoEntry);
+  if (entity_pos_[e] != kNoEntry) return tracked_[entity_pos_[e]];
+  entity_pos_[e] = static_cast<uint32_t>(tracked_.size());
+  tracked_ids_.push_back(e);
+  tracked_.emplace_back(options_.per_entity_capacity);
+  return tracked_.back();
+}
+
+void IPes::EraseEntity(ProfileId e) {
+  const uint32_t pos = entity_pos_[e];
+  PIER_DCHECK(pos != kNoEntry);
+  const uint32_t last = static_cast<uint32_t>(tracked_.size()) - 1;
+  if (pos != last) {
+    tracked_[pos] = std::move(tracked_[last]);
+    tracked_ids_[pos] = tracked_ids_[last];
+    entity_pos_[tracked_ids_[pos]] = pos;
+  }
+  tracked_.pop_back();
+  tracked_ids_.pop_back();
+  entity_pos_[e] = kNoEntry;
 }
 
 void IPes::PushToEntity(ProfileId e, const Comparison& c) {
-  auto [it, inserted] =
-      entity_index_.try_emplace(e, options_.per_entity_capacity);
-  EntityEntry& entry = it->second;
+  PushToEntry(EnsureEntity(e), c);
+}
+
+void IPes::PushToEntry(EntityEntry& entry, const Comparison& c) {
   const bool was_empty = entry.pq.empty();
   if (entry.pq.PushBounded(c)) {
     entry.inserted_total += c.weight;
@@ -82,31 +100,33 @@ void IPes::Insert(const Comparison& c, WorkStats* stats) {
   ++stats->index_ops;
 
   // Lines 4-9: a comparison improving either endpoint's best enters
-  // that endpoint's queue and re-ranks the entity.
-  if (TopWeight(c.x) < w) {
-    PushToEntity(c.x, c);
+  // that endpoint's queue and re-ranks the entity. Each endpoint's
+  // entry is resolved once and reused (this runs per comparison, so
+  // redundant index probes were a measurable share of ingest).
+  EntityEntry* ex = FindEntity(c.x);
+  if (ex == nullptr || ex->pq.empty() || ex->pq.PeekMax().weight < w) {
+    PushToEntry(ex != nullptr ? *ex : EnsureEntity(c.x), c);
     entity_queue_.PushBounded(EntityRef{c.x, w});
     return;
   }
-  if (TopWeight(c.y) < w) {
-    PushToEntity(c.y, c);
+  EntityEntry* ey = FindEntity(c.y);
+  if (ey == nullptr || ey->pq.empty() || ey->pq.PeekMax().weight < w) {
+    PushToEntry(ey != nullptr ? *ey : EnsureEntity(c.y), c);
     entity_queue_.PushBounded(EntityRef{c.y, w});
     return;
   }
 
   // Lines 10-12: double pruning -- above the global mean, insert into
   // the endpoint with the smaller queue, but only if it also beats
-  // that entity's own inserted-weight mean.
+  // that entity's own inserted-weight mean. (Both endpoints are
+  // tracked and nonempty here, or an earlier branch would have fired.)
   if (w > total_ / static_cast<double>(count_)) {
-    const ProfileId i =
-        EntityQueueSize(c.x) <= EntityQueueSize(c.y) ? c.x : c.y;
-    auto it = entity_index_.find(i);
+    EntityEntry& entry = ex->pq.size() <= ey->pq.size() ? *ex : *ey;
     const bool beats_entity_mean =
-        it == entity_index_.end() || it->second.inserted_count == 0 ||
-        w > it->second.inserted_total /
-                static_cast<double>(it->second.inserted_count);
+        entry.inserted_count == 0 ||
+        w > entry.inserted_total / static_cast<double>(entry.inserted_count);
     if (beats_entity_mean) {
-      PushToEntity(i, c);
+      PushToEntry(entry, c);
       return;
     }
     // Pruned by the per-entity mean: demote to PQ rather than dropping
@@ -120,17 +140,22 @@ void IPes::Insert(const Comparison& c, WorkStats* stats) {
 }
 
 void IPes::RefillEntityQueue() {
+  // Iteration order differs from the old hash map, but the EntityQueue
+  // orders refs by (weight, id) -- a strict total order -- so the
+  // bounded queue's content (top-K of the pushed multiset) and every
+  // subsequent dequeue are insertion-order independent.
   ++num_refills_;
-  for (auto it = entity_index_.begin(); it != entity_index_.end();) {
-    if (it->second.pq.empty()) {
+  for (size_t i = 0; i < tracked_.size();) {
+    if (tracked_[i].pq.empty()) {
       // Drained entity: drop its entry to bound memory on long
       // streams. (Its per-entity mean resets if it reappears.)
-      it = entity_index_.erase(it);
+      // EraseEntity swap-fills slot i; revisit it.
+      EraseEntity(tracked_ids_[i]);
       continue;
     }
     entity_queue_.PushBounded(
-        EntityRef{it->first, it->second.pq.PeekMax().weight});
-    ++it;
+        EntityRef{tracked_ids_[i], tracked_[i].pq.PeekMax().weight});
+    ++i;
   }
 }
 
@@ -141,15 +166,15 @@ bool IPes::Dequeue(Comparison* out) {
       if (entity_queue_.empty()) break;
     }
     const EntityRef ref = entity_queue_.PopMax();
-    const auto it = entity_index_.find(ref.id);
-    if (it == entity_index_.end() || it->second.pq.empty()) continue;  // stale
-    *out = it->second.pq.PopMax();
-    if (it->second.pq.empty()) {
+    EntityEntry* entry = FindEntity(ref.id);
+    if (entry == nullptr || entry->pq.empty()) continue;  // stale
+    *out = entry->pq.PopMax();
+    if (entry->pq.empty()) {
       --nonempty_entities_;
-      // Eagerly drop the drained entry so entity_index_ stays bounded
-      // on long streams (its per-entity mean restarts if the entity
-      // reappears; see also RefillEntityQueue).
-      entity_index_.erase(it);
+      // Eagerly drop the drained entry so the entity index stays
+      // bounded on long streams (its per-entity mean restarts if the
+      // entity reappears; see also RefillEntityQueue).
+      EraseEntity(ref.id);
     }
     return true;
   }
@@ -164,10 +189,9 @@ bool IPes::Dequeue(Comparison* out) {
 
 void IPes::OnRetract(ProfileId id) {
   // The retracted entity's own queue.
-  const auto own = entity_index_.find(id);
-  if (own != entity_index_.end()) {
-    if (!own->second.pq.empty()) --nonempty_entities_;
-    entity_index_.erase(own);
+  if (EntityEntry* own = FindEntity(id); own != nullptr) {
+    if (!own->pq.empty()) --nonempty_entities_;
+    EraseEntity(id);
   }
 
   // Other entities may hold comparisons whose far endpoint is `id`:
@@ -193,14 +217,14 @@ void IPes::OnRetract(ProfileId id) {
     pq.Clear();
     for (Comparison& c : kept) pq.Push(std::move(c));
   };
-  for (auto it = entity_index_.begin(); it != entity_index_.end();) {
-    const bool was_nonempty = !it->second.pq.empty();
-    purge(it->second.pq);
-    if (it->second.pq.empty()) {
+  for (size_t i = 0; i < tracked_.size();) {
+    const bool was_nonempty = !tracked_[i].pq.empty();
+    purge(tracked_[i].pq);
+    if (tracked_[i].pq.empty()) {
       if (was_nonempty) --nonempty_entities_;
-      it = entity_index_.erase(it);
+      EraseEntity(tracked_ids_[i]);  // swap-fills slot i; revisit it
     } else {
-      ++it;
+      ++i;
     }
   }
 
@@ -212,16 +236,14 @@ void IPes::OnRetract(ProfileId id) {
 void IPes::Snapshot(std::ostream& out) const {
   // Entity entries sorted by id for canonical bytes; each per-entity
   // queue's heap vector is stored verbatim. The EntityQueue itself
-  // ranks by (weight, id) under a strict total order, so hash-map
+  // ranks by (weight, id) under a strict total order, so sparse-set
   // iteration order never influences dequeue results -- sorting here
   // is purely for byte-identical re-snapshots.
-  std::vector<ProfileId> ids;
-  ids.reserve(entity_index_.size());
-  for (const auto& [id, unused] : entity_index_) ids.push_back(id);
+  std::vector<ProfileId> ids = tracked_ids_;
   std::sort(ids.begin(), ids.end());
   serial::WriteU64(out, ids.size());
   for (const ProfileId id : ids) {
-    const EntityEntry& entry = entity_index_.at(id);
+    const EntityEntry& entry = *FindEntity(id);
     serial::WriteU32(out, id);
     serial::WriteF64(out, entry.inserted_total);
     serial::WriteU64(out, entry.inserted_count);
@@ -245,8 +267,11 @@ void IPes::Snapshot(std::ostream& out) const {
 bool IPes::Restore(std::istream& in) {
   uint64_t num_entities = 0;
   if (!serial::ReadU64(in, &num_entities)) return false;
-  std::unordered_map<ProfileId, EntityEntry> entity_index;
-  entity_index.reserve(std::min<uint64_t>(num_entities, 1u << 20));
+  std::vector<uint32_t> entity_pos;
+  std::vector<ProfileId> tracked_ids;
+  std::vector<EntityEntry> tracked;
+  tracked_ids.reserve(std::min<uint64_t>(num_entities, 1u << 20));
+  tracked.reserve(std::min<uint64_t>(num_entities, 1u << 20));
   for (uint64_t i = 0; i < num_entities; ++i) {
     uint32_t id = 0;
     double inserted_total = 0.0;
@@ -257,12 +282,15 @@ bool IPes::Restore(std::istream& in) {
         !serial::ReadVec(in, &pq_data, RestoreComparison)) {
       return false;
     }
-    auto [it, inserted] =
-        entity_index.try_emplace(id, options_.per_entity_capacity);
-    if (!inserted) return false;
-    it->second.inserted_total = inserted_total;
-    it->second.inserted_count = inserted_count;
-    if (!it->second.pq.RestoreData(std::move(pq_data))) return false;
+    if (id == kInvalidProfileId) return false;
+    if (id >= entity_pos.size()) entity_pos.resize(id + 1, kNoEntry);
+    if (entity_pos[id] != kNoEntry) return false;  // duplicate entity
+    entity_pos[id] = static_cast<uint32_t>(tracked.size());
+    tracked_ids.push_back(id);
+    tracked.emplace_back(options_.per_entity_capacity);
+    tracked.back().inserted_total = inserted_total;
+    tracked.back().inserted_count = inserted_count;
+    if (!tracked.back().pq.RestoreData(std::move(pq_data))) return false;
   }
 
   const auto read_ref = [](std::istream& s, EntityRef* r) {
@@ -284,7 +312,9 @@ bool IPes::Restore(std::istream& in) {
   if (!low_queue_.RestoreData(std::move(lq_data))) return false;
   if (!scanner_.Restore(in)) return false;
 
-  entity_index_ = std::move(entity_index);
+  entity_pos_ = std::move(entity_pos);
+  tracked_ids_ = std::move(tracked_ids);
+  tracked_ = std::move(tracked);
   total_ = total;
   count_ = count;
   nonempty_entities_ = nonempty;

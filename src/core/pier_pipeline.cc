@@ -108,7 +108,7 @@ WorkStats PierPipeline::Ingest(std::vector<EntityProfile> profiles) {
   // intra-increment pairs too.
   for (auto& profile : profiles) {
     tokenizer_.TokenizeProfile(profile, dictionary_);
-    stats.tokens += profile.tokens.size();
+    stats.tokens += profile.tokens().size();
     ++stats.profiles;
     delta.push_back(profile.id);
     stats.block_updates += blocks_.AddProfile(profile);
@@ -142,8 +142,8 @@ WorkStats PierPipeline::IngestPretokenized(
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     for (const TokenId id : ids) dictionary_.IncrementDocFrequency(id);
-    profile.tokens = std::move(ids);
-    stats.tokens += profile.tokens.size();
+    profile.set_tokens(std::move(ids));
+    stats.tokens += profile.tokens().size();
     ++stats.profiles;
     delta.push_back(profile.id);
     stats.block_updates += blocks_.AddProfile(profile);
@@ -165,8 +165,8 @@ void PierPipeline::RetractProfile(ProfileId id, WorkStats* stats) {
   prioritizer_->OnRetract(id);
   const EntityProfile& p = profiles_.Get(id);
   stats->block_updates += blocks_.RemoveProfile(p);
-  stats->tokens += p.tokens.size();
-  for (const TokenId token : p.tokens) {
+  stats->tokens += p.tokens().size();
+  for (const TokenId token : p.tokens()) {
     dictionary_.DecrementDocFrequency(token);
   }
   // Withdraw every executed pair with this endpoint so a corrected
@@ -212,7 +212,7 @@ WorkStats PierPipeline::Update(std::vector<EntityProfile> profiles) {
     PIER_CHECK(id < profiles_.size());
     if (profiles_.IsLive(id)) RetractProfile(id, &stats);
     tokenizer_.TokenizeProfile(profile, dictionary_);
-    stats.tokens += profile.tokens.size();
+    stats.tokens += profile.tokens().size();
     ++stats.profiles;
     delta.push_back(id);
     stats.block_updates += blocks_.AddProfile(profile);
@@ -248,8 +248,8 @@ WorkStats PierPipeline::UpdatePretokenized(
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     for (const TokenId tid : ids) dictionary_.IncrementDocFrequency(tid);
-    profile.tokens = std::move(ids);
-    stats.tokens += profile.tokens.size();
+    profile.set_tokens(std::move(ids));
+    stats.tokens += profile.tokens().size();
     ++stats.profiles;
     delta.push_back(id);
     stats.block_updates += blocks_.AddProfile(profile);

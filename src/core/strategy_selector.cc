@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <string_view>
 
 namespace pier {
 
@@ -52,13 +53,13 @@ StrategyRecommendation RecommendStrategy(const BlockCollection& blocks,
   uint64_t value_count = 0;
   for (ProfileId id = 0; id < profiles.size(); ++id) {
     const EntityProfile& p = profiles.Get(id);
-    const double t = static_cast<double>(p.tokens.size());
+    const double t = static_cast<double>(p.tokens().size());
     token_sum += t;
     token_sq_sum += t * t;
-    for (const auto& attribute : p.attributes) {
-      value_chars += attribute.value.size();
+    p.ForEachAttribute([&](std::string_view, std::string_view value) {
+      value_chars += value.size();
       ++value_count;
-    }
+    });
   }
   const double n = static_cast<double>(profiles.size());
   rec.mean_tokens_per_profile = token_sum / n;

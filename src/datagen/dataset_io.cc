@@ -1,6 +1,8 @@
 #include "datagen/dataset_io.h"
 
 #include <charconv>
+#include <string>
+#include <string_view>
 
 #include "util/csv_writer.h"
 
@@ -80,24 +82,42 @@ std::optional<std::vector<std::string>> ParseCsvLine(
   return fields;
 }
 
-void WriteProfilesCsv(const Dataset& dataset, std::ostream& out) {
+void WriteProfilesCsvHeader(std::ostream& out) {
   CsvWriter csv(out);
   csv.WriteRow({"profile_id", "source", "attribute", "value"});
+}
+
+void AppendProfileCsv(const EntityProfile& profile, std::ostream& out) {
+  CsvWriter csv(out);
+  profile.ForEachAttribute([&](std::string_view name,
+                               std::string_view value) {
+    csv.WriteRow({std::to_string(profile.id), std::to_string(profile.source),
+                  std::string(name), std::string(value)});
+  });
+}
+
+void WriteGroundTruthCsvHeader(std::ostream& out) {
+  CsvWriter csv(out);
+  csv.WriteRow({"profile_id_a", "profile_id_b"});
+}
+
+void AppendGroundTruthPairCsv(ProfileId a, ProfileId b, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.WriteRow({std::to_string(a), std::to_string(b)});
+}
+
+void WriteProfilesCsv(const Dataset& dataset, std::ostream& out) {
+  WriteProfilesCsvHeader(out);
   for (const auto& profile : dataset.profiles) {
-    for (const auto& attribute : profile.attributes) {
-      csv.WriteRow({std::to_string(profile.id),
-                    std::to_string(profile.source), attribute.name,
-                    attribute.value});
-    }
+    AppendProfileCsv(profile, out);
   }
 }
 
 void WriteGroundTruthCsv(const Dataset& dataset, std::ostream& out) {
-  CsvWriter csv(out);
-  csv.WriteRow({"profile_id_a", "profile_id_b"});
+  WriteGroundTruthCsvHeader(out);
   for (const uint64_t key : dataset.truth.pairs()) {
-    csv.WriteRow({std::to_string(key >> 32),
-                  std::to_string(key & 0xffffffffu)});
+    AppendGroundTruthPairCsv(static_cast<ProfileId>(key >> 32),
+                             static_cast<ProfileId>(key & 0xffffffffu), out);
   }
 }
 
@@ -136,7 +156,7 @@ std::optional<Dataset> ReadDatasetCsv(std::istream& profiles_in,
     } else if (profile.source != *source) {
       return std::nullopt;  // inconsistent source
     }
-    profile.attributes.push_back({(*fields)[2], (*fields)[3]});
+    profile.add_attribute((*fields)[2], (*fields)[3]);
   }
   // Dense-id check.
   for (size_t i = 0; i < dataset.profiles.size(); ++i) {

@@ -31,6 +31,15 @@ void WriteProfilesCsv(const Dataset& dataset, std::ostream& out);
 // Writes the ground-truth pairs (with a header row).
 void WriteGroundTruthCsv(const Dataset& dataset, std::ostream& out);
 
+// Streaming variants: header once, then one profile (or truth pair) at
+// a time, so constant-memory producers (pier_datagen --stream, the
+// paper-scale bench) can write datasets larger than RAM. Byte-for-byte
+// the same format as the batch writers.
+void WriteProfilesCsvHeader(std::ostream& out);
+void AppendProfileCsv(const EntityProfile& profile, std::ostream& out);
+void WriteGroundTruthCsvHeader(std::ostream& out);
+void AppendGroundTruthPairCsv(ProfileId a, ProfileId b, std::ostream& out);
+
 // Reads a dataset back. Profiles may appear in any row order but ids
 // must be dense (0..n-1); rows of the same profile must agree on
 // `source`. The truth stream is optional (pass nullptr for data

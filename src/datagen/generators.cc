@@ -97,6 +97,49 @@ SourceSplit SplitEntities(size_t n0, size_t n1, double overlap_fraction) {
   return split;
 }
 
+// One canonical census record; shared by the batch generator and the
+// streaming generator so both produce the same record model.
+std::vector<Attribute> CensusRecord(Rng& rng) {
+  const auto& cities = Vocabulary::Cities();
+  const auto& streets = Vocabulary::Streets();
+  const auto& states = Vocabulary::States();
+  std::vector<Attribute> record;
+  record.push_back({"given_name", PersonName(rng)});
+  record.push_back(
+      {"surname",
+       Vocabulary::LastNames()[rng.UniformInt(
+           0, Vocabulary::LastNames().size() - 1)]});
+  record.push_back({"street_number", std::to_string(rng.UniformInt(1, 999))});
+  record.push_back(
+      {"address_1",
+       streets[rng.UniformInt(0, streets.size() - 1)] + " street"});
+  record.push_back({"suburb", cities[rng.UniformInt(0, cities.size() - 1)]});
+  record.push_back({"postcode", std::to_string(rng.UniformInt(1000, 9999))});
+  record.push_back({"state", states[rng.UniformInt(0, states.size() - 1)]});
+  {
+    const uint64_t year = rng.UniformInt(1920, 2005);
+    const uint64_t month = rng.UniformInt(1, 12);
+    const uint64_t day = rng.UniformInt(1, 28);
+    std::string dob = std::to_string(year);
+    dob += month < 10 ? "0" + std::to_string(month) : std::to_string(month);
+    dob += day < 10 ? "0" + std::to_string(day) : std::to_string(day);
+    record.push_back({"date_of_birth", dob});
+  }
+  record.push_back(
+      {"phone", std::to_string(rng.UniformInt(10000000, 99999999))});
+  return record;
+}
+
+// Geometric cluster size (2 + Geometric(0.35) capped); shared by both
+// census generators.
+size_t CensusClusterSize(Rng& rng, const double duplicate_entity_fraction,
+                         const size_t max_cluster_size) {
+  if (!rng.Bernoulli(duplicate_entity_fraction)) return 1;
+  size_t cluster = 2;
+  while (cluster < max_cluster_size && rng.Bernoulli(0.35)) ++cluster;
+  return cluster;
+}
+
 }  // namespace
 
 Dataset GenerateBibliographic(const BibliographicOptions& options) {
@@ -214,57 +257,90 @@ Dataset GenerateMovies(const MoviesOptions& options) {
 Dataset GenerateCensus(const CensusOptions& options) {
   Rng rng(options.seed);
   const ErrorModel errors(options.errors);
-  const auto& cities = Vocabulary::Cities();
-  const auto& streets = Vocabulary::Streets();
-  const auto& states = Vocabulary::States();
 
   std::vector<ProtoProfile> protos;
   protos.reserve(options.num_records);
   uint32_t uid = 0;
   while (protos.size() < options.num_records) {
-    std::vector<Attribute> record;
-    record.push_back({"given_name", PersonName(rng)});
-    record.push_back(
-        {"surname",
-         Vocabulary::LastNames()[rng.UniformInt(
-             0, Vocabulary::LastNames().size() - 1)]});
-    record.push_back(
-        {"street_number", std::to_string(rng.UniformInt(1, 999))});
-    record.push_back(
-        {"address_1",
-         streets[rng.UniformInt(0, streets.size() - 1)] + " street"});
-    record.push_back({"suburb", cities[rng.UniformInt(0, cities.size() - 1)]});
-    record.push_back(
-        {"postcode", std::to_string(rng.UniformInt(1000, 9999))});
-    record.push_back({"state", states[rng.UniformInt(0, states.size() - 1)]});
-    {
-      const uint64_t year = rng.UniformInt(1920, 2005);
-      const uint64_t month = rng.UniformInt(1, 12);
-      const uint64_t day = rng.UniformInt(1, 28);
-      std::string dob = std::to_string(year);
-      dob += month < 10 ? "0" + std::to_string(month) : std::to_string(month);
-      dob += day < 10 ? "0" + std::to_string(day) : std::to_string(day);
-      record.push_back({"date_of_birth", dob});
-    }
-    record.push_back(
-        {"phone", std::to_string(rng.UniformInt(10000000, 99999999))});
-
+    std::vector<Attribute> record = CensusRecord(rng);
     protos.push_back({uid, 0, record});
-
-    if (rng.Bernoulli(options.duplicate_entity_fraction)) {
-      // Geometric number of extra duplicate records, capped.
-      size_t cluster = 2;
-      while (cluster < options.max_cluster_size && rng.Bernoulli(0.35)) {
-        ++cluster;
-      }
-      for (size_t d = 1;
-           d < cluster && protos.size() < options.num_records; ++d) {
-        protos.push_back({uid, 0, errors.PerturbAttributes(record, rng)});
-      }
+    const size_t cluster = CensusClusterSize(
+        rng, options.duplicate_entity_fraction, options.max_cluster_size);
+    for (size_t d = 1; d < cluster && protos.size() < options.num_records;
+         ++d) {
+      protos.push_back({uid, 0, errors.PerturbAttributes(record, rng)});
     }
     ++uid;
   }
   return Finalize("census", DatasetKind::kDirty, std::move(protos), rng);
+}
+
+CensusStreamGenerator::CensusStreamGenerator(
+    const CensusStreamOptions& options)
+    : options_(options), rng_(options.seed), errors_(options.errors) {
+  PIER_CHECK(options_.shuffle_window > 0);
+  window_.reserve(std::min(options_.shuffle_window, options_.num_records));
+}
+
+void CensusStreamGenerator::FillWindow() {
+  while (generated_ < options_.num_records &&
+         window_.size() < options_.shuffle_window) {
+    if (cluster_remaining_ == 0) {
+      // Start the next cluster: one canonical record plus capped
+      // geometric duplicates (same draw schedule as GenerateCensus).
+      cluster_record_ = CensusRecord(rng_);
+      cluster_uid_ = next_uid_++;
+      const size_t cluster =
+          CensusClusterSize(rng_, options_.duplicate_entity_fraction,
+                            options_.max_cluster_size);
+      cluster_remaining_ =
+          std::min(cluster, options_.num_records - generated_);
+      if (cluster_remaining_ > 1) {
+        auto& open = open_clusters_[cluster_uid_];
+        open.first = static_cast<uint32_t>(cluster_remaining_);
+        open.second.reserve(cluster_remaining_);
+      }
+      window_.push_back({cluster_uid_, cluster_record_});
+    } else {
+      window_.push_back(
+          {cluster_uid_, errors_.PerturbAttributes(cluster_record_, rng_)});
+    }
+    --cluster_remaining_;
+    ++generated_;
+  }
+}
+
+std::optional<EntityProfile> CensusStreamGenerator::Next() {
+  FillWindow();
+  if (window_.empty()) return std::nullopt;
+  // Release a uniformly random held profile (swap-with-back keeps the
+  // window compact; the draw is over the post-swap layout of earlier
+  // releases, which is exactly the classic streaming-shuffle scheme).
+  const size_t slot = rng_.UniformInt(0, window_.size() - 1);
+  Pending pending = std::move(window_[slot]);
+  window_[slot] = std::move(window_.back());
+  window_.pop_back();
+
+  const ProfileId id = static_cast<ProfileId>(emitted_++);
+  const auto it = open_clusters_.find(pending.uid);
+  if (it != open_clusters_.end()) {
+    it->second.second.push_back(id);
+    if (it->second.second.size() == it->second.first) {
+      const std::vector<ProfileId>& members = it->second.second;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          completed_truth_.emplace_back(members[i], members[j]);
+        }
+      }
+      open_clusters_.erase(it);
+    }
+  }
+  return EntityProfile(id, 0, std::move(pending.attributes));
+}
+
+std::vector<std::pair<ProfileId, ProfileId>>
+CensusStreamGenerator::TakeCompletedTruth() {
+  return std::exchange(completed_truth_, {});
 }
 
 Dataset GenerateDbpedia(const DbpediaOptions& options) {

@@ -17,9 +17,14 @@
 #define PIER_DATAGEN_GENERATORS_H_
 
 #include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "datagen/error_model.h"
 #include "model/dataset.h"
+#include "util/rng.h"
 
 namespace pier {
 
@@ -70,6 +75,73 @@ Dataset GenerateBibliographic(const BibliographicOptions& options);
 Dataset GenerateMovies(const MoviesOptions& options);
 Dataset GenerateCensus(const CensusOptions& options);
 Dataset GenerateDbpedia(const DbpediaOptions& options);
+
+// Paper-scale census streaming: same structural knobs as CensusOptions
+// plus the shuffle window that replaces the batch generator's full
+// Fisher-Yates. Memory stays O(shuffle_window) regardless of
+// num_records, so the 2M-profile nightly corpus can be produced (and
+// replayed) without ever materializing a Dataset.
+struct CensusStreamOptions {
+  size_t num_records = 2000000;
+  double duplicate_entity_fraction = 0.5;
+  size_t max_cluster_size = 6;
+  // Pending profiles held back for local shuffling; each emission
+  // releases a uniformly random held profile. Window 1 degenerates to
+  // cluster-contiguous order; the default scatters duplicates a few
+  // thousand positions apart, matching the batch generator's property
+  // that cluster members arrive in different increments.
+  size_t shuffle_window = 8192;
+  uint64_t seed = 3;
+  ErrorModelOptions errors;
+};
+
+// Constant-memory census stream. Emits profiles in shuffled order with
+// dense ids 0..num_records-1 (Dirty kind, single source). The record
+// model is identical to GenerateCensus; the stream order is not
+// byte-identical to the batch generator (windowed vs. full shuffle)
+// but is seed-deterministic: same options, same stream, every run.
+class CensusStreamGenerator {
+ public:
+  explicit CensusStreamGenerator(const CensusStreamOptions& options);
+
+  // Next profile in stream order, or nullopt when num_records have
+  // been emitted.
+  std::optional<EntityProfile> Next();
+
+  // Drains the duplicate pairs of every cluster whose members have all
+  // been emitted since the last call (call once more after the stream
+  // ends to collect the tail). Pair order within the drain is
+  // deterministic.
+  std::vector<std::pair<ProfileId, ProfileId>> TakeCompletedTruth();
+
+  size_t num_records() const { return options_.num_records; }
+
+ private:
+  struct Pending {
+    uint32_t uid = 0;
+    std::vector<Attribute> attributes;
+  };
+
+  void FillWindow();
+
+  CensusStreamOptions options_;
+  Rng rng_;
+  ErrorModel errors_;
+  std::vector<Pending> window_;
+  size_t generated_ = 0;  // records created (into the window) so far
+  size_t emitted_ = 0;    // records released from the window so far
+  uint32_t next_uid_ = 0;
+  // Current cluster being generated into the window.
+  std::vector<Attribute> cluster_record_;
+  uint32_t cluster_uid_ = 0;
+  size_t cluster_remaining_ = 0;
+  // uid -> (cluster size, emitted member ids); pairs complete when all
+  // members have left the window. Bounded by the window size (only
+  // clusters with a member still pending can be open).
+  std::unordered_map<uint32_t, std::pair<uint32_t, std::vector<ProfileId>>>
+      open_clusters_;
+  std::vector<std::pair<ProfileId, ProfileId>> completed_truth_;
+};
 
 }  // namespace pier
 

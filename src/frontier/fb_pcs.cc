@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <utility>
 
 #include "blocking/block_ghosting.h"
@@ -60,15 +61,17 @@ double FbPcs::PairBoost(const EntityProfile& a, const EntityProfile& b) const {
   // looks hot).
   double boost = 1.0;
   bool any = false;
+  const std::span<const TokenId> ta = a.tokens();
+  const std::span<const TokenId> tb = b.tokens();
   size_t i = 0;
   size_t j = 0;
-  while (i < a.tokens.size() && j < b.tokens.size()) {
-    if (a.tokens[i] < b.tokens[j]) {
+  while (i < ta.size() && j < tb.size()) {
+    if (ta[i] < tb[j]) {
       ++i;
-    } else if (a.tokens[i] > b.tokens[j]) {
+    } else if (ta[i] > tb[j]) {
       ++j;
     } else {
-      const double f = BlockBoost(a.tokens[i]);
+      const double f = BlockBoost(ta[i]);
       boost = any ? std::max(boost, f) : f;
       any = true;
       ++i;
@@ -84,7 +87,7 @@ void FbPcs::ServeHotBlock(WorkStats* stats) {
   while (hot_head_ < hot_queue_.size()) {
     const TokenId token = hot_queue_[hot_head_++];
     if (!blocks.IsActive(token)) continue;
-    const Block& b = blocks.block(token);
+    const BlockView b = blocks.block(token);
     const double boost = BlockBoost(token);
     const uint32_t bsize = static_cast<uint32_t>(b.size());
     uint64_t emitted = 0;
@@ -163,15 +166,17 @@ void FbPcs::OnVerdict(ProfileId a, ProfileId b, bool is_match) {
   const EntityProfile& pa = profiles.Get(a);
   const EntityProfile& pb = profiles.Get(b);
   const BlockCollection& blocks = *ctx_.blocks;
+  const std::span<const TokenId> ta = pa.tokens();
+  const std::span<const TokenId> tb = pb.tokens();
   size_t i = 0;
   size_t j = 0;
-  while (i < pa.tokens.size() && j < pb.tokens.size()) {
-    if (pa.tokens[i] < pb.tokens[j]) {
+  while (i < ta.size() && j < tb.size()) {
+    if (ta[i] < tb[j]) {
       ++i;
-    } else if (pa.tokens[i] > pb.tokens[j]) {
+    } else if (ta[i] > tb[j]) {
       ++j;
     } else {
-      const TokenId t = pa.tokens[i];
+      const TokenId t = ta[i];
       if (t >= trials_.size()) {
         trials_.resize(t + 1, 0);
         matches_.resize(t + 1, 0);

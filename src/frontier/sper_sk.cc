@@ -60,21 +60,22 @@ void SperSk::SampleProfile(ProfileId id, WorkStats* stats) {
   // may bucket dirty records under either source label).
   const bool cross_only = kind == DatasetKind::kCleanClean;
   const SourceId partner_source = static_cast<SourceId>(1 - p.source);
-  const auto partner_count = [&](const Block& b) {
+  const auto partner_count = [&](const BlockView& b) {
     return cross_only ? b.members[partner_source].size() : b.size();
   };
-  const auto partner_at = [&](const Block& b, size_t k) {
+  const auto partner_at = [&](const BlockView& b, size_t k) {
     return cross_only ? b.members[partner_source][k] : b.member(k);
   };
 
-  // Resolve block pointers once; the exact sweep and the draw loop
-  // below index them instead of re-probing the collection.
-  block_ptrs_.clear();
+  // Resolve block views once; the exact sweep and the draw loop
+  // below index them instead of re-probing the collection. The views
+  // stay valid for this whole pass (nothing mutates the collection).
+  block_views_.clear();
   size_t total_members = 0;
   for (const TokenId token : retained_) {
-    const Block& b = blocks.block(token);
+    const BlockView b = blocks.block(token);
     total_members += partner_count(b);
-    block_ptrs_.push_back(&b);
+    block_views_.push_back(b);
   }
 
   scratch_.BeginPass(profiles.size());
@@ -85,13 +86,13 @@ void SperSk::SampleProfile(ProfileId id, WorkStats* stats) {
     // run -- O(1) per block co-occurrence, and the accumulated count
     // IS the CBS weight, so no pairwise token intersection is needed.
     obs::CounterAdd(exact_profiles_metric_);
-    for (const Block* b : block_ptrs_) {
-      const size_t n = partner_count(*b);
+    for (const BlockView& b : block_views_) {
+      const size_t n = partner_count(b);
       for (size_t k = 0; k < n; ++k) {
         // Only older partners (y < id): mirrors the exact strategies'
         // only_older_neighbors rule, so each unordered pair has
         // exactly one increment responsible for generating it.
-        const ProfileId y = partner_at(*b, k);
+        const ProfileId y = partner_at(b, k);
         if (y < id) scratch_.Accumulate(y);
       }
     }
@@ -108,8 +109,8 @@ void SperSk::SampleProfile(ProfileId id, WorkStats* stats) {
   // proportionally more draws.
   block_cdf_.clear();
   double total = 0.0;
-  for (const Block* b : block_ptrs_) {
-    const size_t n = partner_count(*b);
+  for (const BlockView& b : block_views_) {
+    const size_t n = partner_count(b);
     total += n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
     block_cdf_.push_back(total);
   }
@@ -122,7 +123,7 @@ void SperSk::SampleProfile(ProfileId id, WorkStats* stats) {
     const size_t bi = static_cast<size_t>(
         std::lower_bound(block_cdf_.begin(), block_cdf_.end(), u) -
         block_cdf_.begin());
-    const Block& b = *block_ptrs_[std::min(bi, block_ptrs_.size() - 1)];
+    const BlockView& b = block_views_[std::min(bi, block_views_.size() - 1)];
     const size_t n = partner_count(b);
     if (n == 0) {
       ++rejected;

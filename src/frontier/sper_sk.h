@@ -64,7 +64,7 @@ class SperSk : public IncrementalPrioritizer {
   WeightingScratch scratch_;  // per-profile dedup of sampled partners
   std::vector<TokenId> retained_;  // reused ghosting output buffer
   std::vector<double> block_cdf_;  // reused block-selection cumsums
-  std::vector<const Block*> block_ptrs_;  // blocks behind block_cdf_
+  std::vector<BlockView> block_views_;  // blocks behind block_cdf_
 
   // `frontier.*` metrics; null when the pipeline is uninstrumented.
   obs::Counter* samples_accepted_metric_ = nullptr;

@@ -24,7 +24,7 @@ void BuildChunk(const WeightingContext& ctx, ProfileId begin, ProfileId end,
   for (ProfileId x = begin; x < end; ++x) {
     const EntityProfile& profile = ctx.profiles->Get(x);
     active_blocks.clear();
-    for (const TokenId token : profile.tokens) {
+    for (const TokenId token : profile.tokens()) {
       if (ctx.blocks->IsActive(token)) active_blocks.push_back(token);
     }
     // only_older_neighbors guarantees each undirected edge is created

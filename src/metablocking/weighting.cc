@@ -62,7 +62,7 @@ void AppendWeightedComparisons(const WeightingContext& ctx,
   const bool need_arcs = ctx.scheme == WeightingScheme::kArcs;
   uint64_t local_visits = 0;
   for (const TokenId token : retained_blocks) {
-    const Block& b = blocks.block(token);
+    const BlockView b = blocks.block(token);
     SourceId lo, hi;
     NeighborSources(kind, x, &lo, &hi);
     if (need_arcs) {
@@ -100,7 +100,7 @@ void AppendWeightedComparisons(const WeightingContext& ctx,
   // rather than a Get() pointer chase into the cold profile record.
   out->reserve(out->size() + touched.size());
   const double num_blocks = static_cast<double>(blocks.NumBlocks());
-  const double bx = static_cast<double>(x.tokens.size());
+  const double bx = static_cast<double>(x.tokens().size());
   switch (ctx.scheme) {
     case WeightingScheme::kCbs:
       for (const ProfileId y : touched) {
@@ -156,7 +156,7 @@ std::vector<Comparison> GenerateWeightedComparisonsReference(
 
   std::unordered_map<ProfileId, NeighborStats> neighbors;
   for (const TokenId token : retained_blocks) {
-    const Block& b = blocks.block(token);
+    const BlockView b = blocks.block(token);
     const double arcs_share =
         1.0 / static_cast<double>(
                   std::max<uint64_t>(1, b.NumComparisons(kind)));
@@ -177,10 +177,10 @@ std::vector<Comparison> GenerateWeightedComparisonsReference(
   std::vector<Comparison> out;
   out.reserve(neighbors.size());
   const double num_blocks = static_cast<double>(blocks.NumBlocks());
-  const double bx = static_cast<double>(x.tokens.size());
+  const double bx = static_cast<double>(x.tokens().size());
   for (const auto& [y, stats] : neighbors) {
     const double by =
-        static_cast<double>(ctx.profiles->Get(y).tokens.size());
+        static_cast<double>(ctx.profiles->Get(y).tokens().size());
     double w = 0.0;
     switch (ctx.scheme) {
       case WeightingScheme::kCbs:
@@ -203,7 +203,7 @@ std::vector<Comparison> GenerateWeightedComparisonsReference(
 }
 
 double PairCbsWeight(const EntityProfile& a, const EntityProfile& b) {
-  return static_cast<double>(IntersectionSize(a.tokens, b.tokens));
+  return static_cast<double>(IntersectionSize(a.tokens(), b.tokens()));
 }
 
 }  // namespace pier

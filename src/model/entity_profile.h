@@ -2,15 +2,46 @@
 // name, value) pairs with no schema assumptions; different profiles --
 // even of the same real-world entity -- may use entirely different
 // attribute names (Section 1: "variety").
+//
+// Storage model (paper-scale memory layout): a profile's payloads --
+// attributes, derived token list, derived flat text -- live in exactly
+// one of two forms:
+//
+//  * staged: owned heap containers, the form every profile starts in
+//    (generators, CSV readers, the tokenizer write this form);
+//  * arena-backed: (pointer, length) views into a ProfileStore's
+//    append-only TokenArena/TextArena (model/arena.h). ProfileStore::
+//    Add moves a staged profile's payloads into its arenas and frees
+//    the staged block, so a stored record is a flat 64-byte struct
+//    with zero owned heap allocations.
+//
+// Readers use the uniform accessors (tokens(), flat_text(),
+// ForEachAttribute()) and never care which form they are looking at.
+// Arena views are non-owning: they are valid exactly as long as the
+// owning ProfileStore, which shares the store's lifetime with every
+// component that can hold a ProfileId. Copying an arena-backed profile
+// copies the views (cheap, still non-owning); copying a staged profile
+// deep-copies the staged payloads.
+//
+// Attributes are encoded in the TextArena as a packed blob:
+//   count x { u32 name_len | u32 value_len | name bytes | value bytes }
+// ForEachAttribute decodes it in place as string_views; nothing on the
+// hot path materializes std::strings.
 
 #ifndef PIER_MODEL_ENTITY_PROFILE_H_
 #define PIER_MODEL_ENTITY_PROFILE_H_
 
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "model/types.h"
+#include "util/check.h"
 
 namespace pier {
 
@@ -21,26 +52,204 @@ struct Attribute {
 };
 
 // A profile describing one real-world entity as found in one source.
-// Plain data carrier: `tokens` and `flat_text` are derived fields
-// filled in by the Data Reading step (text/tokenizer.h) and empty
-// until then.
-struct EntityProfile {
+// `tokens` and `flat_text` are derived fields filled in by the Data
+// Reading step (text/tokenizer.h) and empty until then.
+class EntityProfile {
+ public:
   ProfileId id = kInvalidProfileId;
   SourceId source = 0;
-  std::vector<Attribute> attributes;
-
-  // Sorted, de-duplicated token ids over all attribute values
-  // (schema-agnostic: attribute names do not contribute tokens).
-  std::vector<TokenId> tokens;
-
-  // Normalized concatenation of all attribute values; input to
-  // string-level match functions such as edit distance.
-  std::string flat_text;
 
   EntityProfile() = default;
   EntityProfile(ProfileId id_in, SourceId source_in,
                 std::vector<Attribute> attributes_in)
-      : id(id_in), source(source_in), attributes(std::move(attributes_in)) {}
+      : id(id_in), source(source_in) {
+    if (!attributes_in.empty()) {
+      Staged().attributes = std::move(attributes_in);
+    }
+  }
+
+  EntityProfile(EntityProfile&&) noexcept = default;
+  EntityProfile& operator=(EntityProfile&&) noexcept = default;
+  EntityProfile(const EntityProfile& other)
+      : id(other.id),
+        source(other.source),
+        staged_(other.staged_ ? std::make_unique<StagedPayloads>(*other.staged_)
+                              : nullptr),
+        token_data_(other.token_data_),
+        text_data_(other.text_data_),
+        attrs_data_(other.attrs_data_),
+        token_len_(other.token_len_),
+        text_len_(other.text_len_),
+        attrs_len_(other.attrs_len_),
+        attrs_count_(other.attrs_count_) {}
+  EntityProfile& operator=(const EntityProfile& other) {
+    if (this != &other) *this = EntityProfile(other);
+    return *this;
+  }
+
+  // ---- uniform read accessors (either form) ----
+
+  // Sorted, de-duplicated token ids over all attribute values
+  // (schema-agnostic: attribute names do not contribute tokens).
+  std::span<const TokenId> tokens() const {
+    if (token_data_ != nullptr) return {token_data_, token_len_};
+    if (staged_ != nullptr) return {staged_->tokens};
+    return {};
+  }
+
+  // Normalized concatenation of all attribute values; input to
+  // string-level match functions such as edit distance.
+  std::string_view flat_text() const {
+    if (text_data_ != nullptr) return {text_data_, text_len_};
+    if (staged_ != nullptr) return {staged_->flat_text};
+    return {};
+  }
+
+  size_t num_attributes() const {
+    if (attrs_data_ != nullptr) return attrs_count_;
+    return staged_ != nullptr ? staged_->attributes.size() : 0;
+  }
+
+  // Visits every attribute as fn(name, value) string_views, decoding
+  // the arena blob in place or walking the staged vector.
+  template <typename Fn>
+  void ForEachAttribute(Fn&& fn) const {
+    if (attrs_data_ != nullptr) {
+      const char* p = attrs_data_;
+      for (uint32_t i = 0; i < attrs_count_; ++i) {
+        uint32_t name_len = 0;
+        uint32_t value_len = 0;
+        std::memcpy(&name_len, p, sizeof(uint32_t));
+        std::memcpy(&value_len, p + sizeof(uint32_t), sizeof(uint32_t));
+        p += 2 * sizeof(uint32_t);
+        fn(std::string_view(p, name_len),
+           std::string_view(p + name_len, value_len));
+        p += name_len + value_len;
+      }
+      return;
+    }
+    if (staged_ == nullptr) return;
+    for (const Attribute& a : staged_->attributes) {
+      fn(std::string_view(a.name), std::string_view(a.value));
+    }
+  }
+
+  // Materializes the attributes (cold paths: CSV export, tests).
+  std::vector<Attribute> CopyAttributes() const {
+    std::vector<Attribute> out;
+    out.reserve(num_attributes());
+    ForEachAttribute([&](std::string_view name, std::string_view value) {
+      out.push_back({std::string(name), std::string(value)});
+    });
+    return out;
+  }
+
+  bool arena_backed() const { return attrs_data_ != nullptr; }
+
+  // ---- staged-form mutation (pre-Add producers) ----
+
+  void set_tokens(std::vector<TokenId> tokens) {
+    Staged().tokens = std::move(tokens);
+    token_data_ = nullptr;
+    token_len_ = 0;
+  }
+  void set_flat_text(std::string flat_text) {
+    Staged().flat_text = std::move(flat_text);
+    text_data_ = nullptr;
+    text_len_ = 0;
+  }
+  void set_attributes(std::vector<Attribute> attributes) {
+    Staged().attributes = std::move(attributes);
+    attrs_data_ = nullptr;
+    attrs_len_ = 0;
+    attrs_count_ = 0;
+  }
+  void add_attribute(std::string name, std::string value) {
+    PIER_DCHECK(attrs_data_ == nullptr);
+    Staged().attributes.push_back({std::move(name), std::move(value)});
+  }
+
+  // ---- arena adoption (ProfileStore) ----
+
+  // Appends this profile's attributes in the packed blob encoding (see
+  // file comment) to `out`. Works for both forms; the arena form is a
+  // straight copy of the already-encoded bytes.
+  void EncodeAttributes(std::string* out) const {
+    if (attrs_data_ != nullptr) {
+      out->append(attrs_data_, attrs_len_);
+      return;
+    }
+    ForEachAttribute([&](std::string_view name, std::string_view value) {
+      const uint32_t name_len = static_cast<uint32_t>(name.size());
+      const uint32_t value_len = static_cast<uint32_t>(value.size());
+      out->append(reinterpret_cast<const char*>(&name_len),
+                  sizeof(uint32_t));
+      out->append(reinterpret_cast<const char*>(&value_len),
+                  sizeof(uint32_t));
+      out->append(name.data(), name.size());
+      out->append(value.data(), value.size());
+    });
+  }
+
+  // Switches to arena-backed form (all three payloads at once) and
+  // releases the staged block. Pointers must stay valid for this
+  // profile's lifetime; only ProfileStore::Add calls this, with spans
+  // it just appended to its own arenas.
+  void AdoptArenaViews(const TokenId* token_data, uint32_t token_len,
+                       const char* text_data, uint32_t text_len,
+                       const char* attrs_data, uint32_t attrs_len,
+                       uint32_t attrs_count) {
+    token_data_ = token_data;
+    token_len_ = token_len;
+    text_data_ = text_data;
+    text_len_ = text_len;
+    attrs_data_ = attrs_data;
+    attrs_len_ = attrs_len;
+    attrs_count_ = attrs_count;
+    staged_.reset();
+  }
+
+  // Heap bytes owned by the staged form (0 once arena-backed); the
+  // arena side of the accounting lives in SpanArena::ApproxMemoryBytes.
+  size_t StagedHeapBytes() const {
+    if (staged_ == nullptr) return 0;
+    size_t total = sizeof(StagedPayloads) +
+                   staged_->flat_text.capacity() +
+                   staged_->tokens.capacity() * sizeof(TokenId) +
+                   staged_->attributes.capacity() * sizeof(Attribute);
+    for (const Attribute& a : staged_->attributes) {
+      total += a.name.capacity() + a.value.capacity();
+    }
+    return total;
+  }
+
+  // Arena items this profile accounts for (abandon accounting on
+  // Remove/Replace): tokens, and text bytes (flat_text + attr blob).
+  uint32_t arena_token_items() const { return token_data_ ? token_len_ : 0; }
+  uint32_t arena_text_items() const {
+    return (text_data_ ? text_len_ : 0) + (attrs_data_ ? attrs_len_ : 0);
+  }
+
+ private:
+  struct StagedPayloads {
+    std::vector<Attribute> attributes;
+    std::vector<TokenId> tokens;
+    std::string flat_text;
+  };
+
+  StagedPayloads& Staged() {
+    if (staged_ == nullptr) staged_ = std::make_unique<StagedPayloads>();
+    return *staged_;
+  }
+
+  std::unique_ptr<StagedPayloads> staged_;
+  const TokenId* token_data_ = nullptr;
+  const char* text_data_ = nullptr;
+  const char* attrs_data_ = nullptr;
+  uint32_t token_len_ = 0;
+  uint32_t text_len_ = 0;
+  uint32_t attrs_len_ = 0;
+  uint32_t attrs_count_ = 0;
 };
 
 }  // namespace pier

@@ -8,22 +8,14 @@
 
 namespace pier {
 
-size_t ProfileStore::HeapBytes(const EntityProfile& profile) {
-  size_t total = profile.flat_text.capacity() +
-                 profile.tokens.capacity() * sizeof(TokenId) +
-                 profile.attributes.capacity() * sizeof(Attribute);
-  for (const Attribute& a : profile.attributes) {
-    total += a.name.capacity() + a.value.capacity();
-  }
-  return total;
-}
-
 size_t ProfileStore::ApproxMemoryBytes() const {
   const size_t n = size();
   const size_t num_chunks = (n + kChunkSize - 1) >> kChunkShift;
   return kMaxChunks * sizeof(std::atomic<EntityProfile*>) +
          num_chunks * kChunkSize * sizeof(EntityProfile) +
-         token_counts_.capacity() * sizeof(uint32_t) + heap_bytes_;
+         token_counts_.capacity() * sizeof(uint32_t) +
+         live_.capacity() * sizeof(uint8_t) +
+         token_arena_.ApproxMemoryBytes() + text_arena_.ApproxMemoryBytes();
 }
 
 void ProfileStore::Snapshot(std::ostream& out) const {
@@ -33,13 +25,15 @@ void ProfileStore::Snapshot(std::ostream& out) const {
     const EntityProfile& p = Get(static_cast<ProfileId>(i));
     serial::WriteU32(out, p.id);
     serial::WriteU8(out, p.source);
-    serial::WriteVec(out, p.attributes,
-                     [](std::ostream& o, const Attribute& a) {
-                       serial::WriteString(o, a.name);
-                       serial::WriteString(o, a.value);
-                     });
-    serial::WriteVec(out, p.tokens, serial::WriteU32);
-    serial::WriteString(out, p.flat_text);
+    serial::WriteU64(out, p.num_attributes());
+    p.ForEachAttribute([&](std::string_view name, std::string_view value) {
+      serial::WriteString(out, name);
+      serial::WriteString(out, value);
+    });
+    const std::span<const TokenId> tokens = p.tokens();
+    serial::WriteU64(out, tokens.size());
+    for (const TokenId token : tokens) serial::WriteU32(out, token);
+    serial::WriteString(out, p.flat_text());
   }
   // Tombstoned ids, ascending. Pre-mutation snapshots end after the
   // profile list; Restore treats a missing tail as "all live".
@@ -58,14 +52,17 @@ bool ProfileStore::Restore(std::istream& in) {
     EntityProfile p;
     uint32_t id = 0;
     uint8_t source = 0;
+    std::vector<Attribute> attributes;
+    std::vector<TokenId> tokens;
+    std::string flat_text;
     if (!serial::ReadU32(in, &id) || !serial::ReadU8(in, &source) ||
-        !serial::ReadVec(in, &p.attributes,
+        !serial::ReadVec(in, &attributes,
                          [](std::istream& s, Attribute* a) {
                            return serial::ReadString(s, &a->name) &&
                                   serial::ReadString(s, &a->value);
                          }) ||
-        !serial::ReadVec(in, &p.tokens, serial::ReadU32) ||
-        !serial::ReadString(in, &p.flat_text)) {
+        !serial::ReadVec(in, &tokens, serial::ReadU32) ||
+        !serial::ReadString(in, &flat_text)) {
       return false;
     }
     // Add() PIER_CHECKs density; validate here so a corrupt id field
@@ -73,6 +70,9 @@ bool ProfileStore::Restore(std::istream& in) {
     if (id != i) return false;
     p.id = static_cast<ProfileId>(id);
     p.source = source;
+    if (!attributes.empty()) p.set_attributes(std::move(attributes));
+    if (!tokens.empty()) p.set_tokens(std::move(tokens));
+    if (!flat_text.empty()) p.set_flat_text(std::move(flat_text));
     Add(std::move(p));
   }
   // Optional tombstone tail (absent in pre-mutation snapshots, whose

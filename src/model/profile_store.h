@@ -25,9 +25,11 @@
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "model/arena.h"
 #include "model/entity_profile.h"
 #include "model/types.h"
 #include "util/check.h"
@@ -51,7 +53,11 @@ class ProfileStore {
   ProfileStore& operator=(const ProfileStore&) = delete;
 
   // Appends a profile; its id must equal the current size (dense ids
-  // in ingestion order). Single writer only.
+  // in ingestion order). The profile's payloads (tokens, flat text,
+  // attributes) are moved into this store's arenas, so the stored
+  // record owns no heap memory of its own. Single writer only; the
+  // arena writes happen-before the size_ release-store, which is what
+  // makes the views safe for lock-free readers.
   void Add(EntityProfile profile) {
     const size_t n = size_.load(std::memory_order_relaxed);
     PIER_CHECK(profile.id == n);
@@ -62,10 +68,10 @@ class ProfileStore {
       chunk = new EntityProfile[kChunkSize];
       chunks_[chunk_index].store(chunk, std::memory_order_release);
     }
-    token_counts_.push_back(static_cast<uint32_t>(profile.tokens.size()));
+    token_counts_.push_back(static_cast<uint32_t>(profile.tokens().size()));
     live_.push_back(1);
     ++num_live_;
-    heap_bytes_ += HeapBytes(profile);
+    AdoptIntoArenas(&profile);
     chunk[n & kChunkMask] = std::move(profile);
     size_.store(n + 1, std::memory_order_release);
   }
@@ -79,7 +85,7 @@ class ProfileStore {
     PIER_CHECK(id < size_.load(std::memory_order_relaxed));
     PIER_CHECK(live_[id] != 0);
     EntityProfile& p = GetMutable(id);
-    heap_bytes_ -= HeapBytes(p);
+    AbandonArenaSpans(p);
     EntityProfile cleared;
     cleared.id = p.id;
     cleared.source = p.source;
@@ -90,14 +96,17 @@ class ProfileStore {
   }
 
   // Replaces a record in place (correction); revives a tombstoned id.
-  // Same threading contract as Remove.
+  // The old record's arena spans are abandoned (ids are never reused
+  // and a quiesced-out reader may still hold them); the new payloads
+  // are appended to the arena tails. Same threading contract as
+  // Remove.
   void Replace(EntityProfile profile) {
     const ProfileId id = profile.id;
     PIER_CHECK(id < size_.load(std::memory_order_relaxed));
     EntityProfile& p = GetMutable(id);
-    heap_bytes_ -= HeapBytes(p);
-    heap_bytes_ += HeapBytes(profile);
-    token_counts_[id] = static_cast<uint32_t>(profile.tokens.size());
+    AbandonArenaSpans(p);
+    token_counts_[id] = static_cast<uint32_t>(profile.tokens().size());
+    AdoptIntoArenas(&profile);
     p = std::move(profile);
     if (live_[id] == 0) {
       live_[id] = 1;
@@ -144,13 +153,20 @@ class ProfileStore {
   size_t size() const { return size_.load(std::memory_order_acquire); }
   bool empty() const { return size() == 0; }
 
-  // Heap footprint estimate: chunk directory, allocated chunks, the
-  // token-count sidecar, and every profile's owned heap memory
-  // (accumulated incrementally in Add; writer thread only).
+  // Heap footprint: chunk directory, allocated chunks, the sidecars,
+  // and the arenas' allocated bytes (which own every stored profile's
+  // payload memory). Writer thread only.
   size_t ApproxMemoryBytes() const;
 
+  // The arenas owning all stored payloads; exposed read-only for
+  // memory accounting and the layout tests.
+  const TokenArena& token_arena() const { return token_arena_; }
+  const TextArena& text_arena() const { return text_arena_; }
+
   // Serializes all profiles in id order (little-endian; see
-  // util/serial.h). Writer thread only.
+  // util/serial.h). Writer thread only. The wire format is identical
+  // to the pre-arena layout (staged and arena-backed profiles
+  // serialize the same bytes).
   void Snapshot(std::ostream& out) const;
 
   // Restores a Snapshot payload into this store, which must be empty.
@@ -158,10 +174,29 @@ class ProfileStore {
   bool Restore(std::istream& in);
 
  private:
-  // Heap bytes owned by one profile (strings, token and attribute
-  // vectors), excluding sizeof(EntityProfile) itself, which lives in a
-  // chunk already counted by ApproxMemoryBytes.
-  static size_t HeapBytes(const EntityProfile& profile);
+  // Moves a staged (or foreign-arena) profile's payloads into this
+  // store's arenas and rewires the record to view them.
+  void AdoptIntoArenas(EntityProfile* profile) {
+    const std::span<const TokenId> tokens = profile->tokens();
+    const std::string_view text = profile->flat_text();
+    attr_scratch_.clear();
+    profile->EncodeAttributes(&attr_scratch_);
+    const TokenId* token_data = token_arena_.Append(tokens.data(),
+                                                    tokens.size());
+    const char* text_data = text_arena_.Append(text.data(), text.size());
+    const char* attrs_data =
+        text_arena_.Append(attr_scratch_.data(), attr_scratch_.size());
+    profile->AdoptArenaViews(
+        token_data, static_cast<uint32_t>(tokens.size()), text_data,
+        static_cast<uint32_t>(text.size()), attrs_data,
+        static_cast<uint32_t>(attr_scratch_.size()),
+        static_cast<uint32_t>(profile->num_attributes()));
+  }
+
+  void AbandonArenaSpans(const EntityProfile& profile) {
+    token_arena_.Abandon(profile.arena_token_items());
+    text_arena_.Abandon(profile.arena_text_items());
+  }
 
   static constexpr size_t kChunkShift = 12;  // 4096 profiles per chunk
   static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
@@ -169,11 +204,13 @@ class ProfileStore {
   static constexpr size_t kMaxChunks = size_t{1} << 16;  // 268M profiles
 
   std::unique_ptr<std::atomic<EntityProfile*>[]> chunks_;
+  TokenArena token_arena_;
+  TextArena text_arena_;
+  std::string attr_scratch_;            // Add-path encode buffer
   std::vector<uint32_t> token_counts_;  // sidecar, writer-appended
   std::vector<uint8_t> live_;           // sidecar, 0 = tombstoned
   size_t num_live_ = 0;
   std::atomic<size_t> size_{0};
-  size_t heap_bytes_ = 0;  // writer-side running total (see Add)
 };
 
 }  // namespace pier

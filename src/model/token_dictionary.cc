@@ -2,28 +2,59 @@
 
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "util/check.h"
+#include "util/hashing.h"
 #include "util/serial.h"
 
 namespace pier {
 
+size_t TokenDictionary::FindSlot(uint64_t h, std::string_view token) const {
+  const size_t mask = table_.size() - 1;
+  size_t i = static_cast<size_t>(h) & mask;
+  for (;;) {
+    const Slot& slot = table_[i];
+    if (slot.id_plus_one == 0) return i;
+    if (slot.hash == h && spellings_[slot.id_plus_one - 1] == token) return i;
+    i = (i + 1) & mask;
+  }
+}
+
+void TokenDictionary::GrowTable() {
+  const size_t new_size = table_.empty() ? 1024 : table_.size() * 2;
+  std::vector<Slot> old = std::move(table_);
+  table_.assign(new_size, Slot{});
+  const size_t mask = new_size - 1;
+  for (const Slot& slot : old) {
+    if (slot.id_plus_one == 0) continue;
+    size_t i = static_cast<size_t>(slot.hash) & mask;
+    while (table_[i].id_plus_one != 0) i = (i + 1) & mask;
+    table_[i] = slot;
+  }
+}
+
 TokenId TokenDictionary::Intern(std::string_view token) {
-  auto it = ids_.find(std::string(token));
-  if (it != ids_.end()) return it->second;
+  // Grow at 70% load; spellings_.size() doubles as the occupancy count.
+  if (spellings_.size() * 10 >= table_.size() * 7) GrowTable();
+  const uint64_t h = HashString(token);
+  const size_t i = FindSlot(h, token);
+  if (table_[i].id_plus_one != 0) return table_[i].id_plus_one - 1;
+  const char* data = spelling_arena_.Append(token.data(), token.size());
   const TokenId id = static_cast<TokenId>(spellings_.size());
-  spellings_.emplace_back(token);
+  spellings_.emplace_back(data, token.size());
   doc_frequency_.push_back(0);
-  ids_.emplace(spellings_.back(), id);
+  table_[i] = Slot{h, id + 1};
   return id;
 }
 
 TokenId TokenDictionary::Lookup(std::string_view token) const {
-  auto it = ids_.find(std::string(token));
-  return it == ids_.end() ? kInvalidTokenId : it->second;
+  if (table_.empty()) return kInvalidTokenId;
+  const Slot& slot = table_[FindSlot(HashString(token), token)];
+  return slot.id_plus_one == 0 ? kInvalidTokenId : slot.id_plus_one - 1;
 }
 
-const std::string& TokenDictionary::Spelling(TokenId id) const {
+std::string_view TokenDictionary::Spelling(TokenId id) const {
   PIER_DCHECK(id < spellings_.size());
   return spellings_[id];
 }
@@ -56,8 +87,8 @@ bool TokenDictionary::Restore(std::istream& in) {
   if (!spellings_.empty()) return false;
   uint64_t count = 0;
   if (!serial::ReadU64(in, &count)) return false;
+  std::string spelling;
   for (uint64_t i = 0; i < count; ++i) {
-    std::string spelling;
     uint32_t doc_frequency = 0;
     if (!serial::ReadString(in, &spelling) ||
         !serial::ReadU32(in, &doc_frequency)) {
@@ -71,15 +102,10 @@ bool TokenDictionary::Restore(std::istream& in) {
 }
 
 size_t TokenDictionary::ApproxMemoryBytes() const {
-  size_t total = spellings_.capacity() * sizeof(std::string) +
-                 doc_frequency_.capacity() * sizeof(uint32_t) +
-                 ids_.bucket_count() * sizeof(void*);
-  for (const std::string& s : spellings_) {
-    total += s.capacity();
-    // Each ids_ entry copies the spelling as its key.
-    total += sizeof(std::pair<const std::string, TokenId>) + s.capacity();
-  }
-  return total;
+  return spelling_arena_.ApproxMemoryBytes() +
+         spellings_.capacity() * sizeof(std::string_view) +
+         doc_frequency_.capacity() * sizeof(uint32_t) +
+         table_.capacity() * sizeof(Slot);
 }
 
 }  // namespace pier

@@ -1,0 +1,134 @@
+#include "similarity/intersect_kernel.h"
+
+#include <algorithm>
+
+#if defined(PIER_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#define PIER_INTERSECT_AVX2 1
+#endif
+
+namespace pier {
+
+namespace {
+
+// Merge step over the scalar tails (and the whole input on portable
+// builds). Written as the classic three-way merge: GCC/Clang compile
+// the advance choice to conditional moves here, which measured faster
+// than hand-written arithmetic advances (BM_IntersectKernel vs
+// BM_IntersectBranchyMerge).
+size_t ScalarIntersection(const TokenId* a, size_t na, const TokenId* b,
+                          size_t nb) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t common = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+#ifdef PIER_INTERSECT_AVX2
+
+// Counts matches of the leading 8-blocks and advances i/j past every
+// block whose maximum cannot match anything further. Returns matches
+// found in this step.
+inline size_t BlockStep(const TokenId* a, const TokenId* b, size_t* i,
+                        size_t* j) {
+  const __m256i va =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + *i));
+  __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + *j));
+  const __m256i rotate = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  // All 8x8 lane pairs via 8 equality tests over cyclic rotations of
+  // vb. Each a-lane matches at most one b element (ids are unique), so
+  // the accumulated per-lane mask popcount is the exact match count.
+  __m256i match = _mm256_cmpeq_epi32(va, vb);
+  for (int r = 1; r < 8; ++r) {
+    vb = _mm256_permutevar8x32_epi32(vb, rotate);
+    match = _mm256_or_si256(match, _mm256_cmpeq_epi32(va, vb));
+  }
+  const unsigned mask = static_cast<unsigned>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(match)));
+  const TokenId amax = a[*i + 7];
+  const TokenId bmax = b[*j + 7];
+  // The side whose max is <= the other side's max is exhausted: every
+  // later element of the other list exceeds its max.
+  *i += amax <= bmax ? 8 : 0;
+  *j += bmax <= amax ? 8 : 0;
+  return static_cast<size_t>(__builtin_popcount(mask));
+}
+
+#endif  // PIER_INTERSECT_AVX2
+
+}  // namespace
+
+bool IntersectKernelUsesSimd() {
+#ifdef PIER_INTERSECT_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+size_t SortedIntersectionSize(std::span<const TokenId> a,
+                              std::span<const TokenId> b) {
+  const TokenId* pa = a.data();
+  const TokenId* pb = b.data();
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t common = 0;
+#ifdef PIER_INTERSECT_AVX2
+  while (i + 8 <= na && j + 8 <= nb) {
+    common += BlockStep(pa, pb, &i, &j);
+  }
+#endif
+  return common + ScalarIntersection(pa + i, na - i, pb + j, nb - j);
+}
+
+bool SortedIntersectionAtLeast(std::span<const TokenId> a,
+                               std::span<const TokenId> b, size_t required) {
+  if (required == 0) return true;
+  const TokenId* pa = a.data();
+  const TokenId* pb = b.data();
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  if (required > std::min(na, nb)) return false;
+  size_t i = 0;
+  size_t j = 0;
+  size_t common = 0;
+#ifdef PIER_INTERSECT_AVX2
+  while (i + 8 <= na && j + 8 <= nb) {
+    common += BlockStep(pa, pb, &i, &j);
+    if (common >= required) return true;
+    // Not even a full remaining overlap can reach the bar.
+    if (common + std::min(na - i, nb - j) < required) return false;
+  }
+#endif
+  while (i < na && j < nb) {
+    // Running upper bound: even matching every remaining element of
+    // the shorter tail cannot reach `required`.
+    if (common + std::min(na - i, nb - j) < required) return false;
+    if (pa[i] < pb[j]) {
+      ++i;
+    } else if (pb[j] < pa[i]) {
+      ++j;
+    } else {
+      ++common;
+      if (common >= required) return true;
+      ++i;
+      ++j;
+    }
+  }
+  return common >= required;
+}
+
+}  // namespace pier

@@ -1,0 +1,49 @@
+// Batched intersection kernel for sorted, deduplicated TokenId
+// arrays -- the innermost loop of the JS/COS verdict path and of the
+// CBS pair-weight oracle, executed once per candidate comparison.
+//
+// Two implementations share this interface:
+//
+//  - Portable (always built): the classic two-pointer merge, which
+//    GCC/Clang compile to conditional moves -- measured faster than a
+//    hand-written arithmetic-advance variant, so the portable build
+//    keeps exactly the code shape the call sites had before.
+//  - AVX2 (PIER_SIMD=ON at configure time, x86-64 only): blocks of 8
+//    ids from each side are compared all-against-all with 8 vector
+//    equality tests over cyclic rotations, then whichever block has
+//    the smaller maximum advances. Exact same counts as the scalar
+//    merge -- ids within one profile are unique, so the match mask
+//    popcount cannot double-count.
+//
+// Both paths return identical results for all inputs (the SIMD path
+// is a pure speedup, asserted by the kernel equivalence tests), so
+// verdict streams are byte-identical whichever one a build selects.
+
+#ifndef PIER_SIMILARITY_INTERSECT_KERNEL_H_
+#define PIER_SIMILARITY_INTERSECT_KERNEL_H_
+
+#include <cstddef>
+#include <span>
+
+#include "model/types.h"
+
+namespace pier {
+
+// Number of common elements of `a` and `b`, which must each be sorted
+// ascending with no duplicates (the invariant TokenizeProfile
+// establishes for profile token sets).
+size_t SortedIntersectionSize(std::span<const TokenId> a,
+                              std::span<const TokenId> b);
+
+// True iff the intersection has at least `required` elements, with
+// early exit in both directions: returns as soon as the count reaches
+// `required` or as soon as the remaining elements cannot reach it.
+bool SortedIntersectionAtLeast(std::span<const TokenId> a,
+                               std::span<const TokenId> b, size_t required);
+
+// True when this build executes the AVX2 path (diagnostics/benches).
+bool IntersectKernelUsesSimd();
+
+}  // namespace pier
+
+#endif  // PIER_SIMILARITY_INTERSECT_KERNEL_H_

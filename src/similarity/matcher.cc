@@ -9,20 +9,20 @@ namespace pier {
 
 double JaccardMatcher::Similarity(const EntityProfile& a,
                                   const EntityProfile& b) const {
-  return JaccardSimilarity(a.tokens, b.tokens);
+  return JaccardSimilarity(a.tokens(), b.tokens());
 }
 
 bool JaccardMatcher::Verdict(const EntityProfile& a, const EntityProfile& b,
                              SimilarityScratch*) const {
-  return JaccardVerdict(a.tokens, b.tokens, threshold());
+  return JaccardVerdict(a.tokens(), b.tokens(), threshold());
 }
 
 double EditDistanceMatcher::Similarity(const EntityProfile& a,
                                        const EntityProfile& b) const {
   const std::string_view ta =
-      std::string_view(a.flat_text).substr(0, max_text_length_);
+      a.flat_text().substr(0, max_text_length_);
   const std::string_view tb =
-      std::string_view(b.flat_text).substr(0, max_text_length_);
+      b.flat_text().substr(0, max_text_length_);
   return NormalizedEditSimilarity(ta, tb);
 }
 
@@ -30,9 +30,9 @@ double EditDistanceMatcher::SimilarityKernel(const EntityProfile& a,
                                              const EntityProfile& b,
                                              SimilarityScratch* scratch) const {
   const std::string_view ta =
-      std::string_view(a.flat_text).substr(0, max_text_length_);
+      a.flat_text().substr(0, max_text_length_);
   const std::string_view tb =
-      std::string_view(b.flat_text).substr(0, max_text_length_);
+      b.flat_text().substr(0, max_text_length_);
   if (ta == tb) return 1.0;  // covers the both-empty case
   const size_t max_len = std::max(ta.size(), tb.size());
   const size_t dist = MyersEditDistance(ta, tb, scratch);
@@ -44,9 +44,9 @@ bool EditDistanceMatcher::Verdict(const EntityProfile& a,
                                   const EntityProfile& b,
                                   SimilarityScratch* scratch) const {
   const std::string_view ta =
-      std::string_view(a.flat_text).substr(0, max_text_length_);
+      a.flat_text().substr(0, max_text_length_);
   const std::string_view tb =
-      std::string_view(b.flat_text).substr(0, max_text_length_);
+      b.flat_text().substr(0, max_text_length_);
   if (ta == tb) return 1.0 >= threshold();
   const size_t max_len = std::max(ta.size(), tb.size());
   const ptrdiff_t k = MaxEditDistanceForThreshold(threshold(), max_len);
@@ -62,12 +62,12 @@ bool EditDistanceMatcher::Verdict(const EntityProfile& a,
 
 double CosineMatcher::Similarity(const EntityProfile& a,
                                  const EntityProfile& b) const {
-  return CosineSimilarity(a.tokens, b.tokens);
+  return CosineSimilarity(a.tokens(), b.tokens());
 }
 
 bool CosineMatcher::Verdict(const EntityProfile& a, const EntityProfile& b,
                             SimilarityScratch*) const {
-  return CosineVerdict(a.tokens, b.tokens, threshold());
+  return CosineVerdict(a.tokens(), b.tokens(), threshold());
 }
 
 std::unique_ptr<Matcher> MakeMatcher(const std::string& name,

@@ -93,7 +93,7 @@ class JaccardMatcher : public Matcher {
                SimilarityScratch* scratch) const override;
   uint64_t CostUnits(const EntityProfile& a,
                      const EntityProfile& b) const override {
-    return a.tokens.size() + b.tokens.size() + 1;
+    return a.tokens().size() + b.tokens().size() + 1;
   }
   const char* name() const override { return "JS"; }
 };
@@ -115,8 +115,8 @@ class EditDistanceMatcher : public Matcher {
                SimilarityScratch* scratch) const override;
   uint64_t CostUnits(const EntityProfile& a,
                      const EntityProfile& b) const override {
-    const uint64_t la = std::min(a.flat_text.size(), max_text_length_);
-    const uint64_t lb = std::min(b.flat_text.size(), max_text_length_);
+    const uint64_t la = std::min(a.flat_text().size(), max_text_length_);
+    const uint64_t lb = std::min(b.flat_text().size(), max_text_length_);
     return la * lb + 1;
   }
   const char* name() const override { return "ED"; }
@@ -137,7 +137,7 @@ class CosineMatcher : public Matcher {
                SimilarityScratch* scratch) const override;
   uint64_t CostUnits(const EntityProfile& a,
                      const EntityProfile& b) const override {
-    return a.tokens.size() + b.tokens.size() + 1;
+    return a.tokens().size() + b.tokens().size() + 1;
   }
   const char* name() const override { return "COS"; }
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "similarity/intersect_kernel.h"
+
 namespace pier {
 
 namespace {
@@ -240,15 +242,15 @@ size_t MinOverlapForCosine(double threshold, size_t size_a, size_t size_b) {
   return c;
 }
 
-bool IntersectionAtLeast(const std::vector<TokenId>& a,
-                         const std::vector<TokenId>& b, size_t required) {
+bool IntersectionAtLeast(std::span<const TokenId> a,
+                         std::span<const TokenId> b, size_t required) {
   if (required == 0) return true;
   const size_t sa = a.size();
   const size_t sb = b.size();
   if (required > std::min(sa, sb)) return false;
 
-  const std::vector<TokenId>& small = sa <= sb ? a : b;
-  const std::vector<TokenId>& large = sa <= sb ? b : a;
+  const std::span<const TokenId> small = sa <= sb ? a : b;
+  const std::span<const TokenId> large = sa <= sb ? b : a;
 
   // Heavily skewed sizes: gallop through the longer vector instead of
   // stepping the merge over all of it.
@@ -282,38 +284,21 @@ bool IntersectionAtLeast(const std::vector<TokenId>& a,
     return false;
   }
 
-  size_t count = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (true) {
-    // Running upper bound: even matching every remaining element of
-    // the shorter tail cannot reach `required`. This also guarantees
-    // i < |small| and j < |large| below.
-    if (count + std::min(small.size() - i, large.size() - j) < required) {
-      return false;
-    }
-    if (small[i] < large[j]) {
-      ++i;
-    } else if (large[j] < small[i]) {
-      ++j;
-    } else {
-      ++count;
-      if (count >= required) return true;
-      ++i;
-      ++j;
-    }
-  }
+  // Near-balanced sizes: the batched merge kernel (SIMD when built
+  // with PIER_SIMD, branchless scalar otherwise) with the same
+  // early-exit bounds as the gallop path above.
+  return SortedIntersectionAtLeast(small, large, required);
 }
 
-bool JaccardVerdict(const std::vector<TokenId>& a,
-                    const std::vector<TokenId>& b, double threshold) {
+bool JaccardVerdict(std::span<const TokenId> a,
+                    std::span<const TokenId> b, double threshold) {
   if (a.empty() && b.empty()) return 1.0 >= threshold;
   const size_t required = MinOverlapForJaccard(threshold, a.size(), b.size());
   return IntersectionAtLeast(a, b, required);
 }
 
-bool CosineVerdict(const std::vector<TokenId>& a,
-                   const std::vector<TokenId>& b, double threshold) {
+bool CosineVerdict(std::span<const TokenId> a,
+                   std::span<const TokenId> b, double threshold) {
   if (a.empty() && b.empty()) return 1.0 >= threshold;
   if (a.empty() || b.empty()) return 0.0 >= threshold;
   const size_t required = MinOverlapForCosine(threshold, a.size(), b.size());

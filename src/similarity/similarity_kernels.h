@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -82,21 +83,21 @@ size_t MinOverlapForJaccard(double threshold, size_t size_a, size_t size_b);
 // Requires size_a > 0 and size_b > 0.
 size_t MinOverlapForCosine(double threshold, size_t size_a, size_t size_b);
 
-// True iff |a n b| >= required, for sorted unique vectors. Abandons
+// True iff |a n b| >= required, for sorted unique spans. Abandons
 // the scan as soon as the remaining elements cannot reach `required`
 // (running upper bound) and switches to galloping (exponential +
 // binary search) probes of the longer vector when the sizes are
 // heavily skewed.
-bool IntersectionAtLeast(const std::vector<TokenId>& a,
-                         const std::vector<TokenId>& b, size_t required);
+bool IntersectionAtLeast(std::span<const TokenId> a,
+                         std::span<const TokenId> b, size_t required);
 
 // Verdict kernels: exactly `JaccardSimilarity(a, b) >= threshold`
 // (resp. CosineSimilarity) without computing the score -- size filter
 // first, then a bounded intersection.
-bool JaccardVerdict(const std::vector<TokenId>& a,
-                    const std::vector<TokenId>& b, double threshold);
-bool CosineVerdict(const std::vector<TokenId>& a,
-                   const std::vector<TokenId>& b, double threshold);
+bool JaccardVerdict(std::span<const TokenId> a,
+                    std::span<const TokenId> b, double threshold);
+bool CosineVerdict(std::span<const TokenId> a,
+                   std::span<const TokenId> b, double threshold);
 
 }  // namespace pier
 

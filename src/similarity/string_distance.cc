@@ -3,38 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <vector>
+
+#include "similarity/intersect_kernel.h"
 
 namespace pier {
 
-size_t IntersectionSize(const std::vector<TokenId>& a,
-                        const std::vector<TokenId>& b) {
-  size_t i = 0;
-  size_t j = 0;
-  size_t common = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      ++common;
-      ++i;
-      ++j;
-    }
-  }
-  return common;
+size_t IntersectionSize(std::span<const TokenId> a,
+                        std::span<const TokenId> b) {
+  return SortedIntersectionSize(a, b);
 }
 
-double JaccardSimilarity(const std::vector<TokenId>& a,
-                         const std::vector<TokenId>& b) {
+double JaccardSimilarity(std::span<const TokenId> a,
+                         std::span<const TokenId> b) {
   if (a.empty() && b.empty()) return 1.0;
   const size_t common = IntersectionSize(a, b);
   const size_t uni = a.size() + b.size() - common;
   return uni == 0 ? 1.0 : static_cast<double>(common) / uni;
 }
 
-double OverlapCoefficient(const std::vector<TokenId>& a,
-                          const std::vector<TokenId>& b) {
+double OverlapCoefficient(std::span<const TokenId> a,
+                          std::span<const TokenId> b) {
   if (a.empty() && b.empty()) return 1.0;
   // An empty profile shares nothing with a non-empty one; returning
   // 1.0 here would make it "fully similar" to everything.
@@ -43,8 +32,8 @@ double OverlapCoefficient(const std::vector<TokenId>& a,
   return static_cast<double>(common) / std::min(a.size(), b.size());
 }
 
-double CosineSimilarity(const std::vector<TokenId>& a,
-                        const std::vector<TokenId>& b) {
+double CosineSimilarity(std::span<const TokenId> a,
+                        std::span<const TokenId> b) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   const size_t common = IntersectionSize(a, b);

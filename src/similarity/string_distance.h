@@ -1,34 +1,34 @@
 // String and token-set similarity primitives used by the match
 // functions. All token-set functions take *sorted, de-duplicated*
-// TokenId vectors (the invariant EntityProfile::tokens maintains).
+// TokenId spans (the invariant EntityProfile::tokens() maintains).
 
 #ifndef PIER_SIMILARITY_STRING_DISTANCE_H_
 #define PIER_SIMILARITY_STRING_DISTANCE_H_
 
 #include <cstddef>
+#include <span>
 #include <string_view>
-#include <vector>
 
 #include "model/types.h"
 
 namespace pier {
 
 // Number of common elements of two sorted unique vectors.
-size_t IntersectionSize(const std::vector<TokenId>& a,
-                        const std::vector<TokenId>& b);
+size_t IntersectionSize(std::span<const TokenId> a,
+                        std::span<const TokenId> b);
 
 // |a n b| / |a u b|; 1.0 when both empty.
-double JaccardSimilarity(const std::vector<TokenId>& a,
-                         const std::vector<TokenId>& b);
+double JaccardSimilarity(std::span<const TokenId> a,
+                         std::span<const TokenId> b);
 
 // |a n b| / min(|a|, |b|); 1.0 when both are empty, 0.0 when exactly
 // one is empty.
-double OverlapCoefficient(const std::vector<TokenId>& a,
-                          const std::vector<TokenId>& b);
+double OverlapCoefficient(std::span<const TokenId> a,
+                          std::span<const TokenId> b);
 
 // |a n b| / sqrt(|a| * |b|) (set cosine); 1.0 when both empty.
-double CosineSimilarity(const std::vector<TokenId>& a,
-                        const std::vector<TokenId>& b);
+double CosineSimilarity(std::span<const TokenId> a,
+                        std::span<const TokenId> b);
 
 // Levenshtein edit distance (unit costs), O(|a| * |b|) time,
 // O(min(|a|, |b|)) space.

@@ -170,8 +170,8 @@ bool ShardedPipeline::Ingest(std::vector<EntityProfile> profiles) {
       item.source = profile.source;
       per_shard[s].items.push_back(std::move(item));
     }
-    for (TokenId token : profile.tokens) {
-      per_shard[OwnerOf(token)].items.back().tokens.push_back(
+    for (TokenId token : profile.tokens()) {
+      per_shard[OwnerOf(token)].items.back().tokens.emplace_back(
           dictionary_.Spelling(token));
     }
     profiles_.Add(std::move(profile));
@@ -241,7 +241,7 @@ void ShardedPipeline::RetractLocked(ProfileId id) {
   for (auto& shard : shards_) shard->pipeline->Delete({id});
   // Global tokens / doc frequencies.
   const EntityProfile& p = profiles_.Get(id);
-  for (const TokenId token : p.tokens) {
+  for (const TokenId token : p.tokens()) {
     dictionary_.DecrementDocFrequency(token);
   }
   // The cross-shard delivered filter: withdraw every delivered pair
@@ -296,8 +296,8 @@ bool ShardedPipeline::Update(std::vector<EntityProfile> profiles) {
       item.source = profile.source;
       per_shard[s].push_back(std::move(item));
     }
-    for (TokenId token : profile.tokens) {
-      per_shard[OwnerOf(token)].back().tokens.push_back(
+    for (TokenId token : profile.tokens()) {
+      per_shard[OwnerOf(token)].back().tokens.emplace_back(
           dictionary_.Spelling(token));
     }
     profiles_.Replace(std::move(profile));

@@ -36,8 +36,8 @@ class Tokenizer {
   // Splits normalized text into raw token strings (no interning).
   std::vector<std::string> Split(std::string_view text) const;
 
-  // Fills profile.tokens (sorted, unique TokenIds over all attribute
-  // values) and profile.flat_text, interning new tokens into `dict`
+  // Fills the profile's tokens (sorted, unique TokenIds over all
+  // attribute values) and flat text, interning new tokens into `dict`
   // and bumping their document frequencies.
   void TokenizeProfile(EntityProfile& profile, TokenDictionary& dict) const;
 

@@ -52,7 +52,15 @@ class BoundedPriorityQueue {
     if (capacity_ == 0) return false;
     if (v_.size() >= capacity_) {
       if (!less_(PeekMin(), x)) return false;
-      PopMin();
+      // Replace-min: overwrite the minimum and restore the interval
+      // invariant with a single downward sift instead of a full
+      // PopMin + Push round trip (the fix-up mirrors PopMin's). The
+      // queue's pop order is unchanged -- Less is a strict total
+      // order, so dequeues depend only on the stored multiset.
+      v_[0] = std::move(x);
+      if (v_.size() >= 2 && less_(v_[1], v_[0])) std::swap(v_[0], v_[1]);
+      SiftDownMin(0);
+      return true;
     }
     Push(std::move(x));
     return true;

@@ -31,8 +31,8 @@ void ScalableBloomFilter::AddSlice() {
   const double p0 = options_.fp_rate * (1.0 - options_.tightening);
   const double error =
       p0 * std::pow(options_.tightening, static_cast<double>(i));
-  slices_.push_back(
-      std::make_unique<BloomFilter>(static_cast<size_t>(capacity), error));
+  slices_.push_back(std::make_unique<BloomFilter>(
+      static_cast<size_t>(capacity), error, options_.layout));
 }
 
 void ScalableBloomFilter::Add(uint64_t key) {
@@ -58,7 +58,8 @@ bool ScalableBloomFilter::UnionFrom(const ScalableBloomFilter& other) {
   if (other.options_.initial_capacity != options_.initial_capacity ||
       other.options_.fp_rate != options_.fp_rate ||
       other.options_.growth != options_.growth ||
-      other.options_.tightening != options_.tightening) {
+      other.options_.tightening != options_.tightening ||
+      other.options_.layout != options_.layout) {
     return false;
   }
   if (&other == this) return true;
@@ -92,6 +93,15 @@ size_t ScalableBloomFilter::ApproxMemoryBytes() const {
 }
 
 void ScalableBloomFilter::Snapshot(std::ostream& out) const {
+  if (options_.layout != BloomLayout::kFlatModulo) {
+    // Sentinel-prefixed format (see bloom_filter.h): a zero u64 --
+    // impossible as the legacy leading initial_capacity field -- then
+    // the layout byte. kFlatModulo keeps the legacy byte stream so a
+    // snapshot restored from the pre-flag era re-snapshots to
+    // identical bytes.
+    serial::WriteU64(out, 0);
+    serial::WriteU8(out, static_cast<uint8_t>(options_.layout));
+  }
   serial::WriteU64(out, options_.initial_capacity);
   serial::WriteF64(out, options_.fp_rate);
   serial::WriteF64(out, options_.growth);
@@ -106,8 +116,21 @@ bool ScalableBloomFilter::Restore(std::istream& in) {
   uint64_t initial_capacity = 0;
   uint64_t num_insertions = 0;
   uint64_t num_slices = 0;
-  if (!serial::ReadU64(in, &initial_capacity) ||
-      !serial::ReadF64(in, &options.fp_rate) ||
+  if (!serial::ReadU64(in, &initial_capacity)) return false;
+  if (initial_capacity == 0) {
+    // Sentinel-prefixed format: layout byte, then the regular fields.
+    uint8_t layout = 0;
+    if (!serial::ReadU8(in, &layout) ||
+        layout > static_cast<uint8_t>(BloomLayout::kBlocked512) ||
+        !serial::ReadU64(in, &initial_capacity)) {
+      return false;
+    }
+    options.layout = static_cast<BloomLayout>(layout);
+  } else {
+    // Legacy payload: every slice was written with the modulo mapping.
+    options.layout = BloomLayout::kFlatModulo;
+  }
+  if (!serial::ReadF64(in, &options.fp_rate) ||
       !serial::ReadF64(in, &options.growth) ||
       !serial::ReadF64(in, &options.tightening) ||
       !serial::ReadU64(in, &num_insertions) ||
@@ -146,12 +169,12 @@ bool ScalableBloomFilter::Restore(std::istream& in) {
     const double n = static_cast<double>(cap);
     const double m = std::ceil(-n * std::log(error) / (kLn2 * kLn2));
     if (!(m >= 0.0) || m > 1e18) return false;
-    size_t expect_bits = static_cast<size_t>(m);
-    if (expect_bits < 64) expect_bits = 64;
-    int expect_hashes = static_cast<int>(
-        std::round(static_cast<double>(expect_bits) / n * kLn2));
-    if (expect_hashes < 1) expect_hashes = 1;
-    if (slice->expected_items() != cap || slice->num_bits() != expect_bits ||
+    size_t expect_bits = 0;
+    int expect_hashes = 0;
+    BloomFilter::ExpectedSizing(cap, error, options.layout, &expect_bits,
+                                &expect_hashes);
+    if (slice->layout() != options.layout || slice->expected_items() != cap ||
+        slice->num_bits() != expect_bits ||
         slice->num_hashes() != expect_hashes) {
       return false;
     }

@@ -34,6 +34,12 @@ class ScalableBloomFilter {
     // Error-tightening ratio r: slice i gets error p0 * r^i with
     // p0 = fp_rate * (1 - r).
     double tightening = 0.9;
+    // Bit layout of every slice. The cache-line-blocked layout is the
+    // default: at paper scale the executed-comparison filter is probed
+    // once per emitted comparison, and one cache line per probe beats
+    // k scattered lines (see bloom_filter.h for the FP-rate trade).
+    // Snapshots taken before this flag existed restore as kFlatModulo.
+    BloomLayout layout = BloomLayout::kBlocked512;
   };
 
   ScalableBloomFilter() : ScalableBloomFilter(Options()) {}

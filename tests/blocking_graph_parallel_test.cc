@@ -120,7 +120,7 @@ TEST(BlockingGraphParallelTest, MoreWorkersThanChunks) {
   ProfileStore store;
   for (ProfileId id = 0; id < 8; ++id) {
     EntityProfile p(id, 0, {});
-    p.tokens = {0, static_cast<TokenId>(1 + id % 3)};
+    p.set_tokens({0, static_cast<TokenId>(1 + id % 3)});
     blocks.AddProfile(p);
     store.Add(std::move(p));
   }

@@ -14,7 +14,7 @@ namespace {
 EntityProfile Profile(ProfileId id, SourceId source,
                       std::vector<TokenId> tokens) {
   EntityProfile p(id, source, {});
-  p.tokens = std::move(tokens);
+  p.set_tokens(std::move(tokens));
   return p;
 }
 

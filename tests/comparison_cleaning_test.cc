@@ -29,7 +29,7 @@ class CleaningFixture : public ::testing::Test {
 
   void Add(ProfileId id, std::vector<TokenId> tokens) {
     EntityProfile p(id, 0, {});
-    p.tokens = std::move(tokens);
+    p.set_tokens(std::move(tokens));
     blocks_.AddProfile(p);
     profiles_.Add(std::move(p));
   }

@@ -100,7 +100,7 @@ void CheckDatasetInvariants(const Dataset& d) {
   for (size_t i = 0; i < d.profiles.size(); ++i) {
     EXPECT_EQ(d.profiles[i].id, i);
     EXPECT_LT(d.profiles[i].source, 2);
-    EXPECT_FALSE(d.profiles[i].attributes.empty());
+    EXPECT_GT(d.profiles[i].num_attributes(), 0u);
   }
   EXPECT_GT(d.truth.size(), 0u);
   if (d.kind == DatasetKind::kCleanClean) {
@@ -135,19 +135,19 @@ TEST(BibliographicTest, DeterministicForSeed) {
   const Dataset b = GenerateBibliographic(options);
   ASSERT_EQ(a.profiles.size(), b.profiles.size());
   for (size_t i = 0; i < a.profiles.size(); ++i) {
-    ASSERT_EQ(a.profiles[i].attributes.size(),
-              b.profiles[i].attributes.size());
-    for (size_t j = 0; j < a.profiles[i].attributes.size(); ++j) {
-      EXPECT_EQ(a.profiles[i].attributes[j].value,
-                b.profiles[i].attributes[j].value);
+    const std::vector<Attribute> aa = a.profiles[i].CopyAttributes();
+    const std::vector<Attribute> ba = b.profiles[i].CopyAttributes();
+    ASSERT_EQ(aa.size(), ba.size());
+    for (size_t j = 0; j < aa.size(); ++j) {
+      EXPECT_EQ(aa[j].value, ba[j].value);
     }
   }
   options.seed = 999;
   const Dataset c = GenerateBibliographic(options);
   bool any_diff = false;
   for (size_t i = 0; i < a.profiles.size() && !any_diff; ++i) {
-    any_diff = a.profiles[i].attributes[0].value !=
-               c.profiles[i].attributes[0].value;
+    any_diff = a.profiles[i].CopyAttributes()[0].value !=
+               c.profiles[i].CopyAttributes()[0].value;
   }
   EXPECT_TRUE(any_diff);
 }
@@ -160,9 +160,9 @@ TEST(BibliographicTest, SourcesUseDifferentSchemas) {
   std::set<std::string> names0;
   std::set<std::string> names1;
   for (const auto& p : d.profiles) {
-    for (const auto& a : p.attributes) {
-      (p.source == 0 ? names0 : names1).insert(a.name);
-    }
+    p.ForEachAttribute([&](std::string_view name, std::string_view) {
+      (p.source == 0 ? names0 : names1).insert(std::string(name));
+    });
   }
   for (const auto& n : names0) EXPECT_EQ(names1.count(n), 0u) << n;
 }
@@ -180,7 +180,7 @@ TEST(BibliographicTest, DuplicatesShareTokens) {
   for (const uint64_t key : d.truth.pairs()) {
     const ProfileId a = static_cast<ProfileId>(key >> 32);
     const ProfileId b = static_cast<ProfileId>(key & 0xffffffffu);
-    if (IntersectionSize(profiles[a].tokens, profiles[b].tokens) >= 1) {
+    if (IntersectionSize(profiles[a].tokens(), profiles[b].tokens()) >= 1) {
       ++with_overlap;
     }
   }
@@ -211,7 +211,9 @@ TEST(MoviesTest, LongerTextThanBibliographic) {
   auto mean_text = [](const Dataset& d) {
     size_t total = 0;
     for (const auto& p : d.profiles) {
-      for (const auto& a : p.attributes) total += a.value.size();
+      p.ForEachAttribute([&](std::string_view, std::string_view value) {
+        total += value.size();
+      });
     }
     return static_cast<double>(total) / static_cast<double>(d.profiles.size());
   };
@@ -251,9 +253,9 @@ TEST(CensusTest, ShortRelationalValues) {
   options.num_records = 500;
   const Dataset d = GenerateCensus(options);
   for (const auto& p : d.profiles) {
-    for (const auto& a : p.attributes) {
-      EXPECT_LT(a.value.size(), 40u) << a.name;
-    }
+    p.ForEachAttribute([&](std::string_view name, std::string_view value) {
+      EXPECT_LT(value.size(), 40u) << name;
+    });
   }
 }
 
@@ -267,7 +269,7 @@ TEST(DbpediaTest, SizesAndRaggedProfiles) {
   CheckDatasetInvariants(d);
   // Profiles vary in attribute count (heterogeneity).
   std::set<size_t> attr_counts;
-  for (const auto& p : d.profiles) attr_counts.insert(p.attributes.size());
+  for (const auto& p : d.profiles) attr_counts.insert(p.num_attributes());
   EXPECT_GT(attr_counts.size(), 3u);
 }
 
@@ -284,7 +286,7 @@ TEST(DbpediaTest, DuplicatesShareRareNameTokens) {
   for (const uint64_t key : d.truth.pairs()) {
     const ProfileId a = static_cast<ProfileId>(key >> 32);
     const ProfileId b = static_cast<ProfileId>(key & 0xffffffffu);
-    if (IntersectionSize(profiles[a].tokens, profiles[b].tokens) >= 1) {
+    if (IntersectionSize(profiles[a].tokens(), profiles[b].tokens()) >= 1) {
       ++with_overlap;
     }
   }
@@ -301,7 +303,7 @@ TEST(DbpediaTest, PowerLawBlockDistribution) {
   std::unordered_map<TokenId, size_t> block_sizes;
   for (auto p : d.profiles) {
     tokenizer.TokenizeProfile(p, dict);
-    for (const TokenId t : p.tokens) ++block_sizes[t];
+    for (const TokenId t : p.tokens()) ++block_sizes[t];
   }
   size_t singletons = 0;
   size_t huge = 0;

@@ -122,10 +122,12 @@ TEST(DatasetIoTest, RoundTripsGeneratedDataset) {
     const auto& a = original.profiles[i];
     const auto& b = loaded->profiles[i];
     EXPECT_EQ(a.source, b.source);
-    ASSERT_EQ(a.attributes.size(), b.attributes.size());
-    for (size_t j = 0; j < a.attributes.size(); ++j) {
-      EXPECT_EQ(a.attributes[j].name, b.attributes[j].name);
-      EXPECT_EQ(a.attributes[j].value, b.attributes[j].value);
+    const std::vector<Attribute> aa = a.CopyAttributes();
+    const std::vector<Attribute> ba = b.CopyAttributes();
+    ASSERT_EQ(aa.size(), ba.size());
+    for (size_t j = 0; j < aa.size(); ++j) {
+      EXPECT_EQ(aa[j].name, ba[j].name);
+      EXPECT_EQ(aa[j].value, ba[j].value);
     }
   }
   EXPECT_EQ(loaded->truth.size(), original.truth.size());
@@ -148,7 +150,7 @@ TEST(DatasetIoTest, ValuesWithCommasAndQuotesSurvive) {
   const auto loaded = ReadDatasetCsv(out, nullptr, "tricky",
                                      DatasetKind::kDirty);
   ASSERT_TRUE(loaded.has_value());
-  EXPECT_EQ(loaded->profiles[0].attributes[0].value, "hello, \"world\"");
+  EXPECT_EQ(loaded->profiles[0].CopyAttributes()[0].value, "hello, \"world\"");
 }
 
 TEST(DatasetIoTest, RejectsMalformedRows) {
@@ -198,7 +200,7 @@ TEST(DatasetIoTest, CrlfLineEndingsAccepted) {
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->profiles.size(), 1u);
   // The carriage return must not leak into the last field.
-  EXPECT_EQ(loaded->profiles[0].attributes[0].value, "progressive er");
+  EXPECT_EQ(loaded->profiles[0].CopyAttributes()[0].value, "progressive er");
   EXPECT_EQ(loaded->truth.size(), 1u);
 }
 
@@ -237,10 +239,11 @@ TEST(DatasetIoTest, EmbeddedNewlinesRoundTrip) {
       ReadDatasetCsv(out, nullptr, "multiline", DatasetKind::kDirty);
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->profiles.size(), 1u);
-  ASSERT_EQ(loaded->profiles[0].attributes.size(), 2u);
-  EXPECT_EQ(loaded->profiles[0].attributes[0].value,
+  const std::vector<Attribute> attrs0 = loaded->profiles[0].CopyAttributes();
+  ASSERT_EQ(attrs0.size(), 2u);
+  EXPECT_EQ(attrs0[0].value,
             "12 Main St\nSpringfield, \"IL\"");
-  EXPECT_EQ(loaded->profiles[0].attributes[1].value, "a,b\n\"c\"\nd");
+  EXPECT_EQ(attrs0[1].value, "a,b\n\"c\"\nd");
 }
 
 }  // namespace

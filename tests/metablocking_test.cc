@@ -24,7 +24,7 @@ class WeightingFixture : public ::testing::Test {
 
   void Add(ProfileId id, std::vector<TokenId> tokens) {
     EntityProfile p(id, 0, {});
-    p.tokens = std::move(tokens);
+    p.set_tokens(std::move(tokens));
     blocks_.AddProfile(p);
     profiles_.Add(std::move(p));
   }
@@ -35,7 +35,7 @@ class WeightingFixture : public ::testing::Test {
 
   std::vector<TokenId> ActiveBlocksOf(ProfileId id) {
     std::vector<TokenId> out;
-    for (const TokenId t : profiles_.Get(id).tokens) {
+    for (const TokenId t : profiles_.Get(id).tokens()) {
       if (blocks_.IsActive(t)) out.push_back(t);
     }
     return out;
@@ -111,7 +111,7 @@ TEST(WeightingCleanCleanTest, OnlyCrossSourcePairs) {
   ProfileStore profiles;
   auto add = [&](ProfileId id, SourceId s, std::vector<TokenId> tokens) {
     EntityProfile p(id, s, {});
-    p.tokens = std::move(tokens);
+    p.set_tokens(std::move(tokens));
     blocks.AddProfile(p);
     profiles.Add(std::move(p));
   };
@@ -181,9 +181,9 @@ TEST_F(WeightingFixture, VisitsCountRawMemberIterations) {
 
 TEST(PairCbsWeightTest, CountsCommonTokens) {
   EntityProfile a(0, 0, {});
-  a.tokens = {1, 2, 3};
+  a.set_tokens({1, 2, 3});
   EntityProfile b(1, 0, {});
-  b.tokens = {2, 3, 4};
+  b.set_tokens({2, 3, 4});
   EXPECT_DOUBLE_EQ(PairCbsWeight(a, b), 2.0);
 }
 

@@ -48,7 +48,7 @@ TEST(ProfileStoreTest, AddAndGet) {
   store.Add(EntityProfile(0, 0, {{"a", "v"}}));
   store.Add(EntityProfile(1, 1, {}));
   EXPECT_EQ(store.size(), 2u);
-  EXPECT_EQ(store.Get(0).attributes[0].name, "a");
+  EXPECT_EQ(store.Get(0).CopyAttributes()[0].name, "a");
   EXPECT_EQ(store.Get(1).source, 1);
 }
 
@@ -68,7 +68,7 @@ TEST(ProfileStoreTest, AddressesStableAcrossGrowth) {
     store.Add(EntityProfile(id, 0, {}));
   }
   EXPECT_EQ(&store.Get(0), first);
-  EXPECT_EQ(store.Get(0).attributes[0].value, "first");
+  EXPECT_EQ(store.Get(0).CopyAttributes()[0].value, "first");
   EXPECT_EQ(store.size(), 10000u);
   EXPECT_EQ(store.Get(9999).id, 9999u);
   const EntityProfile* mid = &store.Get(5000);
@@ -79,8 +79,8 @@ TEST(ProfileStoreTest, AddressesStableAcrossGrowth) {
 TEST(ProfileStoreTest, GetMutableWritesThrough) {
   ProfileStore store;
   store.Add(EntityProfile(0, 0, {}));
-  store.GetMutable(0).flat_text = "filled";
-  EXPECT_EQ(store.Get(0).flat_text, "filled");
+  store.GetMutable(0).set_flat_text("filled");
+  EXPECT_EQ(store.Get(0).flat_text(), "filled");
 }
 
 TEST(GroundTruthTest, SymmetricMembership) {

@@ -263,9 +263,12 @@ TEST(ComponentPersistTest, ProfileStoreRoundTrip) {
     const EntityProfile& a = store.Get(i);
     const EntityProfile& b = restored.Get(i);
     EXPECT_EQ(a.source, b.source);
-    EXPECT_EQ(a.tokens, b.tokens);
-    EXPECT_EQ(a.flat_text, b.flat_text);
-    ASSERT_EQ(a.attributes.size(), b.attributes.size());
+    const std::span<const TokenId> ta = a.tokens();
+    const std::span<const TokenId> tb = b.tokens();
+    ASSERT_EQ(ta.size(), tb.size());
+    EXPECT_TRUE(std::equal(ta.begin(), ta.end(), tb.begin()));
+    EXPECT_EQ(a.flat_text(), b.flat_text());
+    ASSERT_EQ(a.num_attributes(), b.num_attributes());
   }
   std::ostringstream again;
   restored.Snapshot(again);
@@ -274,6 +277,54 @@ TEST(ComponentPersistTest, ProfileStoreRoundTrip) {
   // A non-empty store refuses to restore.
   std::istringstream in2(out.str());
   EXPECT_FALSE(restored.Restore(in2));
+}
+
+TEST(ComponentPersistTest, ProfileStoreMutatedRoundTripByteIdentical) {
+  // Tombstones and in-place corrections leave abandoned spans behind
+  // in the arenas; the snapshot must serialize the *surviving* state
+  // so that a restore into fresh (compact) arenas re-snapshots the
+  // exact same bytes.
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  ProfileStore store;
+  for (ProfileId i = 0; i < 60; ++i) {
+    EntityProfile p = MakeProfile(i, i % 2, "alpha beta " +
+                                                std::to_string(i));
+    tokenizer.TokenizeProfile(p, dict);
+    store.Add(std::move(p));
+  }
+  for (ProfileId i = 10; i < 25; ++i) store.Remove(i);
+  for (ProfileId i = 20; i < 35; ++i) {  // ids 20..24 revive tombstones
+    EntityProfile p = MakeProfile(i, i % 2, "corrected text " +
+                                                std::to_string(i * 7));
+    tokenizer.TokenizeProfile(p, dict);
+    store.Replace(std::move(p));
+  }
+  ASSERT_GT(store.token_arena().abandoned_items(), 0u);
+  ASSERT_EQ(store.num_live(), 50u);
+
+  std::ostringstream out;
+  store.Snapshot(out);
+  ProfileStore restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(restored.Restore(in));
+  ASSERT_EQ(restored.size(), store.size());
+  EXPECT_EQ(restored.num_live(), store.num_live());
+  for (ProfileId i = 0; i < 60; ++i) {
+    EXPECT_EQ(restored.IsLive(i), store.IsLive(i)) << "id " << i;
+    EXPECT_EQ(restored.Get(i).flat_text(), store.Get(i).flat_text());
+  }
+  // Replacements survived, tombstones stayed cleared.
+  EXPECT_TRUE(restored.Get(22).flat_text().find("corrected") !=
+              std::string_view::npos);
+  EXPECT_TRUE(restored.Get(12).flat_text().empty());
+
+  // The restored arenas hold no abandoned spans (restore is compact),
+  // yet the bytes written back must match exactly.
+  EXPECT_EQ(restored.token_arena().abandoned_items(), 0u);
+  std::ostringstream again;
+  restored.Snapshot(again);
+  EXPECT_EQ(out.str(), again.str());
 }
 
 TEST(ComponentPersistTest, TokenDictionaryRoundTrip) {
@@ -338,9 +389,10 @@ TEST(ComponentPersistTest, BloomFilterCorruptHeaderRejected) {
   std::ostringstream out;
   filter.Snapshot(out);
   std::string bytes = out.str();
-  // num_hashes lives after expected_items (u64) + num_bits (u64).
-  bytes[16] = static_cast<char>(0xFF);
-  bytes[17] = static_cast<char>(0xFF);
+  // num_hashes lives after the sentinel (u64) + layout (u8) +
+  // expected_items (u64) + num_bits (u64) prefix.
+  bytes[25] = static_cast<char>(0xFF);
+  bytes[26] = static_cast<char>(0xFF);
   std::istringstream in(bytes);
   EXPECT_EQ(BloomFilter::FromSnapshot(in), nullptr);
 }

@@ -31,8 +31,8 @@ class PrioritizerFixture : public ::testing::Test {
     std::vector<ProfileId> delta;
     for (auto& [source, tokens] : specs) {
       EntityProfile p(static_cast<ProfileId>(profiles_.size()), source, {});
-      p.tokens = std::move(tokens);
-      std::sort(p.tokens.begin(), p.tokens.end());
+      std::sort(tokens.begin(), tokens.end());
+      p.set_tokens(std::move(tokens));
       blocks_.AddProfile(p);
       delta.push_back(p.id);
       profiles_.Add(std::move(p));
@@ -226,7 +226,7 @@ TEST_F(IPbsTest, CleanCleanOnlyCrossSource) {
   std::vector<ProfileId> delta;
   auto add = [&](SourceId s, std::vector<TokenId> tokens) {
     EntityProfile p(static_cast<ProfileId>(cc_profiles.size()), s, {});
-    p.tokens = std::move(tokens);
+    p.set_tokens(std::move(tokens));
     cc_blocks.AddProfile(p);
     delta.push_back(p.id);
     cc_profiles.Add(std::move(p));

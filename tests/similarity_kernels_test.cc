@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "similarity/intersect_kernel.h"
 #include "similarity/matcher.h"
 #include "similarity/similarity_kernels.h"
 #include "similarity/string_distance.h"
@@ -327,8 +328,8 @@ TEST(SimilarityKernelsVerdictTest, EmptySetEdgeCases) {
 EntityProfile MakeProfile(ProfileId id, std::vector<TokenId> tokens,
                           std::string flat) {
   EntityProfile p(id, 0, {});
-  p.tokens = std::move(tokens);
-  p.flat_text = std::move(flat);
+  p.set_tokens(std::move(tokens));
+  p.set_flat_text(std::move(flat));
   return p;
 }
 
@@ -376,6 +377,78 @@ TEST(SimilarityKernelsMatcherTest, VerdictAndKernelMatchReference) {
       ASSERT_EQ(matcher->Verdict(a, b, &scratch), matcher->Matches(a, b))
           << matcher->name() << " t=" << matcher->threshold() << " a=" << a.id
           << " b=" << b.id;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched intersection kernel
+// ---------------------------------------------------------------------------
+
+size_t NaiveIntersectionSize(const std::vector<TokenId>& a,
+                             const std::vector<TokenId>& b) {
+  size_t common = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+TEST(IntersectKernelTest, SizeMatchesNaiveAcrossShapes) {
+  // Sizes straddle the 8-wide block boundary on both sides, and the
+  // universe widths sweep from near-total overlap to near-disjoint so
+  // every advance pattern of the block loop gets exercised.
+  Rng rng(4242);
+  const size_t sizes[] = {0, 1, 2, 7, 8, 9, 15, 16, 17, 33, 100, 1000};
+  for (const size_t sa : sizes) {
+    for (const size_t sb : sizes) {
+      for (const uint64_t universe : {40u, 300u, 100000u}) {
+        const std::vector<TokenId> a = RandomTokenSet(rng, sa, universe);
+        const std::vector<TokenId> b = RandomTokenSet(rng, sb, universe);
+        ASSERT_EQ(SortedIntersectionSize(a, b), NaiveIntersectionSize(a, b))
+            << "sa=" << sa << " sb=" << sb << " universe=" << universe;
+      }
+    }
+  }
+}
+
+TEST(IntersectKernelTest, SizeEdgeCases) {
+  const std::vector<TokenId> empty;
+  const std::vector<TokenId> run = Tokens({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_EQ(SortedIntersectionSize(empty, empty), 0u);
+  EXPECT_EQ(SortedIntersectionSize(empty, run), 0u);
+  EXPECT_EQ(SortedIntersectionSize(run, run), run.size());
+  // Fully disjoint blocks of exactly the vector width.
+  const std::vector<TokenId> lo = Tokens({0, 1, 2, 3, 4, 5, 6, 7});
+  const std::vector<TokenId> hi = Tokens({8, 9, 10, 11, 12, 13, 14, 15});
+  EXPECT_EQ(SortedIntersectionSize(lo, hi), 0u);
+  EXPECT_EQ(SortedIntersectionSize(lo, lo), 8u);
+}
+
+TEST(IntersectKernelTest, AtLeastMatchesSizeForEveryThreshold) {
+  Rng rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t sa = static_cast<size_t>(rng.UniformInt(0, 60));
+    const size_t sb = static_cast<size_t>(rng.UniformInt(0, 60));
+    const uint64_t universe = trial % 2 == 0 ? 80 : 5000;
+    const std::vector<TokenId> a = RandomTokenSet(rng, sa, universe);
+    const std::vector<TokenId> b = RandomTokenSet(rng, sb, universe);
+    const size_t common = NaiveIntersectionSize(a, b);
+    const size_t max_required = std::min(a.size(), b.size()) + 2;
+    for (size_t required = 0; required <= max_required; ++required) {
+      ASSERT_EQ(SortedIntersectionAtLeast(a, b, required), common >= required)
+          << "trial=" << trial << " required=" << required
+          << " common=" << common;
     }
   }
 }

@@ -145,8 +145,8 @@ TEST(NormalizedEditTest, IdenticalStringsShortCircuit) {
 EntityProfile MakeProfile(ProfileId id, std::vector<TokenId> tokens,
                           std::string flat) {
   EntityProfile p(id, 0, {});
-  p.tokens = std::move(tokens);
-  p.flat_text = std::move(flat);
+  p.set_tokens(std::move(tokens));
+  p.set_flat_text(std::move(flat));
   return p;
 }
 

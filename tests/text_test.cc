@@ -50,8 +50,8 @@ TEST(TokenizerTest, TokenizeProfileProducesSortedUniqueTokens) {
   EntityProfile p(0, 0,
                   {{"title", "deep blue sea"}, {"subtitle", "blue sea"}});
   tokenizer.TokenizeProfile(p, dict);
-  ASSERT_EQ(p.tokens.size(), 3u);  // deep, blue, sea deduplicated
-  EXPECT_TRUE(std::is_sorted(p.tokens.begin(), p.tokens.end()));
+  ASSERT_EQ(p.tokens().size(), 3u);  // deep, blue, sea deduplicated
+  EXPECT_TRUE(std::is_sorted(p.tokens().begin(), p.tokens().end()));
 }
 
 TEST(TokenizerTest, TokenizeProfileIgnoresAttributeNames) {
@@ -59,8 +59,8 @@ TEST(TokenizerTest, TokenizeProfileIgnoresAttributeNames) {
   TokenDictionary dict;
   EntityProfile p(0, 0, {{"some_attribute_name", "value"}});
   tokenizer.TokenizeProfile(p, dict);
-  EXPECT_EQ(p.tokens.size(), 1u);
-  EXPECT_EQ(dict.Lookup("value"), p.tokens[0]);
+  EXPECT_EQ(p.tokens().size(), 1u);
+  EXPECT_EQ(dict.Lookup("value"), p.tokens()[0]);
   EXPECT_EQ(dict.Lookup("some_attribute_name"), kInvalidTokenId);
 }
 
@@ -69,7 +69,7 @@ TEST(TokenizerTest, TokenizeProfileFillsFlatText) {
   TokenDictionary dict;
   EntityProfile p(0, 0, {{"a", "Foo Bar"}, {"b", "Baz"}});
   tokenizer.TokenizeProfile(p, dict);
-  EXPECT_EQ(p.flat_text, "foo bar baz");
+  EXPECT_EQ(p.flat_text(), "foo bar baz");
 }
 
 TEST(TokenizerTest, TokenizeProfileBumpsDocFrequencyOncePerProfile) {
@@ -91,9 +91,9 @@ TEST(TokenizerTest, SharedDictionaryAcrossProfiles) {
   EntityProfile q(1, 1, {{"b", "common"}});
   tokenizer.TokenizeProfile(p, dict);
   tokenizer.TokenizeProfile(q, dict);
-  ASSERT_EQ(p.tokens.size(), 1u);
-  ASSERT_EQ(q.tokens.size(), 1u);
-  EXPECT_EQ(p.tokens[0], q.tokens[0]);  // same block key
+  ASSERT_EQ(p.tokens().size(), 1u);
+  ASSERT_EQ(q.tokens().size(), 1u);
+  EXPECT_EQ(p.tokens()[0], q.tokens()[0]);  // same block key
 }
 
 TEST(TokenizerTest, EmptyProfile) {
@@ -101,8 +101,8 @@ TEST(TokenizerTest, EmptyProfile) {
   TokenDictionary dict;
   EntityProfile p(0, 0, {});
   tokenizer.TokenizeProfile(p, dict);
-  EXPECT_TRUE(p.tokens.empty());
-  EXPECT_TRUE(p.flat_text.empty());
+  EXPECT_TRUE(p.tokens().empty());
+  EXPECT_TRUE(p.flat_text().empty());
 }
 
 }  // namespace

@@ -445,6 +445,123 @@ TEST(ScalableBloomFilterTest, UnionResultSnapshotRestoreRoundTrips) {
   EXPECT_EQ(again.str(), out.str());
 }
 
+TEST(BloomFilterTest, BlockedLayoutNoFalseNegatives) {
+  BloomFilter filter(5000, 0.01, BloomLayout::kBlocked512);
+  EXPECT_EQ(filter.num_bits() % 512, 0u);
+  for (uint64_t k = 0; k < 5000; ++k) filter.Add(Mix64(k));
+  for (uint64_t k = 0; k < 5000; ++k) EXPECT_TRUE(filter.MayContain(Mix64(k)));
+}
+
+TEST(BloomFilterTest, BlockedLayoutFalsePositiveRateNearDesign) {
+  // Split-block filters trade FP rate for single-cache-line probes;
+  // the realized rate stays within a small constant of the design
+  // point (wider headroom than the flat layouts).
+  BloomFilter filter(10000, 0.01, BloomLayout::kBlocked512);
+  for (uint64_t k = 0; k < 10000; ++k) filter.Add(Mix64(k));
+  size_t false_positives = 0;
+  const size_t probes = 50000;
+  for (uint64_t k = 0; k < probes; ++k) {
+    if (filter.MayContain(Mix64(k + 1000000))) ++false_positives;
+  }
+  const double rate =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(BloomFilterTest, BlockedLayoutSnapshotRoundTripsAndUnions) {
+  BloomFilter a(1000, 0.01, BloomLayout::kBlocked512);
+  BloomFilter b(1000, 0.01, BloomLayout::kBlocked512);
+  for (uint64_t k = 0; k < 600; ++k) a.Add(Mix64(k));
+  for (uint64_t k = 600; k < 1000; ++k) b.Add(Mix64(k));
+  ASSERT_TRUE(a.UnionFrom(b));
+  for (uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(a.MayContain(Mix64(k)));
+
+  std::ostringstream out;
+  a.Snapshot(out);
+  std::istringstream in(out.str());
+  const auto restored = BloomFilter::FromSnapshot(in);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->layout(), BloomLayout::kBlocked512);
+  EXPECT_EQ(restored->num_bits(), a.num_bits());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(restored->MayContain(Mix64(k)));
+  }
+  std::ostringstream again;
+  restored->Snapshot(again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(BloomFilterTest, UnionFromRejectsMismatchedLayout) {
+  BloomFilter flat(1000, 0.01, BloomLayout::kFlatFastrange);
+  BloomFilter blocked(1000, 0.01, BloomLayout::kBlocked512);
+  EXPECT_FALSE(flat.UnionFrom(blocked));
+  EXPECT_FALSE(blocked.UnionFrom(flat));
+}
+
+TEST(BloomFilterTest, LegacySnapshotRestoresAsFlatModulo) {
+  // A snapshot from before the layout flag starts with a nonzero
+  // expected_items u64 and carries bits placed by the modulo mapping.
+  // FromSnapshot must keep probing those bits with the same mapping:
+  // restoring them under fastrange would manufacture false negatives.
+  BloomFilter modulo(256, 0.01, BloomLayout::kFlatModulo);
+  for (uint64_t k = 0; k < 200; ++k) modulo.Add(Mix64(k));
+  std::ostringstream out;
+  modulo.Snapshot(out);  // kFlatModulo writes the legacy byte stream
+  EXPECT_NE(out.str().substr(0, 8), std::string(8, '\0'));
+
+  std::istringstream in(out.str());
+  const auto restored = BloomFilter::FromSnapshot(in);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->layout(), BloomLayout::kFlatModulo);
+  for (uint64_t k = 0; k < 200; ++k) {
+    EXPECT_TRUE(restored->MayContain(Mix64(k)));
+  }
+  // Legacy payloads re-snapshot byte-identically (no silent upgrade).
+  std::ostringstream again;
+  restored->Snapshot(again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(ScalableBloomFilterTest, LegacySnapshotRestoresAsFlatModulo) {
+  ScalableBloomFilter::Options legacy_options;
+  legacy_options.initial_capacity = 64;
+  legacy_options.layout = BloomLayout::kFlatModulo;
+  ScalableBloomFilter legacy(legacy_options);
+  for (uint64_t k = 0; k < 500; ++k) legacy.Add(Mix64(k));
+  std::ostringstream out;
+  legacy.Snapshot(out);
+  EXPECT_NE(out.str().substr(0, 8), std::string(8, '\0'));
+
+  // A default-constructed (blocked-layout) filter accepts the legacy
+  // payload and adopts its layout wholesale.
+  ScalableBloomFilter restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(restored.Restore(in));
+  for (uint64_t k = 0; k < 500; ++k) EXPECT_TRUE(restored.MayContain(Mix64(k)));
+  std::ostringstream again;
+  restored.Snapshot(again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(ScalableBloomFilterTest, BlockedDefaultGrowsAndRoundTrips) {
+  ScalableBloomFilter filter;  // default options: kBlocked512 slices
+  for (uint64_t k = 0; k < 20000; ++k) filter.Add(Mix64(k));
+  EXPECT_GT(filter.num_slices(), 1u);
+  for (uint64_t k = 0; k < 20000; ++k) EXPECT_TRUE(filter.MayContain(Mix64(k)));
+
+  std::ostringstream out;
+  filter.Snapshot(out);
+  ScalableBloomFilter restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(restored.Restore(in));
+  for (uint64_t k = 0; k < 20000; ++k) {
+    EXPECT_TRUE(restored.MayContain(Mix64(k)));
+  }
+  std::ostringstream again;
+  restored.Snapshot(again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
 TEST(CountingBloomFilterTest, UnionFromNoFalseNegatives) {
   Rng rng(7);
   for (int round = 0; round < 10; ++round) {

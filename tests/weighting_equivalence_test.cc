@@ -32,7 +32,7 @@ struct Workload {
 
   std::vector<TokenId> ActiveBlocksOf(ProfileId id) const {
     std::vector<TokenId> out;
-    for (const TokenId t : store.Get(id).tokens) {
+    for (const TokenId t : store.Get(id).tokens()) {
       if (blocks.IsActive(t)) out.push_back(t);
     }
     return out;
@@ -147,7 +147,7 @@ TEST(WeightingScratchTest, ReusedScratchIsStateless) {
 TEST(ProfileStoreTokenCountTest, SidecarMatchesProfiles) {
   const Workload& w = DirtyWorkload();
   for (ProfileId id = 0; id < w.store.size(); ++id) {
-    EXPECT_EQ(w.store.TokenCount(id), w.store.Get(id).tokens.size());
+    EXPECT_EQ(w.store.TokenCount(id), w.store.Get(id).tokens().size());
   }
 }
 
